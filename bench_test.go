@@ -1,0 +1,187 @@
+package choco
+
+// One benchmark per table and figure of the paper's evaluation; each
+// drives the corresponding generator in internal/bench, which produces
+// the same rows/series the paper reports. Run with
+//
+//	go test -bench=. -benchmem
+//
+// and see EXPERIMENTS.md for paper-vs-measured values.
+
+import (
+	"testing"
+
+	"choco/internal/bench"
+)
+
+func report(b *testing.B, out string, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if testing.Verbose() {
+		b.Log("\n" + out)
+	}
+}
+
+// BenchmarkTable1_OpComplexity measures each HE operation's latency at
+// two ring degrees, confirming Table 1's complexity classes.
+func BenchmarkTable1_OpComplexity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := bench.Table1()
+		report(b, out, err)
+	}
+}
+
+// BenchmarkTable3_CiphertextSizes verifies the Table 3 presets and
+// their serialized sizes.
+func BenchmarkTable3_CiphertextSizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := bench.Table3()
+		report(b, out, err)
+	}
+}
+
+// BenchmarkTable4_NoiseBudget measures the six noise-budget rows
+// (initial / post-rotate / post-permute) with the exact noise meter.
+func BenchmarkTable4_NoiseBudget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, _, err := bench.Table4()
+		report(b, out, err)
+	}
+}
+
+// BenchmarkTable5_Networks computes the network statistics table.
+func BenchmarkTable5_Networks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := bench.Table5()
+		report(b, out, err)
+	}
+}
+
+// BenchmarkFig2_ClientBreakdown reproduces the motivation
+// characterization: client software time is >99% HE operations.
+func BenchmarkFig2_ClientBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := bench.Fig2()
+		report(b, out, err)
+	}
+}
+
+// BenchmarkFig7_DesignSpace sweeps the ~31k accelerator configurations
+// and extracts the Pareto frontier and operating point.
+func BenchmarkFig7_DesignSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := bench.Fig7()
+		report(b, out, err)
+	}
+}
+
+// BenchmarkFig8_ScalingHWvsSW compares hardware and software
+// encryption across (N, k) shapes.
+func BenchmarkFig8_ScalingHWvsSW(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, _, err := bench.Fig8()
+		report(b, out, err)
+	}
+}
+
+// BenchmarkFig10_CommVsPrior compares CHOCO's measured communication
+// against seven prior protocols.
+func BenchmarkFig10_CommVsPrior(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := bench.Fig10()
+		report(b, out, err)
+	}
+}
+
+// BenchmarkFig11_DistanceVariants evaluates the five distance-kernel
+// packings across geometries.
+func BenchmarkFig11_DistanceVariants(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, _, err := bench.Fig11()
+		report(b, out, err)
+	}
+}
+
+// BenchmarkFig12_ClientAccel extends Fig 2 with CHOCO and CHOCO-TACO.
+func BenchmarkFig12_ClientAccel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, _, err := bench.Fig12()
+		report(b, out, err)
+	}
+}
+
+// BenchmarkFig13_PageRank explores PageRank refresh schedules for BFV
+// and CKKS.
+func BenchmarkFig13_PageRank(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := bench.Fig13()
+		report(b, out, err)
+	}
+}
+
+// BenchmarkFig14_EndToEnd compares end-to-end offload vs local
+// inference in time and energy.
+func BenchmarkFig14_EndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, _, err := bench.Fig14()
+		report(b, out, err)
+	}
+}
+
+// BenchmarkFig15_MACsVsComm sweeps convolution shapes for the
+// computation-vs-communication study.
+func BenchmarkFig15_MACsVsComm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, _, err := bench.Fig15()
+		report(b, out, err)
+	}
+}
+
+// BenchmarkEncDecSpeedup reports the §4.5/§4.6 headline accelerator
+// results.
+func BenchmarkEncDecSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := bench.EncDecSpeedups()
+		if out == "" {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// BenchmarkAblationRotationalRedundancy measures the fast windowed
+// rotation against the masked-permutation baseline on live HE.
+func BenchmarkAblationRotationalRedundancy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := bench.AblationRotRed()
+		report(b, out, err)
+	}
+}
+
+// BenchmarkAblationBSGS measures BSGS against the naive diagonal
+// method for encrypted matrix-vector products.
+func BenchmarkAblationBSGS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := bench.AblationBSGS()
+		report(b, out, err)
+	}
+}
+
+// BenchmarkAblationParameterMinimization quantifies the ciphertext
+// shrinkage from CHOCO's parameter selection (§3.3's 50% claim).
+func BenchmarkAblationParameterMinimization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := bench.AblationParamMinimization()
+		report(b, out, err)
+	}
+}
+
+// BenchmarkAblationPackedVsBatched measures §2.1's layout dichotomy on
+// live HE.
+func BenchmarkAblationPackedVsBatched(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := bench.AblationPackedVsBatched()
+		report(b, out, err)
+	}
+}

@@ -1,0 +1,92 @@
+// Package choco is a client-optimized system for privacy-preserving
+// compute offloading — a from-scratch Go reproduction of "Client-
+// Optimized Algorithms and Acceleration for Encrypted Compute
+// Offloading" (van der Hagen & Lucia, ASPLOS 2022).
+//
+// A resource-constrained client encrypts its data under a homomorphic
+// encryption scheme (BFV or CKKS, both implemented here on an RNS
+// polynomial ring substrate with a BLAKE3 PRNG), offloads the linear
+// portion of a computation to an untrusted server, and performs the
+// cheap non-linear steps itself on plaintext — refreshing the noise
+// budget as a side effect. CHOCO minimizes the client's costs three
+// ways: client-aware HE parameter selection (package params),
+// rotational redundancy (package rotred) to make encrypted
+// permutations nearly free, and the CHOCO-TACO accelerator (package
+// accel) for client encryption/decryption.
+//
+// This facade re-exports the main entry points; the implementation
+// lives under internal/ (see DESIGN.md for the full inventory):
+//
+//	internal/bfv, internal/ckks    the two HE schemes
+//	internal/ring, internal/nt     negacyclic RNS rings, NTT, primes
+//	internal/rotred                rotational redundancy (§3.3)
+//	internal/params                parameter minimization (§3.2)
+//	internal/core                  encrypted conv / FC operators
+//	internal/nn                    Table 5 model zoo + inference
+//	internal/apps/{distance,pagerank}  KNN, K-Means, PageRank
+//	internal/accel                 CHOCO-TACO simulator (§4)
+//	internal/device                IMX6 / Bluetooth / Xeon models
+//	internal/bench                 every table & figure generator
+package choco
+
+import (
+	"choco/internal/accel"
+	"choco/internal/bfv"
+	"choco/internal/ckks"
+	"choco/internal/device"
+	"choco/internal/params"
+)
+
+// BFV scheme entry points.
+type (
+	// BFVParameters configures the BFV scheme.
+	BFVParameters = bfv.Parameters
+	// BFVContext carries BFV precomputation.
+	BFVContext = bfv.Context
+)
+
+// CKKS scheme entry points.
+type (
+	// CKKSParameters configures the CKKS scheme.
+	CKKSParameters = ckks.Parameters
+	// CKKSContext carries CKKS precomputation.
+	CKKSContext = ckks.Context
+)
+
+// Accelerator and device models.
+type (
+	// AcceleratorConfig is a CHOCO-TACO configuration.
+	AcceleratorConfig = accel.Config
+	// HEShape is the (N, k) geometry cost models consume.
+	HEShape = device.HEShape
+)
+
+// Profile describes an application's arithmetic for parameter
+// selection.
+type Profile = params.Profile
+
+// Table 3 parameter presets.
+var (
+	// PresetA is BFV with N=8192, {58,58,59}, log t=23 (262,144 B).
+	PresetA = bfv.PresetA
+	// PresetB is BFV with N=4096, {36,36,37}, log t=18 (131,072 B).
+	PresetB = bfv.PresetB
+	// PresetC is CKKS with N=8192, {60,60,60} (262,144 B).
+	PresetC = ckks.PresetC
+)
+
+// NewBFVContext precomputes a BFV context.
+func NewBFVContext(p BFVParameters) (*BFVContext, error) { return bfv.NewContext(p) }
+
+// NewCKKSContext precomputes a CKKS context.
+func NewCKKSContext(p CKKSParameters) (*CKKSContext, error) { return ckks.NewContext(p) }
+
+// SelectBFVParameters runs CHOCO's client-optimized parameter search:
+// the smallest secure ciphertext supporting the profile.
+func SelectBFVParameters(p Profile, marginBits int) (BFVParameters, error) {
+	return params.SelectBFV(p, marginBits)
+}
+
+// TACOConfig returns the accelerator operating point the paper selects
+// in §4.4.
+func TACOConfig() AcceleratorConfig { return accel.PaperConfig() }

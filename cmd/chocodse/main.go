@@ -1,0 +1,53 @@
+// Command chocodse runs the CHOCO-TACO design-space exploration
+// standalone: sweep all accelerator configurations at a chosen
+// parameter shape, print the Pareto frontier, and select an operating
+// point under a power cap (§4.4).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"choco/internal/accel"
+	"choco/internal/device"
+)
+
+func main() {
+	n := flag.Int("n", 8192, "ring degree N")
+	k := flag.Int("k", 3, "RNS residue count k")
+	powerCap := flag.Float64("power", 0.200, "power cap in watts")
+	slack := flag.Float64("slack", 0.01, "allowed time slack over the fastest design")
+	frontierN := flag.Int("frontier", 10, "frontier samples to print")
+	flag.Parse()
+
+	shape := device.HEShape{N: *n, K: *k}
+	points := accel.Explore(shape)
+	fmt.Printf("explored %d configurations at (N=%d, k=%d)\n", len(points), *n, *k)
+
+	frontier := accel.ParetoFrontier(points)
+	fmt.Printf("pareto frontier: %d designs\n", len(frontier))
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i].TimeS < frontier[j].TimeS })
+	step := len(frontier) / *frontierN
+	if step < 1 {
+		step = 1
+	}
+	fmt.Printf("%-12s %-10s %-10s %-12s %s\n", "time (ms)", "power(mW)", "area(mm²)", "energy(mJ)", "config")
+	for i := 0; i < len(frontier); i += step {
+		p := frontier[i]
+		fmt.Printf("%-12.3f %-10.1f %-10.1f %-12.4f %+v\n",
+			p.TimeS*1e3, p.PowerW*1e3, p.AreaMM2, p.EnergyJ*1e3, p.Config)
+	}
+
+	chosen, ok := accel.SelectOperatingPoint(points, *powerCap, *slack)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "no design satisfies the %.0f mW cap\n", *powerCap*1e3)
+		os.Exit(1)
+	}
+	fmt.Printf("\nchosen operating point (cap %.0f mW, slack %.0f%%):\n", *powerCap*1e3, *slack*100)
+	fmt.Printf("  %+v\n", chosen.Config)
+	fmt.Printf("  encrypt %.3f ms, power %.1f mW, area %.1f mm², energy %.4f mJ\n",
+		chosen.TimeS*1e3, chosen.PowerW*1e3, chosen.AreaMM2, chosen.EnergyJ*1e3)
+	fmt.Printf("  decrypt %.3f ms\n", chosen.Config.DecryptTime(shape)*1e3)
+}

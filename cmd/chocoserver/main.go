@@ -1,0 +1,75 @@
+// Command chocoserver runs the untrusted CHOCO offload server over
+// TCP: it holds the (synthetic) quantized model weights and waits for
+// clients to connect, ship their evaluation keys, and stream
+// client-aided inference sessions. The server never holds secret key
+// material; it sees only ciphertexts.
+//
+// The demo model is the small LeNet-style network also used by the
+// examples. Clients only need the architecture (nn.DemoNetwork); the
+// weights stay server-side — the centralized-model deployment of §1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+
+	"choco/internal/nn"
+	"choco/internal/protocol"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7312", "listen address")
+	weightSeed := flag.Int("weight-seed", 7, "deterministic weight seed (server-only; clients never see weights)")
+	sessions := flag.Int("sessions", 0, "exit after this many sessions (0 = serve forever)")
+	flag.Parse()
+
+	net0 := nn.DemoNetwork()
+	var seed [32]byte
+	seed[0] = byte(*weightSeed)
+	model := nn.SynthesizeWeights(net0, 4, seed)
+	server, err := nn.NewInferenceServer(model)
+	if err != nil {
+		log.Fatalf("compile model: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	log.Printf("chocoserver: serving %s (%d-layer model, %d MACs) on %s",
+		net0.Name, len(net0.Layers), net0.MACs(), *addr)
+
+	served := 0
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Printf("accept: %v", err)
+			continue
+		}
+		tr := protocol.NewConn(conn)
+		if err := server.AcceptSetup(tr); err != nil {
+			log.Printf("setup failed: %v", err)
+			conn.Close()
+			continue
+		}
+		log.Printf("client %s: evaluation keys installed", conn.RemoteAddr())
+		for {
+			ops, err := server.ServeOne(tr)
+			if err != nil {
+				log.Printf("client %s: session ended: %v", conn.RemoteAddr(), err)
+				break
+			}
+			log.Printf("client %s: inference served (%+v), traffic up %d B / down %d B",
+				conn.RemoteAddr(), ops, tr.ReceivedBytes(), tr.SentBytes())
+		}
+		conn.Close()
+		served++
+		if *sessions > 0 && served >= *sessions {
+			fmt.Println("session limit reached; exiting")
+			return
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Accelerator design-space exploration (§4.4): sweep CHOCO-TACO
+// configurations, walk the Pareto frontier, and pick an operating
+// point under a power envelope — then see what that silicon buys the
+// client at every HE parameter shape (Fig 8).
+package main
+
+import (
+	"fmt"
+
+	"choco/internal/accel"
+	"choco/internal/device"
+)
+
+func main() {
+	shape := device.HEShape{N: 8192, K: 3}
+	points := accel.Explore(shape)
+	fmt.Printf("explored %d accelerator configurations at (N=%d, k=%d)\n",
+		len(points), shape.N, shape.K)
+
+	frontier := accel.ParetoFrontier(points)
+	fmt.Printf("pareto-optimal designs: %d\n\n", len(frontier))
+
+	for _, cap := range []float64{0.100, 0.200, 0.400} {
+		chosen, ok := accel.SelectOperatingPoint(points, cap, 0.01)
+		if !ok {
+			fmt.Printf("%3.0f mW cap: infeasible\n", cap*1e3)
+			continue
+		}
+		fmt.Printf("%3.0f mW cap → encrypt %.3f ms, %.1f mm², %.4f mJ  %+v\n",
+			cap*1e3, chosen.TimeS*1e3, chosen.AreaMM2, chosen.EnergyJ*1e3, chosen.Config)
+	}
+
+	cfg := accel.PaperConfig()
+	client := device.DefaultClient()
+	fmt.Printf("\npaper operating point %+v:\n", cfg)
+	fmt.Printf("%-14s %12s %12s %10s\n", "(N,k)", "SW encrypt", "HW encrypt", "speedup")
+	for _, s := range []device.HEShape{
+		{N: 2048, K: 1}, {N: 4096, K: 2}, {N: 8192, K: 3}, {N: 16384, K: 8},
+	} {
+		sw, hw := client.EncryptTime(s), cfg.EncryptTime(s)
+		fmt.Printf("(%d,%d)%*s %9.1f ms %9.3f ms %9.0f×\n",
+			s.N, s.K, 12-len(fmt.Sprintf("(%d,%d)", s.N, s.K)), "", sw*1e3, hw*1e3, sw/hw)
+	}
+}

@@ -1,0 +1,55 @@
+// Quickstart: encrypt a vector under BFV, have an "untrusted server"
+// add, multiply, and rotate it homomorphically, and decrypt — the
+// 40-line tour of the HE substrate underneath CHOCO.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"choco"
+	"choco/internal/bfv"
+)
+
+func main() {
+	// Paper parameter set B: N=4096, {36,36,37}, log t = 18 (Table 3).
+	params := choco.PresetB()
+	ctx, err := choco.NewBFVContext(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("BFV: N=%d, log2 q=%d, ciphertext %d bytes\n",
+		params.N(), params.LogQ()+params.PBits, params.CiphertextBytes())
+
+	// Client side: keys, encryption.
+	kg := bfv.NewKeyGenerator(ctx, [32]byte{1})
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	relin := kg.GenRelinearizationKey(sk)
+	rot := kg.GenRotationKeys(sk, 1)
+	enc := bfv.NewEncryptor(ctx, pk, [32]byte{2})
+	dec := bfv.NewDecryptor(ctx, sk)
+	ecd := bfv.NewEncoder(ctx)
+
+	data := []uint64{15, 6, 20, 3, 14, 0}
+	ct, err := enc.EncryptUints(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("encrypted %v (noise budget %d bits)\n", data, bfv.NoiseBudget(ctx, sk, ct))
+
+	// Server side: homomorphic SIMD arithmetic (Fig 1 of the paper).
+	ev := bfv.NewEvaluator(ctx, relin, rot)
+	weights, _ := ecd.EncodeUints([]uint64{3, 14, 0, 2, 2, 2})
+	product := ev.MulPlain(ct, ev.PrepareMul(weights))
+	sum := ev.Add(product, product)
+	rotated, err := ev.RotateRows(sum, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Client side: decrypt.
+	fmt.Printf("2·(x⊙w):     %v\n", dec.DecryptUints(sum)[:6])
+	fmt.Printf("rotated by 1: %v\n", dec.DecryptUints(rotated)[:6])
+	fmt.Printf("noise budget remaining: %d bits\n", bfv.NoiseBudget(ctx, sk, rotated))
+}

@@ -1,0 +1,3 @@
+module choco
+
+go 1.23

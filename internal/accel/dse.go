@@ -1,0 +1,129 @@
+package accel
+
+import (
+	"sort"
+
+	"choco/internal/device"
+)
+
+// Point is one evaluated design in the exploration space (Fig 7).
+type Point struct {
+	Config  Config
+	TimeS   float64
+	PowerW  float64
+	AreaMM2 float64
+	EnergyJ float64
+}
+
+// sweepLists define the per-module block counts explored; the cross
+// product is 30,720 configurations — the same order as the paper's
+// 31,340-point sweep.
+var (
+	sweepNTT    = []int{1, 2, 4, 8, 16}
+	sweepINTT   = []int{1, 2, 4, 8, 16, 32}
+	sweepDyadic = []int{1, 2, 4, 8}
+	sweepAdd    = []int{1, 2, 4, 8}
+	sweepMS     = []int{1, 2, 4, 8}
+	sweepEncode = []int{1, 2, 4, 8}
+	sweepPRNG   = []int{2, 4, 8, 16}
+)
+
+// SweepSize returns the number of configurations Explore evaluates.
+func SweepSize() int {
+	return len(sweepNTT) * len(sweepINTT) * len(sweepDyadic) * len(sweepAdd) *
+		len(sweepMS) * len(sweepEncode) * len(sweepPRNG)
+}
+
+// Explore evaluates the full design space at the given shape.
+func Explore(shape device.HEShape) []Point {
+	points := make([]Point, 0, SweepSize())
+	for _, ntt := range sweepNTT {
+		for _, intt := range sweepINTT {
+			for _, dy := range sweepDyadic {
+				for _, ad := range sweepAdd {
+					for _, ms := range sweepMS {
+						for _, en := range sweepEncode {
+							for _, pr := range sweepPRNG {
+								cfg := Config{
+									NTTBlocks: ntt, INTTBlocks: intt, DyadicBlocks: dy,
+									AddBlocks: ad, ModSwitchBlocks: ms, EncodeBlocks: en,
+									PRNGBytesPerCycle: pr,
+								}
+								points = append(points, Point{
+									Config:  cfg,
+									TimeS:   cfg.EncryptTime(shape),
+									PowerW:  cfg.PowerW(shape),
+									AreaMM2: cfg.AreaMM2(shape),
+									EnergyJ: cfg.EncryptEnergyJ(shape),
+								})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return points
+}
+
+// ParetoFrontier returns the points not dominated in (time, power,
+// area) — the frontier visible in Fig 7.
+func ParetoFrontier(points []Point) []Point {
+	sorted := append([]Point(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].TimeS != sorted[j].TimeS {
+			return sorted[i].TimeS < sorted[j].TimeS
+		}
+		if sorted[i].PowerW != sorted[j].PowerW {
+			return sorted[i].PowerW < sorted[j].PowerW
+		}
+		return sorted[i].AreaMM2 < sorted[j].AreaMM2
+	})
+	var frontier []Point
+	for _, p := range sorted {
+		dominated := false
+		for _, f := range frontier {
+			if f.TimeS <= p.TimeS && f.PowerW <= p.PowerW && f.AreaMM2 <= p.AreaMM2 &&
+				(f.TimeS < p.TimeS || f.PowerW < p.PowerW || f.AreaMM2 < p.AreaMM2) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			frontier = append(frontier, p)
+		}
+	}
+	return frontier
+}
+
+// SelectOperatingPoint applies the paper's §4.4 rule: limit power to
+// powerCapW, find the fastest remaining design, keep designs within
+// timeSlack (e.g. 0.01) of it, and take the smallest by area.
+func SelectOperatingPoint(points []Point, powerCapW, timeSlack float64) (Point, bool) {
+	var minTime float64
+	found := false
+	for _, p := range points {
+		if p.PowerW > powerCapW {
+			continue
+		}
+		if !found || p.TimeS < minTime {
+			minTime = p.TimeS
+			found = true
+		}
+	}
+	if !found {
+		return Point{}, false
+	}
+	var best Point
+	haveBest := false
+	for _, p := range points {
+		if p.PowerW > powerCapW || p.TimeS > minTime*(1+timeSlack) {
+			continue
+		}
+		if !haveBest || p.AreaMM2 < best.AreaMM2 {
+			best = p
+			haveBest = true
+		}
+	}
+	return best, haveBest
+}

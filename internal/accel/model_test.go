@@ -1,0 +1,110 @@
+package accel
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"choco/internal/device"
+)
+
+// configValue makes random configurations generatable by testing/quick.
+type configValue struct{ c Config }
+
+func (configValue) Generate(rand *rand.Rand, size int) reflect.Value {
+	pick := func(opts []int) int { return opts[rand.Intn(len(opts))] }
+	return reflect.ValueOf(configValue{c: Config{
+		NTTBlocks:         pick(sweepNTT),
+		INTTBlocks:        pick(sweepINTT),
+		DyadicBlocks:      pick(sweepDyadic),
+		AddBlocks:         pick(sweepAdd),
+		ModSwitchBlocks:   pick(sweepMS),
+		EncodeBlocks:      pick(sweepEncode),
+		PRNGBytesPerCycle: pick(sweepPRNG),
+	}})
+}
+
+func TestQuickMoreBlocksNeverSlower(t *testing.T) {
+	shape := device.HEShape{N: 8192, K: 3}
+	f := func(cv configValue) bool {
+		c := cv.c
+		bigger := c
+		bigger.NTTBlocks *= 2
+		bigger.INTTBlocks *= 2
+		bigger.DyadicBlocks *= 2
+		bigger.AddBlocks *= 2
+		bigger.ModSwitchBlocks *= 2
+		bigger.EncodeBlocks *= 2
+		bigger.PRNGBytesPerCycle *= 2
+		return bigger.EncryptCycles(shape) <= c.EncryptCycles(shape) &&
+			bigger.DecryptCycles(shape) <= c.DecryptCycles(shape)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPowerAndAreaMonotoneInBlocks(t *testing.T) {
+	shape := device.HEShape{N: 8192, K: 3}
+	f := func(cv configValue) bool {
+		c := cv.c
+		bigger := c
+		bigger.NTTBlocks *= 2
+		return bigger.PowerW(shape) > c.PowerW(shape) &&
+			bigger.AreaMM2(shape) > c.AreaMM2(shape)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTimeScalesWithN(t *testing.T) {
+	f := func(cv configValue) bool {
+		small := device.HEShape{N: 4096, K: 3}
+		big := device.HEShape{N: 8192, K: 3}
+		c := cv.c
+		return c.EncryptCycles(big) > c.EncryptCycles(small)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPowerScalesWithK(t *testing.T) {
+	// Replicated RNS layers: more residues, more silicon, more power.
+	f := func(cv configValue) bool {
+		c := cv.c
+		k1 := device.HEShape{N: 8192, K: 1}
+		k3 := device.HEShape{N: 8192, K: 3}
+		return c.PowerW(k3) > c.PowerW(k1) && c.AreaMM2(k3) > c.AreaMM2(k1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecryptSlowerThanEncryptSpeedupStructure(t *testing.T) {
+	// §4.6: decryption benefits less from acceleration because base
+	// conversion couples residues; the hardware decrypt/encrypt ratio
+	// must exceed the software ratio... equivalently the decrypt
+	// speedup is smaller.
+	cfg := PaperConfig()
+	client := device.DefaultClient()
+	s := device.HEShape{N: 8192, K: 3}
+	encSpeed := client.EncryptTime(s) / cfg.EncryptTime(s)
+	decSpeed := client.DecryptTime(s) / cfg.DecryptTime(s)
+	if decSpeed >= encSpeed {
+		t.Errorf("decryption speedup %.0f should be below encryption's %.0f", decSpeed, encSpeed)
+	}
+}
+
+func TestSRAMFootprint(t *testing.T) {
+	cfg := PaperConfig()
+	// Working buffers: 2 × N×8 bytes per layer; at (8192,3) that is
+	// 384 KB plus ~10 KB of streaming buffers (§4.2).
+	kb := cfg.SRAMKB(device.HEShape{N: 8192, K: 3})
+	if kb < 380 || kb > 400 {
+		t.Errorf("SRAM %v KB, want ~394", kb)
+	}
+}

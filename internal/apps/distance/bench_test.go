@@ -1,0 +1,50 @@
+package distance
+
+import (
+	"testing"
+
+	"choco/internal/protocol"
+)
+
+func benchKernel(b *testing.B, m, d int) *Kernel {
+	b.Helper()
+	k, err := NewKernel(PresetDistanceTest(), synthPoints(m, d, 1), [32]byte{2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return k
+}
+
+func benchVariant(b *testing.B, v Variant) {
+	kernel := benchKernel(b, 8, 4)
+	q := []float64{0.5, -1.25, 1.0, 0.25}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clientEnd, serverEnd := protocol.NewPipe()
+		if _, _, err := kernel.Distances(q, v, clientEnd, serverEnd); err != nil {
+			b.Fatal(err)
+		}
+		clientEnd.Close()
+	}
+}
+
+func BenchmarkDistanceStackedDimMajor(b *testing.B)   { benchVariant(b, StackedDimMajor) }
+func BenchmarkDistanceCollapsed(b *testing.B)         { benchVariant(b, CollapsedPointMajor) }
+func BenchmarkDistanceStackedPointMajor(b *testing.B) { benchVariant(b, StackedPointMajor) }
+
+func BenchmarkKNNClassify(b *testing.B) {
+	kernel := benchKernel(b, 8, 4)
+	knn, err := NewKNN(kernel, []int{0, 1, 0, 1, 0, 1, 0, 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := []float64{0.1, 0.2, 0.3, 0.4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clientEnd, serverEnd := protocol.NewPipe()
+		if _, _, err := knn.Classify(q, 3, CollapsedPointMajor, clientEnd, serverEnd); err != nil {
+			b.Fatal(err)
+		}
+		clientEnd.Close()
+	}
+}

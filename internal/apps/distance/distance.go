@@ -1,0 +1,476 @@
+// Package distance implements the paper's distance-based applications
+// (§5.1): encrypted squared-Euclidean distance kernels in CKKS with the
+// five packing variants of Fig 9 (point-major, dimension-major, their
+// stacked forms, and collapsed point-major), plus K-Nearest-Neighbors
+// classification and K-Means clustering built on them. The client's
+// query (or centroids) stay encrypted; the server holds the aggregated
+// point set. The square root of the Euclidean distance is dropped —
+// monotone, so the client's min() is unaffected (§5.1).
+package distance
+
+import (
+	"fmt"
+	"math"
+
+	"choco/internal/ckks"
+	"choco/internal/core"
+	"choco/internal/protocol"
+)
+
+// Variant selects the Fig 9 packing.
+type Variant int
+
+// The five packings of Fig 9.
+const (
+	PointMajor Variant = iota
+	DimensionMajor
+	StackedPointMajor
+	StackedDimMajor
+	CollapsedPointMajor
+)
+
+func (v Variant) String() string {
+	switch v {
+	case PointMajor:
+		return "point-major"
+	case DimensionMajor:
+		return "dimension-major"
+	case StackedPointMajor:
+		return "stacked point-major"
+	case StackedDimMajor:
+		return "stacked dimension-major"
+	case CollapsedPointMajor:
+		return "collapsed point-major"
+	}
+	return "?"
+}
+
+// Variants lists all packings in Fig 9's order.
+func Variants() []Variant {
+	return []Variant{PointMajor, DimensionMajor, StackedPointMajor, StackedDimMajor, CollapsedPointMajor}
+}
+
+// Kernel evaluates encrypted distance queries against a server-side
+// point set.
+type Kernel struct {
+	ctx    *ckks.Context
+	enc    *ckks.Encryptor
+	dec    *ckks.Decryptor
+	ecd    *ckks.Encoder
+	ev     *ckks.Evaluator
+	points [][]float64
+	m      int // point count
+	d      int // dimensionality padded to a power of two
+	rawD   int
+	// maskScale is the low encoding scale of collapse masks, keeping
+	// the masked product within the level-0 modulus.
+	maskScale float64
+}
+
+// NewKernel builds a kernel over the point set, generating exactly the
+// rotation keys the five variants need.
+func NewKernel(params ckks.Parameters, points [][]float64, seed [32]byte) (*Kernel, error) {
+	if len(points) == 0 || len(points[0]) == 0 {
+		return nil, fmt.Errorf("distance: empty point set")
+	}
+	ctx, err := ckks.NewContext(params)
+	if err != nil {
+		return nil, err
+	}
+	m := len(points)
+	rawD := len(points[0])
+	d := nextPow2(rawD)
+	slots := ctx.Params.Slots()
+	if m*d > slots {
+		return nil, fmt.Errorf("distance: %d points × %d dims exceed %d slots", m, d, slots)
+	}
+	for _, p := range points {
+		if len(p) != rawD {
+			return nil, fmt.Errorf("distance: ragged point set")
+		}
+	}
+	kg := ckks.NewKeyGenerator(ctx, seed)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	relin := kg.GenRelinearizationKey(sk)
+
+	stepSet := map[int]bool{}
+	for s := 1; s < slots; s <<= 1 {
+		stepSet[s] = true // in-block and cross-block reductions
+	}
+	perCt := slots / d
+	for i := 0; i < m; i++ {
+		blockSlot := (i % perCt) * d
+		s := ((blockSlot-i)%slots + slots) % slots
+		if s != 0 {
+			stepSet[s] = true // collapse repositioning
+		}
+	}
+	steps := make([]int, 0, len(stepSet))
+	for s := range stepSet {
+		steps = append(steps, s)
+	}
+	galois := kg.GenRotationKeys(sk, steps...)
+
+	return &Kernel{
+		ctx:       ctx,
+		enc:       ckks.NewEncryptor(ctx, pk, seed),
+		dec:       ckks.NewDecryptor(ctx, sk),
+		ecd:       ckks.NewEncoder(ctx),
+		ev:        ckks.NewEvaluator(ctx, relin, galois),
+		points:    points,
+		m:         m,
+		d:         d,
+		rawD:      rawD,
+		maskScale: math.Ldexp(1, 30),
+	}, nil
+}
+
+// PresetDistance returns the production parameter set for the distance
+// kernels: a three-prime data chain so the collapsed variant's masking
+// multiplies keep full precision (the masks encode at 2^30), within
+// 128-bit security at N = 8192.
+func PresetDistance() ckks.Parameters {
+	return ckks.Parameters{LogN: 13, QBits: []int{50, 40, 40}, PBits: 51, LogScale: 40, Sigma: 3.2}
+}
+
+// PresetDistanceTest is the fast-test analogue (small ring; security
+// is out of scope for unit tests).
+func PresetDistanceTest() ckks.Parameters {
+	return ckks.Parameters{LogN: 11, QBits: []int{50, 40, 40}, PBits: 51, LogScale: 40, Sigma: 3.2}
+}
+
+// M returns the server point count.
+func (k *Kernel) M() int { return k.m }
+
+// D returns the padded dimensionality.
+func (k *Kernel) D() int { return k.d }
+
+func nextPow2(v int) int {
+	p := 1
+	for p < v {
+		p <<= 1
+	}
+	return p
+}
+
+type hop func(*ckks.Ciphertext) (*ckks.Ciphertext, error)
+
+// Distances runs one encrypted distance query end-to-end over the
+// transports, returning squared distances to every server point plus
+// client-cost statistics.
+func (k *Kernel) Distances(q []float64, variant Variant, clientEnd, serverEnd protocol.Transport) ([]float64, core.Stats, error) {
+	if len(q) != k.rawD {
+		return nil, core.Stats{}, fmt.Errorf("distance: query has %d dims, want %d", len(q), k.rawD)
+	}
+	var stats core.Stats
+	upload := func(ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+		data := protocol.MarshalCKKS(ct)
+		if err := clientEnd.Send(data); err != nil {
+			return nil, err
+		}
+		stats.Encryptions++
+		stats.UpCiphertexts++
+		stats.UpBytes += int64(len(data)) + 4
+		raw, err := serverEnd.Recv()
+		if err != nil {
+			return nil, err
+		}
+		return protocol.UnmarshalCKKS(k.ctx, raw)
+	}
+	download := func(ct *ckks.Ciphertext) (*ckks.Ciphertext, error) {
+		data := protocol.MarshalCKKS(ct)
+		if err := serverEnd.Send(data); err != nil {
+			return nil, err
+		}
+		stats.Decryptions++
+		stats.DownCiphertexts++
+		stats.DownBytes += int64(len(data)) + 4
+		raw, err := clientEnd.Recv()
+		if err != nil {
+			return nil, err
+		}
+		return protocol.UnmarshalCKKS(k.ctx, raw)
+	}
+
+	var out []float64
+	var err error
+	switch variant {
+	case PointMajor:
+		out, err = k.pointMajor(q, upload, download, &stats, 1, false)
+	case StackedPointMajor:
+		out, err = k.pointMajor(q, upload, download, &stats, k.ctx.Params.Slots()/k.d, false)
+	case CollapsedPointMajor:
+		out, err = k.pointMajor(q, upload, download, &stats, k.ctx.Params.Slots()/k.d, true)
+	case DimensionMajor:
+		out, err = k.dimensionMajor(q, upload, download, &stats, false)
+	case StackedDimMajor:
+		out, err = k.dimensionMajor(q, upload, download, &stats, true)
+	default:
+		err = fmt.Errorf("distance: unknown variant %v", variant)
+	}
+	return out, stats, err
+}
+
+// subPlain computes ct - values.
+func (k *Kernel) subPlain(ct *ckks.Ciphertext, values []float64) (*ckks.Ciphertext, error) {
+	pt, err := k.ecd.EncodeFloats(values, ct.Level, ct.Scale)
+	if err != nil {
+		return nil, err
+	}
+	return k.ev.SubPlain(ct, pt)
+}
+
+// reduceBlocks sums groups of `span` adjacent slots via rotate-and-add;
+// slot b·span of each block ends up holding its block's sum. stride is
+// the rotation unit (1 for contiguous, block size for dim blocks).
+func (k *Kernel) reduceBlocks(ct *ckks.Ciphertext, span, stride int, ops *core.OpCounts) (*ckks.Ciphertext, error) {
+	acc := ct
+	for s := span / 2; s >= 1; s /= 2 {
+		rot, err := k.ev.RotateLeft(acc, s*stride)
+		if err != nil {
+			return nil, err
+		}
+		ops.Rotations++
+		acc, err = k.ev.Add(acc, rot)
+		if err != nil {
+			return nil, err
+		}
+		ops.Adds++
+	}
+	return acc, nil
+}
+
+// pointMajor packs perCt points (D-strided blocks) per ciphertext.
+// With perCt == 1 this is the plain point-major variant (one point per
+// ciphertext, M result ciphertexts); with perCt == slots/D it is
+// stacked; with collapse it additionally condenses all results into a
+// single dense ciphertext at extra server cost (§5.4's client-optimal
+// choice).
+func (k *Kernel) pointMajor(q []float64, upload, download hop, stats *core.Stats, perCt int, collapse bool) ([]float64, error) {
+	slots := k.ctx.Params.Slots()
+	groups := (k.m + perCt - 1) / perCt
+
+	// Client: one upload — the query replicated into every block
+	// serves all groups.
+	qVec := make([]float64, slots)
+	for b := 0; b < perCt; b++ {
+		copy(qVec[b*k.d:], q)
+	}
+	qCt, err := k.enc.EncryptFloats(qVec)
+	if err != nil {
+		return nil, err
+	}
+	srvQ, err := upload(qCt)
+	if err != nil {
+		return nil, err
+	}
+
+	results := make([]float64, k.m)
+	var collapseAcc *ckks.Ciphertext
+	for g := 0; g < groups; g++ {
+		pVec := make([]float64, slots)
+		for b := 0; b < perCt; b++ {
+			i := g*perCt + b
+			if i >= k.m {
+				break
+			}
+			copy(pVec[b*k.d:], k.points[i])
+		}
+		diff, err := k.subPlain(srvQ, pVec)
+		if err != nil {
+			return nil, err
+		}
+		sq, err := k.ev.MulRelin(diff, diff)
+		if err != nil {
+			return nil, err
+		}
+		stats.Server.CtMults++
+		red, err := k.reduceBlocks(sq, k.d, 1, &stats.Server)
+		if err != nil {
+			return nil, err
+		}
+
+		if !collapse {
+			cli, err := download(red)
+			if err != nil {
+				return nil, err
+			}
+			decoded := k.dec.DecryptFloats(cli)
+			for b := 0; b < perCt; b++ {
+				i := g*perCt + b
+				if i >= k.m {
+					break
+				}
+				results[i] = decoded[b*k.d]
+			}
+			continue
+		}
+
+		// Collapse: mask each block's distance slot and rotate it to
+		// its dense output position — extra masking multiplies and
+		// rotations on the server buy a single downloaded ciphertext.
+		for b := 0; b < perCt; b++ {
+			i := g*perCt + b
+			if i >= k.m {
+				break
+			}
+			mask := make([]float64, slots)
+			mask[b*k.d] = 1
+			mpt, err := k.ecd.EncodeFloats(mask, red.Level, k.maskScale)
+			if err != nil {
+				return nil, err
+			}
+			masked, err := k.ev.MulPlain(red, mpt)
+			if err != nil {
+				return nil, err
+			}
+			stats.Server.PlainMults++
+			steps := ((b*k.d-i)%slots + slots) % slots
+			pos := masked
+			if steps != 0 {
+				pos, err = k.ev.RotateLeft(masked, steps)
+				if err != nil {
+					return nil, err
+				}
+				stats.Server.Rotations++
+			}
+			if collapseAcc == nil {
+				collapseAcc = pos
+			} else {
+				collapseAcc, err = k.ev.Add(collapseAcc, pos)
+				if err != nil {
+					return nil, err
+				}
+				stats.Server.Adds++
+			}
+		}
+	}
+
+	if collapse {
+		final, err := k.ev.Rescale(collapseAcc)
+		if err != nil {
+			return nil, err
+		}
+		cli, err := download(final)
+		if err != nil {
+			return nil, err
+		}
+		decoded := k.dec.DecryptFloats(cli)
+		copy(results, decoded[:k.m])
+	}
+	return results, nil
+}
+
+// dimensionMajor packs one dimension per ciphertext (query value
+// replicated across point slots); stacked packs all dimensions as
+// M-strided blocks of a single ciphertext and reduces across blocks.
+// Both produce one dense result ciphertext ("dimension-major inputs
+// produce point-major outputs").
+func (k *Kernel) dimensionMajor(q []float64, upload, download hop, stats *core.Stats, stacked bool) ([]float64, error) {
+	slots := k.ctx.Params.Slots()
+	bm := nextPow2(k.m)
+
+	if stacked {
+		if bm*k.d > slots {
+			return nil, fmt.Errorf("distance: stacked dim-major needs %d slots", bm*k.d)
+		}
+		qVec := make([]float64, slots)
+		pVec := make([]float64, slots)
+		for d := 0; d < k.rawD; d++ {
+			for i := 0; i < k.m; i++ {
+				qVec[d*bm+i] = q[d]
+				pVec[d*bm+i] = k.points[i][d]
+			}
+		}
+		qCt, err := k.enc.EncryptFloats(qVec)
+		if err != nil {
+			return nil, err
+		}
+		srvQ, err := upload(qCt)
+		if err != nil {
+			return nil, err
+		}
+		diff, err := k.subPlain(srvQ, pVec)
+		if err != nil {
+			return nil, err
+		}
+		sq, err := k.ev.MulRelin(diff, diff)
+		if err != nil {
+			return nil, err
+		}
+		stats.Server.CtMults++
+		red, err := k.reduceBlocks(sq, k.d, bm, &stats.Server)
+		if err != nil {
+			return nil, err
+		}
+		cli, err := download(red)
+		if err != nil {
+			return nil, err
+		}
+		decoded := k.dec.DecryptFloats(cli)
+		out := make([]float64, k.m)
+		copy(out, decoded[:k.m])
+		return out, nil
+	}
+
+	// One ciphertext per dimension; the server accumulates squared
+	// differences with zero rotations.
+	var acc *ckks.Ciphertext
+	for d := 0; d < k.rawD; d++ {
+		qVec := make([]float64, slots)
+		pVec := make([]float64, slots)
+		for i := 0; i < k.m; i++ {
+			qVec[i] = q[d]
+			pVec[i] = k.points[i][d]
+		}
+		qCt, err := k.enc.EncryptFloats(qVec)
+		if err != nil {
+			return nil, err
+		}
+		srvQ, err := upload(qCt)
+		if err != nil {
+			return nil, err
+		}
+		diff, err := k.subPlain(srvQ, pVec)
+		if err != nil {
+			return nil, err
+		}
+		sq, err := k.ev.MulRelin(diff, diff)
+		if err != nil {
+			return nil, err
+		}
+		stats.Server.CtMults++
+		if acc == nil {
+			acc = sq
+		} else {
+			acc, err = k.ev.Add(acc, sq)
+			if err != nil {
+				return nil, err
+			}
+			stats.Server.Adds++
+		}
+	}
+	cli, err := download(acc)
+	if err != nil {
+		return nil, err
+	}
+	decoded := k.dec.DecryptFloats(cli)
+	out := make([]float64, k.m)
+	copy(out, decoded[:k.m])
+	return out, nil
+}
+
+// PlainDistances is the cleartext reference.
+func PlainDistances(points [][]float64, q []float64) []float64 {
+	out := make([]float64, len(points))
+	for i, p := range points {
+		var s float64
+		for d := range q {
+			diff := q[d] - p[d]
+			s += diff * diff
+		}
+		out[i] = s
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package distance
+
+import (
+	"fmt"
+	"math"
+
+	"choco/internal/core"
+	"choco/internal/protocol"
+)
+
+// KMeans clusters the server's point set around client-held centroids:
+// each iteration sends the (encrypted) centroids to the server for
+// distance evaluation, the client decrypts, assigns points by min()
+// — the non-linear step HE cannot do — recomputes centroids, and
+// repeats until convergence (§5.1: "K-Means iterates client-server
+// interaction until convergence").
+//
+// Centroid recomputation needs the coordinates of assigned points; the
+// server reveals its (non-sensitive, per the §3.1 threat model) point
+// set to the client for that step, while the client's evolving
+// centroids — derived from its private initialization — stay encrypted
+// in transit.
+type KMeans struct {
+	kernel *Kernel
+	// Assignments after the last iteration.
+	Assignments []int
+	// Iterations actually executed.
+	Iterations int
+}
+
+// NewKMeans wraps a kernel.
+func NewKMeans(kernel *Kernel) *KMeans {
+	return &KMeans{kernel: kernel}
+}
+
+// Run clusters with the given initial centroids until assignments
+// stabilize or maxIters is reached, returning final centroids and the
+// aggregate client statistics.
+func (km *KMeans) Run(init [][]float64, maxIters int, variant Variant, clientEnd, serverEnd protocol.Transport) ([][]float64, core.Stats, error) {
+	if len(init) == 0 {
+		return nil, core.Stats{}, fmt.Errorf("distance: no initial centroids")
+	}
+	kClusters := len(init)
+	centroids := make([][]float64, kClusters)
+	for i := range init {
+		centroids[i] = append([]float64(nil), init[i]...)
+	}
+	var stats core.Stats
+	m := km.kernel.M()
+	km.Assignments = make([]int, m)
+	prev := make([]int, m)
+	for i := range prev {
+		prev[i] = -1
+	}
+
+	for iter := 0; iter < maxIters; iter++ {
+		km.Iterations = iter + 1
+		// One encrypted distance query per centroid.
+		dists := make([][]float64, kClusters)
+		for c := 0; c < kClusters; c++ {
+			d, s, err := km.kernel.Distances(centroids[c], variant, clientEnd, serverEnd)
+			if err != nil {
+				return nil, stats, err
+			}
+			stats.Merge(s)
+			dists[c] = d
+		}
+		// Client: argmin assignment (plaintext non-linear step).
+		changed := false
+		for i := 0; i < m; i++ {
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < kClusters; c++ {
+				if dists[c][i] < bestD {
+					best, bestD = c, dists[c][i]
+				}
+			}
+			km.Assignments[i] = best
+			if best != prev[i] {
+				changed = true
+			}
+		}
+		copy(prev, km.Assignments)
+		// Client: centroid update.
+		dim := len(centroids[0])
+		sums := make([][]float64, kClusters)
+		counts := make([]int, kClusters)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i := 0; i < m; i++ {
+			c := km.Assignments[i]
+			counts[c]++
+			for d := 0; d < dim && d < len(km.kernel.points[i]); d++ {
+				sums[c][d] += km.kernel.points[i][d]
+			}
+		}
+		for c := 0; c < kClusters; c++ {
+			if counts[c] == 0 {
+				continue // keep an empty cluster's centroid in place
+			}
+			for d := 0; d < dim; d++ {
+				centroids[c][d] = sums[c][d] / float64(counts[c])
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	return centroids, stats, nil
+}
+
+// PlainKMeans is the cleartext reference (identical update rule).
+func PlainKMeans(points [][]float64, init [][]float64, maxIters int) ([][]float64, []int) {
+	k := len(init)
+	centroids := make([][]float64, k)
+	for i := range init {
+		centroids[i] = append([]float64(nil), init[i]...)
+	}
+	m := len(points)
+	assign := make([]int, m)
+	prev := make([]int, m)
+	for i := range prev {
+		prev[i] = -1
+	}
+	for iter := 0; iter < maxIters; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				var s float64
+				for d := range p {
+					diff := p[d] - centroids[c][d]
+					s += diff * diff
+				}
+				if s < bestD {
+					best, bestD = c, s
+				}
+			}
+			assign[i] = best
+			if best != prev[i] {
+				changed = true
+			}
+		}
+		copy(prev, assign)
+		dim := len(points[0])
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i, p := range points {
+			counts[assign[i]]++
+			for d := range p {
+				sums[assign[i]][d] += p[d]
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				continue
+			}
+			for d := 0; d < dim; d++ {
+				centroids[c][d] = sums[c][d] / float64(counts[c])
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	return centroids, assign
+}

@@ -1,0 +1,79 @@
+package distance
+
+import (
+	"fmt"
+	"sort"
+
+	"choco/internal/core"
+	"choco/internal/protocol"
+)
+
+// KNN is an encrypted K-Nearest-Neighbors classifier: the server holds
+// the labeled point set (aggregated across clients — the centralized
+// advantage of §5.1); classifying a client's new point takes a single
+// encrypted interaction. The client decrypts the distances and applies
+// the non-linear min()/vote locally.
+type KNN struct {
+	kernel *Kernel
+	labels []int
+}
+
+// NewKNN builds a classifier over labeled points.
+func NewKNN(kernel *Kernel, labels []int) (*KNN, error) {
+	if len(labels) != kernel.M() {
+		return nil, fmt.Errorf("distance: %d labels for %d points", len(labels), kernel.M())
+	}
+	return &KNN{kernel: kernel, labels: labels}, nil
+}
+
+// Classify returns the majority label of the k nearest neighbors of q.
+func (c *KNN) Classify(q []float64, k int, variant Variant, clientEnd, serverEnd protocol.Transport) (int, core.Stats, error) {
+	if k <= 0 || k > c.kernel.M() {
+		return 0, core.Stats{}, fmt.Errorf("distance: invalid k=%d", k)
+	}
+	dists, stats, err := c.kernel.Distances(q, variant, clientEnd, serverEnd)
+	if err != nil {
+		return 0, stats, err
+	}
+	type cand struct {
+		dist  float64
+		label int
+	}
+	cands := make([]cand, len(dists))
+	for i, d := range dists {
+		cands[i] = cand{d, c.labels[i]}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].dist < cands[j].dist })
+	votes := map[int]int{}
+	best, bestVotes := cands[0].label, 0
+	for i := 0; i < k; i++ {
+		votes[cands[i].label]++
+		if votes[cands[i].label] > bestVotes {
+			best, bestVotes = cands[i].label, votes[cands[i].label]
+		}
+	}
+	return best, stats, nil
+}
+
+// PlainKNN is the cleartext reference classifier.
+func PlainKNN(points [][]float64, labels []int, q []float64, k int) int {
+	dists := PlainDistances(points, q)
+	type cand struct {
+		dist  float64
+		label int
+	}
+	cands := make([]cand, len(dists))
+	for i, d := range dists {
+		cands[i] = cand{d, labels[i]}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].dist < cands[j].dist })
+	votes := map[int]int{}
+	best, bestVotes := cands[0].label, 0
+	for i := 0; i < k; i++ {
+		votes[cands[i].label]++
+		if votes[cands[i].label] > bestVotes {
+			best, bestVotes = cands[i].label, votes[cands[i].label]
+		}
+	}
+	return best
+}

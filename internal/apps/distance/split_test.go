@@ -1,0 +1,97 @@
+package distance
+
+import (
+	"math"
+	"testing"
+
+	"choco/internal/protocol"
+)
+
+func TestSplitDeploymentMatchesPlain(t *testing.T) {
+	pts := synthPoints(8, 4, 51)
+	server, err := NewServer(PresetDistanceTest(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, rawD := server.Geometry()
+	client, err := NewClient(PresetDistanceTest(), m, rawD, [32]byte{52})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q := []float64{0.5, -0.75, 1.25, 0}
+	want := PlainDistances(pts, q)
+
+	for _, v := range []Variant{StackedDimMajor, CollapsedPointMajor} {
+		clientEnd, serverEnd := protocol.NewPipe()
+		errCh := make(chan error, 1)
+		go func() {
+			if err := server.AcceptSetup(serverEnd); err != nil {
+				errCh <- err
+				return
+			}
+			_, err := server.ServeOne(serverEnd)
+			errCh <- err
+		}()
+		if err := client.Setup(clientEnd); err != nil {
+			t.Fatal(err)
+		}
+		got, stats, err := client.Query(q, v, clientEnd)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if err := <-errCh; err != nil {
+			t.Fatalf("%v server: %v", v, err)
+		}
+		clientEnd.Close()
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 0.05 {
+				t.Errorf("%v point %d: got %v want %v", v, i, got[i], want[i])
+			}
+		}
+		if stats.UpCiphertexts != 1 || stats.DownCiphertexts != 1 {
+			t.Errorf("%v: traffic %+v, want single round trip", v, stats)
+		}
+	}
+}
+
+func TestSplitServerRejectsUnsupportedVariant(t *testing.T) {
+	pts := synthPoints(4, 2, 53)
+	server, err := NewServer(PresetDistanceTest(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, rawD := server.Geometry()
+	client, err := NewClient(PresetDistanceTest(), m, rawD, [32]byte{54})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientEnd, serverEnd := protocol.NewPipe()
+	defer clientEnd.Close()
+	go func() {
+		server.AcceptSetup(serverEnd)
+		server.ServeOne(serverEnd)
+	}()
+	client.Setup(clientEnd)
+	if _, _, err := client.Query([]float64{1, 2}, PointMajor, clientEnd); err == nil {
+		t.Error("expected unsupported-variant error on the client side")
+	}
+}
+
+func TestSplitServerRequiresSetup(t *testing.T) {
+	server, err := NewServer(PresetDistanceTest(), synthPoints(4, 2, 55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := protocol.NewPipe()
+	defer a.Close()
+	if _, err := server.ServeOne(a); err == nil {
+		t.Error("expected error before AcceptSetup")
+	}
+}
+
+func TestSplitClientGeometryValidation(t *testing.T) {
+	if _, err := NewClient(PresetDistanceTest(), 4096, 64, [32]byte{56}); err == nil {
+		t.Error("expected slot-capacity error")
+	}
+}

@@ -1,0 +1,60 @@
+package pagerank
+
+import (
+	"testing"
+
+	"choco/internal/bfv"
+	"choco/internal/ckks"
+	"choco/internal/protocol"
+)
+
+func BenchmarkBFVIterationSet(b *testing.B) {
+	g, err := Synthesize(16, 3, 0.85, [32]byte{1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := bfv.Parameters{LogN: 11, QBits: []int{58, 58}, PBits: 59, TBits: 26, Sigma: 3.2}
+	runner, err := NewBFVRunner(g, params, 8, 8, [32]byte{2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clientEnd, serverEnd := protocol.NewPipe()
+		if _, _, err := runner.Run(2, 2, clientEnd, serverEnd); err != nil {
+			b.Fatal(err)
+		}
+		clientEnd.Close()
+	}
+}
+
+func BenchmarkCKKSIterationSet(b *testing.B) {
+	g, err := Synthesize(16, 3, 0.85, [32]byte{1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := ckks.Parameters{LogN: 11, QBits: []int{50, 40, 40}, PBits: 51, LogScale: 40, Sigma: 3.2}
+	runner, err := NewCKKSRunner(g, params, [32]byte{3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clientEnd, serverEnd := protocol.NewPipe()
+		if _, _, err := runner.Run(2, 2, clientEnd, serverEnd); err != nil {
+			b.Fatal(err)
+		}
+		clientEnd.Close()
+	}
+}
+
+func BenchmarkPlainRank(b *testing.B) {
+	g, err := Synthesize(256, 6, 0.85, [32]byte{4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.PlainRank(10)
+	}
+}

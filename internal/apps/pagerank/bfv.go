@@ -1,0 +1,166 @@
+package pagerank
+
+import (
+	"fmt"
+
+	"choco/internal/bfv"
+	"choco/internal/core"
+	"choco/internal/protocol"
+)
+
+// BFVRunner executes client-aided encrypted PageRank under BFV: the
+// rank vector is quantized to 2^rankBits fixed point, the matrix to
+// 2^matBits, and each encrypted iteration is one BSGS matrix-vector
+// product whose fixed-point scale grows by matBits — bounding how many
+// iterations fit in the plaintext modulus before the client must
+// refresh (exactly the tradeoff Fig 13 sweeps).
+type BFVRunner struct {
+	Graph    *Graph
+	RankBits uint
+	MatBits  uint
+
+	ctx *bfv.Context
+	enc *bfv.Encryptor
+	dec *bfv.Decryptor
+	ecd *bfv.Encoder
+	ev  *bfv.Evaluator
+	fc  *core.FC
+}
+
+// NewBFVRunner compiles the graph against the parameter set.
+func NewBFVRunner(g *Graph, params bfv.Parameters, rankBits, matBits uint, seed [32]byte) (*BFVRunner, error) {
+	ctx, err := bfv.NewContext(params)
+	if err != nil {
+		return nil, err
+	}
+	scale := int64(1) << matBits
+	w := make([][]int64, g.N)
+	for i := range w {
+		w[i] = make([]int64, g.N)
+		for j := range w[i] {
+			w[i][j] = int64(g.G[i][j]*float64(scale) + 0.5)
+		}
+	}
+	fc, err := core.NewFC(g.N, g.N, w, ctx.Params.N()/2)
+	if err != nil {
+		return nil, err
+	}
+	kg := bfv.NewKeyGenerator(ctx, seed)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	relin := kg.GenRelinearizationKey(sk)
+	galois := kg.GenRotationKeys(sk, fc.RotationSteps()...)
+	return &BFVRunner{
+		Graph: g, RankBits: rankBits, MatBits: matBits,
+		ctx: ctx,
+		enc: bfv.NewEncryptor(ctx, pk, seed),
+		dec: bfv.NewDecryptor(ctx, sk),
+		ecd: bfv.NewEncoder(ctx),
+		ev:  bfv.NewEvaluator(ctx, relin, galois),
+		fc:  fc,
+	}, nil
+}
+
+// MaxSetSize returns how many consecutive encrypted iterations the
+// plaintext modulus accommodates: values reach scale
+// 2^(rankBits + s·matBits) and must stay under t/2.
+func (r *BFVRunner) MaxSetSize() int {
+	tBits := uint(r.ctx.T.BitLen())
+	s := 0
+	for r.RankBits+uint(s+1)*r.MatBits < tBits-1 {
+		s++
+	}
+	return s
+}
+
+// Run executes totalIters iterations in encrypted sets of setSize with
+// a client refresh between sets, streaming ciphertexts through the
+// transports. Returns the final normalized ranks and the client stats.
+func (r *BFVRunner) Run(totalIters, setSize int, clientEnd, serverEnd protocol.Transport) ([]float64, core.Stats, error) {
+	if setSize < 1 || totalIters < 1 {
+		return nil, core.Stats{}, fmt.Errorf("pagerank: invalid schedule (%d, %d)", totalIters, setSize)
+	}
+	if setSize > r.MaxSetSize() {
+		return nil, core.Stats{}, fmt.Errorf("pagerank: set size %d exceeds plaintext capacity (max %d)", setSize, r.MaxSetSize())
+	}
+	var stats core.Stats
+	n := r.Graph.N
+	slots := r.ctx.Params.Slots()
+
+	rank := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1 / float64(n)
+	}
+
+	remaining := totalIters
+	for remaining > 0 {
+		set := setSize
+		if set > remaining {
+			set = remaining
+		}
+		// Client: quantize, pack (replicated), encrypt, upload.
+		q := make([]int64, n)
+		for i := range q {
+			q[i] = int64(rank[i]*float64(int64(1)<<r.RankBits) + 0.5)
+		}
+		packed, err := r.fc.PackInput(q, slots)
+		if err != nil {
+			return nil, stats, err
+		}
+		ct, err := r.enc.EncryptInts(packed)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Encryptions++
+		data := protocol.MarshalBFV(ct)
+		if err := clientEnd.Send(data); err != nil {
+			return nil, stats, err
+		}
+		stats.UpCiphertexts++
+		stats.UpBytes += int64(len(data)) + 4
+		raw, err := serverEnd.Recv()
+		if err != nil {
+			return nil, stats, err
+		}
+		srvCt, err := protocol.UnmarshalBFV(r.ctx, raw)
+		if err != nil {
+			return nil, stats, err
+		}
+
+		// Server: set consecutive encrypted iterations. The FC output
+		// is replicated exactly like its input, so iterations compose.
+		for it := 0; it < set; it++ {
+			out, ops, err := r.fc.Apply(r.ev, r.ecd, srvCt, slots)
+			if err != nil {
+				return nil, stats, err
+			}
+			stats.Server.Add(ops)
+			srvCt = out
+		}
+
+		// Download, decrypt, dequantize, renormalize (client refresh).
+		data = protocol.MarshalBFV(srvCt)
+		if err := serverEnd.Send(data); err != nil {
+			return nil, stats, err
+		}
+		stats.DownCiphertexts++
+		stats.DownBytes += int64(len(data)) + 4
+		raw, err = clientEnd.Recv()
+		if err != nil {
+			return nil, stats, err
+		}
+		cliCt, err := protocol.UnmarshalBFV(r.ctx, raw)
+		if err != nil {
+			return nil, stats, err
+		}
+		decoded := r.dec.DecryptInts(cliCt)
+		stats.Decryptions++
+		scale := float64(int64(1) << (r.RankBits + uint(set)*r.MatBits))
+		for i := 0; i < n; i++ {
+			rank[i] = float64(decoded[i]) / scale
+		}
+		Normalize(rank)
+		remaining -= set
+	}
+	return rank, stats, nil
+}

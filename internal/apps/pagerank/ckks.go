@@ -1,0 +1,208 @@
+package pagerank
+
+import (
+	"fmt"
+
+	"choco/internal/ckks"
+	"choco/internal/core"
+	"choco/internal/protocol"
+)
+
+// CKKSRunner executes client-aided encrypted PageRank under CKKS: one
+// matrix-vector product (diagonal method over a replicated packing)
+// per iteration, one rescale per iteration, so the level chain bounds
+// the encrypted set size — CKKS's analogue of BFV's plaintext-modulus
+// bound, and the reason Fig 13's CKKS curves reach the same set sizes
+// with smaller parameters.
+type CKKSRunner struct {
+	Graph *Graph
+
+	ctx *ckks.Context
+	enc *ckks.Encryptor
+	dec *ckks.Decryptor
+	ecd *ckks.Encoder
+	ev  *ckks.Evaluator
+	p   int // padded dimension
+}
+
+// NewCKKSRunner compiles the graph against the parameter set.
+func NewCKKSRunner(g *Graph, params ckks.Parameters, seed [32]byte) (*CKKSRunner, error) {
+	ctx, err := ckks.NewContext(params)
+	if err != nil {
+		return nil, err
+	}
+	p := 1
+	for p < g.N {
+		p <<= 1
+	}
+	if p > ctx.Params.Slots() {
+		return nil, fmt.Errorf("pagerank: %d nodes exceed %d slots", g.N, ctx.Params.Slots())
+	}
+	kg := ckks.NewKeyGenerator(ctx, seed)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	relin := kg.GenRelinearizationKey(sk)
+	steps := make([]int, 0, p-1)
+	for d := 1; d < p; d++ {
+		steps = append(steps, d)
+	}
+	galois := kg.GenRotationKeys(sk, steps...)
+	return &CKKSRunner{
+		Graph: g,
+		ctx:   ctx,
+		enc:   ckks.NewEncryptor(ctx, pk, seed),
+		dec:   ckks.NewDecryptor(ctx, sk),
+		ecd:   ckks.NewEncoder(ctx),
+		ev:    ckks.NewEvaluator(ctx, relin, galois),
+		p:     p,
+	}, nil
+}
+
+// MaxSetSize returns the encrypted iterations per upload: one level
+// per iteration.
+func (r *CKKSRunner) MaxSetSize() int { return r.ctx.Params.MaxLevel() }
+
+// replicate packs v P-periodically across all slots.
+func (r *CKKSRunner) replicate(v []float64) []float64 {
+	slots := r.ctx.Params.Slots()
+	out := make([]float64, slots)
+	for base := 0; base+r.p <= slots; base += r.p {
+		copy(out[base:base+r.p], v)
+	}
+	return out
+}
+
+// diag returns diagonal d of the padded matrix, replicated.
+func (r *CKKSRunner) diag(d int) []float64 {
+	v := make([]float64, r.p)
+	for j := 0; j < r.p; j++ {
+		i := (j + d) % r.p
+		if j < r.Graph.N && i < r.Graph.N {
+			v[j] = r.Graph.G[j][i]
+		}
+	}
+	return r.replicate(v)
+}
+
+// iterate applies one encrypted PageRank iteration (diagonal-method
+// matrix-vector product plus rescale).
+func (r *CKKSRunner) iterate(ct *ckks.Ciphertext, ops *core.OpCounts) (*ckks.Ciphertext, error) {
+	scale := r.ctx.Params.DefaultScale()
+	var acc *ckks.Ciphertext
+	for d := 0; d < r.p; d++ {
+		dv := r.diag(d)
+		allZero := true
+		for _, x := range dv {
+			if x != 0 {
+				allZero = false
+				break
+			}
+		}
+		if allZero {
+			continue
+		}
+		x := ct
+		if d != 0 {
+			rot, err := r.ev.RotateLeft(ct, d)
+			if err != nil {
+				return nil, err
+			}
+			ops.Rotations++
+			x = rot
+		}
+		pt, err := r.ecd.EncodeFloats(dv, x.Level, scale)
+		if err != nil {
+			return nil, err
+		}
+		term, err := r.ev.MulPlain(x, pt)
+		if err != nil {
+			return nil, err
+		}
+		ops.PlainMults++
+		if acc == nil {
+			acc = term
+		} else {
+			acc, err = r.ev.Add(acc, term)
+			if err != nil {
+				return nil, err
+			}
+			ops.Adds++
+		}
+	}
+	return r.ev.Rescale(acc)
+}
+
+// Run executes totalIters iterations in encrypted sets of setSize with
+// client refreshes between sets.
+func (r *CKKSRunner) Run(totalIters, setSize int, clientEnd, serverEnd protocol.Transport) ([]float64, core.Stats, error) {
+	if setSize < 1 || totalIters < 1 {
+		return nil, core.Stats{}, fmt.Errorf("pagerank: invalid schedule (%d, %d)", totalIters, setSize)
+	}
+	if setSize > r.MaxSetSize() {
+		return nil, core.Stats{}, fmt.Errorf("pagerank: set size %d exceeds level budget (max %d)", setSize, r.MaxSetSize())
+	}
+	var stats core.Stats
+	n := r.Graph.N
+
+	rank := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1 / float64(n)
+	}
+
+	remaining := totalIters
+	for remaining > 0 {
+		set := setSize
+		if set > remaining {
+			set = remaining
+		}
+		padded := make([]float64, r.p)
+		copy(padded, rank)
+		ct, err := r.enc.EncryptFloats(r.replicate(padded))
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Encryptions++
+		data := protocol.MarshalCKKS(ct)
+		if err := clientEnd.Send(data); err != nil {
+			return nil, stats, err
+		}
+		stats.UpCiphertexts++
+		stats.UpBytes += int64(len(data)) + 4
+		raw, err := serverEnd.Recv()
+		if err != nil {
+			return nil, stats, err
+		}
+		srvCt, err := protocol.UnmarshalCKKS(r.ctx, raw)
+		if err != nil {
+			return nil, stats, err
+		}
+
+		for it := 0; it < set; it++ {
+			srvCt, err = r.iterate(srvCt, &stats.Server)
+			if err != nil {
+				return nil, stats, err
+			}
+		}
+
+		data = protocol.MarshalCKKS(srvCt)
+		if err := serverEnd.Send(data); err != nil {
+			return nil, stats, err
+		}
+		stats.DownCiphertexts++
+		stats.DownBytes += int64(len(data)) + 4
+		raw, err = clientEnd.Recv()
+		if err != nil {
+			return nil, stats, err
+		}
+		cliCt, err := protocol.UnmarshalCKKS(r.ctx, raw)
+		if err != nil {
+			return nil, stats, err
+		}
+		decoded := r.dec.DecryptFloats(cliCt)
+		stats.Decryptions++
+		copy(rank, decoded[:n])
+		Normalize(rank)
+		remaining -= set
+	}
+	return rank, stats, nil
+}

@@ -1,0 +1,191 @@
+package pagerank
+
+import (
+	"math"
+	"testing"
+
+	"choco/internal/bfv"
+	"choco/internal/ckks"
+	"choco/internal/protocol"
+)
+
+func testGraph(t *testing.T, n int) *Graph {
+	t.Helper()
+	g, err := Synthesize(n, 3, 0.85, [32]byte{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	if _, err := Synthesize(1, 2, 0.85, [32]byte{1}); err == nil {
+		t.Error("expected error for n=1")
+	}
+	if _, err := Synthesize(8, 2, 1.5, [32]byte{1}); err == nil {
+		t.Error("expected error for damping out of range")
+	}
+}
+
+func TestGraphIsStochastic(t *testing.T) {
+	g := testGraph(t, 16)
+	for j := 0; j < g.N; j++ {
+		var col float64
+		for i := 0; i < g.N; i++ {
+			if g.G[i][j] < 0 {
+				t.Fatalf("negative entry at (%d,%d)", i, j)
+			}
+			col += g.G[i][j]
+		}
+		if math.Abs(col-1) > 1e-9 {
+			t.Fatalf("column %d sums to %v", j, col)
+		}
+	}
+}
+
+func TestPlainRankConverges(t *testing.T) {
+	g := testGraph(t, 16)
+	r10 := g.PlainRank(10)
+	r40 := g.PlainRank(40)
+	if L1Distance(r10, r40) > 0.01 {
+		t.Errorf("rank not converging: l1=%v", L1Distance(r10, r40))
+	}
+	var sum float64
+	for _, v := range r40 {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("ranks sum to %v", sum)
+	}
+}
+
+func TestBFVPageRankMatchesPlain(t *testing.T) {
+	g := testGraph(t, 16)
+	// A test preset with a larger plaintext modulus so two consecutive
+	// encrypted iterations fit.
+	params := bfv.Parameters{LogN: 11, QBits: []int{58, 58}, PBits: 59, TBits: 26, Sigma: 3.2}
+	runner, err := NewBFVRunner(g, params, 8, 8, [32]byte{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runner.MaxSetSize() < 2 {
+		t.Fatalf("expected capacity for ≥2 iterations, got %d", runner.MaxSetSize())
+	}
+	want := g.PlainRank(6)
+	for _, setSize := range []int{1, 2} {
+		clientEnd, serverEnd := protocol.NewPipe()
+		got, stats, err := runner.Run(6, setSize, clientEnd, serverEnd)
+		clientEnd.Close()
+		if err != nil {
+			t.Fatalf("setSize %d: %v", setSize, err)
+		}
+		if d := L1Distance(got, want); d > 0.05 {
+			t.Errorf("setSize %d: l1 distance to plain rank %v", setSize, d)
+		}
+		wantSets := (6 + setSize - 1) / setSize
+		if stats.UpCiphertexts != wantSets || stats.Decryptions != wantSets {
+			t.Errorf("setSize %d: stats %+v, want %d sets", setSize, stats, wantSets)
+		}
+		t.Logf("setSize %d: stats %+v", setSize, stats)
+	}
+}
+
+func TestBFVPageRankRefreshTradesCommunication(t *testing.T) {
+	// Fig 13's axis: fewer refreshes (larger sets) means less frequent
+	// but unchanged-size communication at fixed parameters; the win
+	// comes from pairing small sets with small parameters (modeled in
+	// params.PageRankPlans*); here we check the raw mechanics: bytes
+	// scale with the number of sets.
+	g := testGraph(t, 16)
+	params := bfv.Parameters{LogN: 11, QBits: []int{58, 58}, PBits: 59, TBits: 26, Sigma: 3.2}
+	runner, err := NewBFVRunner(g, params, 8, 8, [32]byte{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := protocol.NewPipe()
+	_, s1, err := runner.Run(4, 1, a, b)
+	a.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b = protocol.NewPipe()
+	_, s2, err := runner.Run(4, 2, a, b)
+	a.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.TotalBytes() >= s1.TotalBytes() {
+		t.Errorf("larger sets should reduce traffic at fixed parameters: %d vs %d",
+			s2.TotalBytes(), s1.TotalBytes())
+	}
+}
+
+func TestBFVPageRankSetSizeTooDeep(t *testing.T) {
+	g := testGraph(t, 8)
+	params := bfv.PresetTest() // t = 2^17: room for one iteration at 8+8 bits
+	runner, err := NewBFVRunner(g, params, 8, 8, [32]byte{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := protocol.NewPipe()
+	defer a.Close()
+	if _, _, err := runner.Run(4, runner.MaxSetSize()+1, a, b); err == nil {
+		t.Error("expected error beyond plaintext capacity")
+	}
+}
+
+func TestCKKSPageRankMatchesPlain(t *testing.T) {
+	g := testGraph(t, 16)
+	params := ckks.Parameters{LogN: 11, QBits: []int{50, 40, 40}, PBits: 51, LogScale: 40, Sigma: 3.2}
+	runner, err := NewCKKSRunner(g, params, [32]byte{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runner.MaxSetSize() != 2 {
+		t.Fatalf("level budget %d, want 2", runner.MaxSetSize())
+	}
+	want := g.PlainRank(6)
+	for _, setSize := range []int{1, 2} {
+		clientEnd, serverEnd := protocol.NewPipe()
+		got, stats, err := runner.Run(6, setSize, clientEnd, serverEnd)
+		clientEnd.Close()
+		if err != nil {
+			t.Fatalf("setSize %d: %v", setSize, err)
+		}
+		if d := L1Distance(got, want); d > 0.01 {
+			t.Errorf("setSize %d: l1 distance %v", setSize, d)
+		}
+		if stats.Server.PlainMults == 0 || stats.Server.Rotations == 0 {
+			t.Errorf("missing server ops: %+v", stats.Server)
+		}
+	}
+}
+
+func TestCKKSDownloadsShrinkWithDepth(t *testing.T) {
+	// After s rescales the downloaded ciphertext has s fewer residues:
+	// deeper encrypted sets shrink the download (levels drop), one of
+	// the effects behind Fig 13's CKKS advantage.
+	g := testGraph(t, 8)
+	params := ckks.Parameters{LogN: 11, QBits: []int{50, 40, 40}, PBits: 51, LogScale: 40, Sigma: 3.2}
+	runner, err := NewCKKSRunner(g, params, [32]byte{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := protocol.NewPipe()
+	_, s1, err := runner.Run(2, 1, a, b)
+	a.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b = protocol.NewPipe()
+	_, s2, err := runner.Run(2, 2, a, b)
+	a.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perDown1 := float64(s1.DownBytes) / float64(s1.DownCiphertexts)
+	perDown2 := float64(s2.DownBytes) / float64(s2.DownCiphertexts)
+	if perDown2 >= perDown1 {
+		t.Errorf("deeper set should download smaller ciphertexts: %v vs %v", perDown2, perDown1)
+	}
+}

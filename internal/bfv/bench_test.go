@@ -1,0 +1,89 @@
+package bfv
+
+import "testing"
+
+// Package-level microbenchmarks at the paper's parameter presets; the
+// Table 1 harness in internal/bench cross-checks the complexity
+// classes, these give raw numbers per preset.
+
+func benchKit(b *testing.B, params Parameters) *testKit {
+	b.Helper()
+	return newTestKit(b, params, 1)
+}
+
+func benchVec(n int, t uint64) []uint64 {
+	v := make([]uint64, n)
+	for i := range v {
+		v[i] = uint64(i) % t
+	}
+	return v
+}
+
+func BenchmarkEncryptPresetB(b *testing.B) {
+	kit := benchKit(b, PresetB())
+	pt, _ := kit.ecd.EncodeUints(benchVec(kit.ctx.Params.N(), kit.ctx.T.Value))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kit.enc.Encrypt(pt)
+	}
+}
+
+func BenchmarkDecryptPresetB(b *testing.B) {
+	kit := benchKit(b, PresetB())
+	ct, _ := kit.enc.EncryptUints(benchVec(kit.ctx.Params.N(), kit.ctx.T.Value))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kit.dec.Decrypt(ct)
+	}
+}
+
+func BenchmarkEncryptPresetA(b *testing.B) {
+	kit := benchKit(b, PresetA())
+	pt, _ := kit.ecd.EncodeUints(benchVec(kit.ctx.Params.N(), kit.ctx.T.Value))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kit.enc.Encrypt(pt)
+	}
+}
+
+func BenchmarkMulPlainPresetB(b *testing.B) {
+	kit := benchKit(b, PresetB())
+	ct, _ := kit.enc.EncryptUints(benchVec(kit.ctx.Params.N(), kit.ctx.T.Value))
+	pt, _ := kit.ecd.EncodeUints(benchVec(kit.ctx.Params.N(), kit.ctx.T.Value))
+	pm := kit.ev.PrepareMul(pt)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kit.ev.MulPlain(ct, pm)
+	}
+}
+
+func BenchmarkRotatePresetB(b *testing.B) {
+	kit := benchKit(b, PresetB())
+	ct, _ := kit.enc.EncryptUints(benchVec(kit.ctx.Params.N(), kit.ctx.T.Value))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kit.ev.RotateRows(ct, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMulRelinPresetB(b *testing.B) {
+	kit := benchKit(b, PresetB())
+	ct, _ := kit.enc.EncryptUints(benchVec(64, 64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kit.ev.MulRelin(ct, ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNoiseBudgetMeter(b *testing.B) {
+	kit := benchKit(b, PresetTest())
+	ct, _ := kit.enc.EncryptUints(benchVec(64, 64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NoiseBudget(kit.ctx, kit.sk, ct)
+	}
+}

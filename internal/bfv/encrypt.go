@@ -1,0 +1,205 @@
+package bfv
+
+import (
+	"math/big"
+
+	"choco/internal/ring"
+	"choco/internal/sampling"
+)
+
+// Ciphertext is a BFV ciphertext of degree len(Value)-1 over the data
+// ring, stored in the coefficient domain. Drop counts the data
+// residues removed by modulus switching (0 for fresh ciphertexts —
+// the zero value is a full-modulus ciphertext); a dropped ciphertext
+// is smaller on the wire but supports only decryption, which is
+// exactly how the server uses it: compute at full modulus, switch
+// down, transmit.
+type Ciphertext struct {
+	Value []*ring.Poly
+	Drop  int
+}
+
+// Degree returns the ciphertext degree (1 for fresh ciphertexts).
+func (ct *Ciphertext) Degree() int { return len(ct.Value) - 1 }
+
+// CopyCt returns a deep copy.
+func (ctx *Context) CopyCt(ct *Ciphertext) *Ciphertext {
+	r := ctx.RingAtDrop(ct.Drop)
+	out := &Ciphertext{Value: make([]*ring.Poly, len(ct.Value)), Drop: ct.Drop}
+	for i, p := range ct.Value {
+		out.Value[i] = r.CopyPoly(p)
+	}
+	return out
+}
+
+// Encryptor performs asymmetric BFV encryption — the client-side kernel
+// of Eq. 2 in the paper: ct = ([Δm + P0·u + e1]_q, [P1·u + e2]_q).
+type Encryptor struct {
+	ctx     *Context
+	pk      *PublicKey
+	encoder *Encoder
+	src     *sampling.Source
+	// OpCount tallies encryptions performed, used by the system-level
+	// client cost accounting.
+	OpCount int
+}
+
+// NewEncryptor returns an encryptor drawing randomness from seed.
+func NewEncryptor(ctx *Context, pk *PublicKey, seed [32]byte) *Encryptor {
+	return &Encryptor{
+		ctx:     ctx,
+		pk:      pk,
+		encoder: NewEncoder(ctx),
+		src:     sampling.NewSource(seed, "bfv-encryptor"),
+	}
+}
+
+// Encrypt encrypts an encoded plaintext.
+func (enc *Encryptor) Encrypt(pt *Plaintext) *Ciphertext {
+	ctx := enc.ctx
+	r := ctx.RingQ
+	n := ctx.Params.N()
+	enc.OpCount++
+
+	// u ← ternary, e1, e2 ← χ.
+	u := r.NewPoly()
+	uSigned := make([]int64, n)
+	enc.src.TernarySigned(uSigned)
+	r.SetCoeffsInt64(uSigned, u)
+	r.NTT(u)
+
+	eSigned := make([]int64, n)
+
+	// c0 = P0·u + e1 + Δm
+	c0 := r.NewPoly()
+	r.MulCoeffs(enc.pk.P0, u, c0)
+	r.INTT(c0)
+	e1 := r.NewPoly()
+	enc.src.GaussianSigned(eSigned, ctx.Params.Sigma)
+	r.SetCoeffsInt64(eSigned, e1)
+	r.Add(c0, e1, c0)
+	dm := enc.encoder.liftToQScaled(pt)
+	r.Add(c0, dm, c0)
+
+	// c1 = P1·u + e2
+	c1 := r.NewPoly()
+	r.MulCoeffs(enc.pk.P1, u, c1)
+	r.INTT(c1)
+	e2 := r.NewPoly()
+	enc.src.GaussianSigned(eSigned, ctx.Params.Sigma)
+	r.SetCoeffsInt64(eSigned, e2)
+	r.Add(c1, e2, c1)
+
+	return &Ciphertext{Value: []*ring.Poly{c0, c1}}
+}
+
+// EncryptUints encodes and encrypts in one step.
+func (enc *Encryptor) EncryptUints(values []uint64) (*Ciphertext, error) {
+	pt, err := enc.encoder.EncodeUints(values)
+	if err != nil {
+		return nil, err
+	}
+	return enc.Encrypt(pt), nil
+}
+
+// EncryptInts encodes and encrypts signed values.
+func (enc *Encryptor) EncryptInts(values []int64) (*Ciphertext, error) {
+	pt, err := enc.encoder.EncodeInts(values)
+	if err != nil {
+		return nil, err
+	}
+	return enc.Encrypt(pt), nil
+}
+
+// EncryptZero returns a fresh encryption of zero (used by the server to
+// randomize responses and by tests).
+func (enc *Encryptor) EncryptZero() *Ciphertext {
+	pt := &Plaintext{Poly: enc.ctx.RingT.NewPoly()}
+	return enc.Encrypt(pt)
+}
+
+// Decryptor inverts encryption given the secret key — Eq. 3:
+// m = [round(t/q · [c0 + c1·s]_q)]_t.
+type Decryptor struct {
+	ctx *Context
+	sk  *SecretKey
+	// OpCount tallies decryptions performed.
+	OpCount int
+}
+
+// NewDecryptor returns a decryptor for sk.
+func NewDecryptor(ctx *Context, sk *SecretKey) *Decryptor {
+	return &Decryptor{ctx: ctx, sk: sk}
+}
+
+// phase computes [c0 + c1·s + c2·s² + ...]_q in the coefficient
+// domain, at the ciphertext's (possibly modulus-switched) level.
+func (dec *Decryptor) phase(ct *Ciphertext) *ring.Poly {
+	r := dec.ctx.RingAtDrop(ct.Drop)
+	acc := r.CopyPoly(ct.Value[0])
+	r.NTT(acc)
+	skTrunc := &ring.Poly{Coeffs: dec.sk.ValueQ.Coeffs[:r.Level()], IsNTT: true}
+	sPow := r.CopyPoly(skTrunc)
+	tmp := r.NewPoly()
+	for i := 1; i < len(ct.Value); i++ {
+		ci := r.CopyPoly(ct.Value[i])
+		r.NTT(ci)
+		r.MulCoeffs(ci, sPow, tmp)
+		r.Add(acc, tmp, acc)
+		if i+1 < len(ct.Value) {
+			r.MulCoeffs(sPow, skTrunc, sPow)
+		}
+	}
+	r.INTT(acc)
+	return acc
+}
+
+// Decrypt returns the plaintext underlying ct, scaling by the
+// ciphertext's own modulus (which modulus switching may have shrunk).
+func (dec *Decryptor) Decrypt(ct *Ciphertext) *Plaintext {
+	ctx := dec.ctx
+	dec.OpCount++
+	x := dec.phase(ct)
+	r := ctx.RingAtDrop(ct.Drop)
+	// Scale: m_j = round(t · x_j / Q) mod t on centered x_j.
+	vals := make([]*big.Int, ctx.Params.N())
+	r.PolyToBigintCentered(x, vals)
+	bigQ := r.ModulusBig()
+	bt := new(big.Int).SetUint64(ctx.T.Value)
+	out := &Plaintext{Poly: ctx.RingT.NewPoly()}
+	row := out.Poly.Coeffs[0]
+	num := new(big.Int)
+	for j, v := range vals {
+		num.Mul(v, bt)
+		m := roundDiv(num, bigQ)
+		m.Mod(m, bt)
+		row[j] = m.Uint64()
+	}
+	return out
+}
+
+// DecryptUints decrypts and decodes all slots.
+func (dec *Decryptor) DecryptUints(ct *Ciphertext) []uint64 {
+	return NewEncoder(dec.ctx).DecodeUints(dec.Decrypt(ct))
+}
+
+// DecryptInts decrypts and decodes all slots as centered values.
+func (dec *Decryptor) DecryptInts(ct *Ciphertext) []int64 {
+	return NewEncoder(dec.ctx).DecodeInts(dec.Decrypt(ct))
+}
+
+// roundDiv returns round(a/b) for positive b, rounding half away from
+// zero, as a new big.Int.
+func roundDiv(a, b *big.Int) *big.Int {
+	q, r := new(big.Int).QuoRem(a, b, new(big.Int))
+	r.Abs(r)
+	r.Lsh(r, 1)
+	if r.Cmp(b) >= 0 {
+		if a.Sign() < 0 {
+			q.Sub(q, big.NewInt(1))
+		} else {
+			q.Add(q, big.NewInt(1))
+		}
+	}
+	return q
+}

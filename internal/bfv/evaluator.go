@@ -1,0 +1,463 @@
+package bfv
+
+import (
+	"fmt"
+	"math/big"
+
+	"choco/internal/ring"
+)
+
+// Evaluator applies homomorphic operations server-side. It is stateless
+// apart from the evaluation keys it was given; methods allocate their
+// results.
+type Evaluator struct {
+	ctx     *Context
+	encoder *Encoder
+	relin   *RelinearizationKey
+	galois  map[uint64]*GaloisKey
+}
+
+// NewEvaluator returns an evaluator. relin and galois may be nil when
+// multiplication / rotation are not needed.
+func NewEvaluator(ctx *Context, relin *RelinearizationKey, galois map[uint64]*GaloisKey) *Evaluator {
+	return &Evaluator{ctx: ctx, encoder: NewEncoder(ctx), relin: relin, galois: galois}
+}
+
+// Add returns a + b (ciphertext addition, small noise growth). The
+// operands must sit at the same modulus level.
+func (ev *Evaluator) Add(a, b *Ciphertext) *Ciphertext {
+	if a.Drop != b.Drop {
+		panic("bfv: adding ciphertexts at different modulus levels")
+	}
+	r := ev.ctx.RingAtDrop(a.Drop)
+	deg := max(len(a.Value), len(b.Value))
+	out := &Ciphertext{Value: make([]*ring.Poly, deg), Drop: a.Drop}
+	for i := 0; i < deg; i++ {
+		out.Value[i] = r.NewPoly()
+		switch {
+		case i < len(a.Value) && i < len(b.Value):
+			r.Add(a.Value[i], b.Value[i], out.Value[i])
+		case i < len(a.Value):
+			r.Copy(out.Value[i], a.Value[i])
+		default:
+			r.Copy(out.Value[i], b.Value[i])
+		}
+	}
+	return out
+}
+
+// Sub returns a - b.
+func (ev *Evaluator) Sub(a, b *Ciphertext) *Ciphertext {
+	r := ev.ctx.RingAtDrop(b.Drop)
+	neg := &Ciphertext{Value: make([]*ring.Poly, len(b.Value)), Drop: b.Drop}
+	for i, p := range b.Value {
+		neg.Value[i] = r.NewPoly()
+		r.Neg(p, neg.Value[i])
+	}
+	return ev.Add(a, neg)
+}
+
+// Neg returns -a.
+func (ev *Evaluator) Neg(a *Ciphertext) *Ciphertext {
+	r := ev.ctx.RingAtDrop(a.Drop)
+	out := &Ciphertext{Value: make([]*ring.Poly, len(a.Value)), Drop: a.Drop}
+	for i, p := range a.Value {
+		out.Value[i] = r.NewPoly()
+		r.Neg(p, out.Value[i])
+	}
+	return out
+}
+
+// AddPlain returns ct + pt (plaintext addition: c0 += Δ·m).
+func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	if ct.Drop != 0 {
+		panic("bfv: plaintext operations require a full-modulus ciphertext")
+	}
+	r := ev.ctx.RingQ
+	out := ev.ctx.CopyCt(ct)
+	dm := ev.encoder.liftToQScaled(pt)
+	r.Add(out.Value[0], dm, out.Value[0])
+	return out
+}
+
+// SubPlain returns ct - pt.
+func (ev *Evaluator) SubPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	if ct.Drop != 0 {
+		panic("bfv: plaintext operations require a full-modulus ciphertext")
+	}
+	r := ev.ctx.RingQ
+	out := ev.ctx.CopyCt(ct)
+	dm := ev.encoder.liftToQScaled(pt)
+	r.Sub(out.Value[0], dm, out.Value[0])
+	return out
+}
+
+// MulScalar multiplies every slot by an unsigned integer constant —
+// cheaper than a full plaintext multiply (no NTT round trip) and with
+// scalar-sized noise growth.
+func (ev *Evaluator) MulScalar(ct *Ciphertext, c uint64) *Ciphertext {
+	r := ev.ctx.RingAtDrop(ct.Drop)
+	out := &Ciphertext{Value: make([]*ring.Poly, len(ct.Value)), Drop: ct.Drop}
+	cc := ev.ctx.T.Reduce(c)
+	for i, p := range ct.Value {
+		out.Value[i] = r.NewPoly()
+		r.MulScalar(p, cc, out.Value[i])
+	}
+	return out
+}
+
+// AddMany sums a batch of ciphertexts with a balanced tree, keeping
+// the additive noise growth logarithmic in the operand count.
+func (ev *Evaluator) AddMany(cts []*Ciphertext) (*Ciphertext, error) {
+	if len(cts) == 0 {
+		return nil, fmt.Errorf("bfv: AddMany of zero ciphertexts")
+	}
+	layer := append([]*Ciphertext(nil), cts...)
+	for len(layer) > 1 {
+		var next []*Ciphertext
+		for i := 0; i+1 < len(layer); i += 2 {
+			next = append(next, ev.Add(layer[i], layer[i+1]))
+		}
+		if len(layer)%2 == 1 {
+			next = append(next, layer[len(layer)-1])
+		}
+		layer = next
+	}
+	return layer[0], nil
+}
+
+// PlaintextMul is a plaintext operand pre-transformed to the NTT domain
+// of the data ring, ready for repeated MulPlain use (e.g. fixed model
+// weights).
+type PlaintextMul struct {
+	NTT *ring.Poly
+}
+
+// PrepareMul lifts and NTT-transforms a plaintext for multiplication.
+func (ev *Evaluator) PrepareMul(pt *Plaintext) *PlaintextMul {
+	p := ev.encoder.liftToQ(pt)
+	ev.ctx.RingQ.NTT(p)
+	return &PlaintextMul{NTT: p}
+}
+
+// MulPlain returns ct ⊙ pt (slot-wise product with an unencrypted
+// vector; moderate noise growth, O(N log N · r) per Table 1).
+func (ev *Evaluator) MulPlain(ct *Ciphertext, pm *PlaintextMul) *Ciphertext {
+	if ct.Drop != 0 {
+		panic("bfv: plaintext operations require a full-modulus ciphertext")
+	}
+	r := ev.ctx.RingQ
+	out := &Ciphertext{Value: make([]*ring.Poly, len(ct.Value))}
+	for i, p := range ct.Value {
+		tmp := r.CopyPoly(p)
+		r.NTT(tmp)
+		r.MulCoeffs(tmp, pm.NTT, tmp)
+		r.INTT(tmp)
+		out.Value[i] = tmp
+	}
+	return out
+}
+
+// Mul returns the degree-2 tensor product of two degree-1 ciphertexts,
+// computed exactly in an extended RNS basis and scaled by t/q (large
+// noise growth, O(N log N · r²) per Table 1). Call Relinearize to
+// return to degree 1.
+func (ev *Evaluator) Mul(a, b *Ciphertext) (*Ciphertext, error) {
+	if len(a.Value) != 2 || len(b.Value) != 2 {
+		return nil, fmt.Errorf("bfv: Mul requires degree-1 inputs (got %d, %d)", a.Degree(), b.Degree())
+	}
+	if a.Drop != 0 || b.Drop != 0 {
+		return nil, fmt.Errorf("bfv: Mul requires full-modulus ciphertexts")
+	}
+	ctx := ev.ctx
+	rQ := ctx.RingQ
+	rE := ctx.ringE
+	n := ctx.Params.N()
+
+	// Lift all four polynomials to centered big coefficients and embed
+	// into the extended basis E (large enough that the tensor product
+	// is exact over E).
+	lift := func(p *ring.Poly) *ring.Poly {
+		vals := make([]*big.Int, n)
+		rQ.PolyToBigintCentered(p, vals)
+		out := rE.NewPoly()
+		rE.SetCoeffsBigint(vals, out)
+		rE.NTT(out)
+		return out
+	}
+	a0, a1 := lift(a.Value[0]), lift(a.Value[1])
+	b0, b1 := lift(b.Value[0]), lift(b.Value[1])
+
+	t0 := rE.NewPoly()
+	t1 := rE.NewPoly()
+	t2 := rE.NewPoly()
+	rE.MulCoeffs(a0, b0, t0)
+	rE.MulCoeffs(a1, b1, t2)
+	rE.MulCoeffs(a0, b1, t1)
+	tmp := rE.NewPoly()
+	rE.MulCoeffs(a1, b0, tmp)
+	rE.Add(t1, tmp, t1)
+
+	// Scale each tensor component by t/Q with rounding, then reduce
+	// back into the data basis.
+	out := &Ciphertext{Value: make([]*ring.Poly, 3)}
+	bt := new(big.Int).SetUint64(ctx.T.Value)
+	num := new(big.Int)
+	for i, tp := range []*ring.Poly{t0, t1, t2} {
+		rE.INTT(tp)
+		vals := make([]*big.Int, n)
+		rE.PolyToBigintCentered(tp, vals)
+		for j := range vals {
+			num.Mul(vals[j], bt)
+			vals[j] = roundDiv(num, ctx.BigQ)
+		}
+		out.Value[i] = rQ.NewPoly()
+		rQ.SetCoeffsBigint(vals, out.Value[i])
+	}
+	return out, nil
+}
+
+// Relinearize reduces a degree-2 ciphertext to degree 1 using the
+// relinearization key.
+func (ev *Evaluator) Relinearize(ct *Ciphertext) (*Ciphertext, error) {
+	if len(ct.Value) != 3 {
+		return nil, fmt.Errorf("bfv: Relinearize requires a degree-2 ciphertext")
+	}
+	if ev.relin == nil {
+		return nil, fmt.Errorf("bfv: no relinearization key")
+	}
+	d0, d1 := ev.keySwitch(ct.Value[2], ev.relin.Key)
+	r := ev.ctx.RingQ
+	out := &Ciphertext{Value: []*ring.Poly{r.NewPoly(), r.NewPoly()}}
+	r.Add(ct.Value[0], d0, out.Value[0])
+	r.Add(ct.Value[1], d1, out.Value[1])
+	return out, nil
+}
+
+// MulRelin multiplies and relinearizes.
+func (ev *Evaluator) MulRelin(a, b *Ciphertext) (*Ciphertext, error) {
+	c, err := ev.Mul(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return ev.Relinearize(c)
+}
+
+// RotateRows rotates the two batched rows left by steps slots
+// (negative steps rotate right). Requires the corresponding Galois key.
+func (ev *Evaluator) RotateRows(ct *Ciphertext, steps int) (*Ciphertext, error) {
+	if steps == 0 {
+		return ev.ctx.CopyCt(ct), nil
+	}
+	g := ev.ctx.RingQ.GaloisElementForRotation(steps)
+	return ev.applyGalois(ct, g)
+}
+
+// RotateColumns swaps the two rows of the batching matrix.
+func (ev *Evaluator) RotateColumns(ct *Ciphertext) (*Ciphertext, error) {
+	return ev.applyGalois(ct, ev.ctx.RingQ.GaloisElementRowSwap())
+}
+
+func (ev *Evaluator) applyGalois(ct *Ciphertext, g uint64) (*Ciphertext, error) {
+	if len(ct.Value) != 2 {
+		return nil, fmt.Errorf("bfv: rotation requires a degree-1 ciphertext")
+	}
+	if ct.Drop != 0 {
+		return nil, fmt.Errorf("bfv: rotation requires a full-modulus ciphertext")
+	}
+	gk, ok := ev.galois[g]
+	if !ok {
+		return nil, fmt.Errorf("bfv: missing Galois key for element %d", g)
+	}
+	r := ev.ctx.RingQ
+	c0 := r.NewPoly()
+	c1 := r.NewPoly()
+	r.Automorphism(ct.Value[0], g, c0)
+	r.Automorphism(ct.Value[1], g, c1)
+	d0, d1 := ev.keySwitch(c1, gk.Key)
+	out := &Ciphertext{Value: []*ring.Poly{r.NewPoly(), d1}}
+	r.Add(c0, d0, out.Value[0])
+	return out, nil
+}
+
+// ModSwitchDown divides the ciphertext by its last data prime with
+// rounding, shrinking it by one residue (8·N·deg bytes on the wire) at
+// the cost of ~t·‖s‖₁/2 added noise. The paper's client-optimized
+// servers use it as the last step before transmitting results: compute
+// at full modulus, switch down, send small. Dropped ciphertexts
+// support addition and decryption only.
+func (ev *Evaluator) ModSwitchDown(ct *Ciphertext) (*Ciphertext, error) {
+	ctx := ev.ctx
+	if ct.Drop >= ctx.MaxDrop() {
+		return nil, fmt.Errorf("bfv: cannot modulus-switch below one residue")
+	}
+	rIn := ctx.RingAtDrop(ct.Drop)
+	rOut := ctx.RingAtDrop(ct.Drop + 1)
+	last := rIn.Level() - 1
+	qL := rIn.Moduli[last].Value
+	halfQL := qL >> 1
+
+	out := &Ciphertext{Value: make([]*ring.Poly, len(ct.Value)), Drop: ct.Drop + 1}
+	for vi, p := range ct.Value {
+		if p.IsNTT {
+			return nil, fmt.Errorf("bfv: modulus switch requires coefficient domain")
+		}
+		np := rOut.NewPoly()
+		xl := p.Coeffs[last]
+		for i, m := range rOut.Moduli {
+			qlInv, ok := m.Inv(m.Reduce(qL))
+			if !ok {
+				return nil, fmt.Errorf("bfv: dropped modulus not invertible")
+			}
+			qs := m.ShoupPrecomp(qlInv)
+			src := p.Coeffs[i]
+			dst := np.Coeffs[i]
+			for k := range dst {
+				var c uint64
+				if xl[k] <= halfQL {
+					c = m.Reduce(xl[k])
+				} else {
+					c = m.Neg(m.Reduce(qL - xl[k]))
+				}
+				dst[k] = m.MulShoup(m.Sub(src[k], c), qlInv, qs)
+			}
+		}
+		out.Value[vi] = np
+	}
+	return out, nil
+}
+
+// ModSwitchToSmallest switches down as far as decryption headroom
+// allows, keeping at least marginBits of noise budget (measured needs
+// the secret key, so the server uses the analytic bound: each drop
+// removes one residue's bits and adds ~log2(t·N/2) noise).
+func (ev *Evaluator) ModSwitchToSmallest(ct *Ciphertext, currentBudget int) (*Ciphertext, error) {
+	ctx := ev.ctx
+	out := ct
+	budget := currentBudget
+	for out.Drop < ctx.MaxDrop() {
+		r := ctx.RingAtDrop(out.Drop)
+		lastBits := r.Moduli[r.Level()-1].BitLen()
+		// Post-switch noise floor: t·(1+N)/2 in SEAL-noise units.
+		floorBits := ctx.T.BitLen() + ctx.Params.LogN
+		qBitsAfter := r.ModulusBig().BitLen() - lastBits
+		if qBitsAfter-floorBits < 4 || budget <= lastBits+4 {
+			break
+		}
+		next, err := ev.ModSwitchDown(out)
+		if err != nil {
+			return nil, err
+		}
+		out = next
+		budget -= lastBits
+	}
+	return out, nil
+}
+
+// keySwitch converts a single polynomial d (coefficient domain, mod Q)
+// keyed under s' into a pair (δ0, δ1) mod Q keyed under s, using the
+// hybrid RNS method: decompose d per data prime, inner-product with the
+// switching key over QP, then divide by the special prime P with
+// rounding.
+func (ev *Evaluator) keySwitch(d *ring.Poly, swk *SwitchingKey) (*ring.Poly, *ring.Poly) {
+	ctx := ev.ctx
+	rQP := ctx.RingQP
+	rQ := ctx.RingQ
+	nData := len(rQ.Moduli)
+
+	acc0 := rQP.NewPoly()
+	acc1 := rQP.NewPoly()
+	acc0.IsNTT = true
+	acc1.IsNTT = true
+
+	di := rQP.NewPoly()
+	for i := 0; i < nData; i++ {
+		// d_i: the i-th residue row treated as an integer vector in
+		// [0, q_i), embedded into every residue of QP.
+		src := d.Coeffs[i]
+		for j, m := range rQP.Moduli {
+			dst := di.Coeffs[j]
+			if m.Value == rQ.Moduli[i].Value {
+				copy(dst, src)
+				continue
+			}
+			for k := range dst {
+				dst[k] = m.Reduce(src[k])
+			}
+		}
+		di.IsNTT = false
+		rQP.NTT(di)
+		rQP.MulCoeffsAdd(di, swk.B[i], acc0)
+		rQP.MulCoeffsAdd(di, swk.A[i], acc1)
+		di.IsNTT = false // reuse buffer next iteration
+	}
+	acc0.IsNTT = true
+	acc1.IsNTT = true
+	rQP.INTT(acc0)
+	rQP.INTT(acc1)
+	return ev.modDownByP(acc0), ev.modDownByP(acc1)
+}
+
+// modDownByP maps x mod QP to round(x/P) mod Q (coefficient domain).
+func (ev *Evaluator) modDownByP(x *ring.Poly) *ring.Poly {
+	ctx := ev.ctx
+	rQ := ctx.RingQ
+	nData := len(rQ.Moduli)
+	pMod := ctx.RingQP.Moduli[nData]
+	p := pMod.Value
+	halfP := p >> 1
+
+	out := rQ.NewPoly()
+	xp := x.Coeffs[nData]
+	for i, m := range rQ.Moduli {
+		pi := ctx.pInvQ[i]
+		pis := m.ShoupPrecomp(pi)
+		src := x.Coeffs[i]
+		dst := out.Coeffs[i]
+		for k := range dst {
+			// Centered representative of x mod P, reduced mod q_i.
+			var c uint64
+			if xp[k] <= halfP {
+				c = m.Reduce(xp[k])
+			} else {
+				c = m.Neg(m.Reduce(p - xp[k]))
+			}
+			dst[k] = m.MulShoup(m.Sub(src[k], c), pi, pis)
+		}
+	}
+	return out
+}
+
+// NoiseBudget returns the remaining invariant noise budget of ct in
+// bits, using SEAL's definition (the one the paper's Table 4
+// tabulates): v = [t·(c0 + c1·s + ...)]_q centered, budget =
+// log2(q / (2·‖v‖∞)). The t-multiplication folds the r_t(q)·m
+// encoding term into the measurement from encryption onward, so
+// rotations — whose automorphism sign-flips would otherwise surface
+// that term — correctly register as nearly free. A budget of 0 means
+// the ciphertext is (about to become) undecryptable.
+func NoiseBudget(ctx *Context, sk *SecretKey, ct *Ciphertext) int {
+	dec := NewDecryptor(ctx, sk)
+	x := dec.phase(ct)
+	r := ctx.RingAtDrop(ct.Drop)
+	v := r.NewPoly()
+	r.MulScalar(x, ctx.T.Value, v)
+	norm := r.InfNormBig(v)
+
+	qBits := r.ModulusBig().BitLen()
+	if norm.Sign() == 0 {
+		return qBits - 1
+	}
+	budget := qBits - 1 - (norm.BitLen() + 1)
+	if budget < 0 {
+		budget = 0
+	}
+	return budget
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

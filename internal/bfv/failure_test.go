@@ -1,0 +1,154 @@
+package bfv
+
+import (
+	"testing"
+)
+
+// Failure-injection tests: the scheme must degrade the way RLWE theory
+// says it does — wrong keys and tampering yield garbage (not silent
+// "almost right" answers), and exhausting the noise budget corrupts
+// decryption detectably.
+
+func TestWrongSecretKeyDecryptsGarbage(t *testing.T) {
+	kit := newTestKit(t, PresetTest())
+	other := NewKeyGenerator(kit.ctx, [32]byte{99}).GenSecretKey()
+	wrongDec := NewDecryptor(kit.ctx, other)
+
+	msg := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	ct, _ := kit.enc.EncryptUints(msg)
+	got := wrongDec.DecryptUints(ct)
+	matches := 0
+	for i := range msg {
+		if got[i] == msg[i] {
+			matches++
+		}
+	}
+	if matches > 2 {
+		t.Errorf("wrong key recovered %d of %d slots", matches, len(msg))
+	}
+}
+
+func TestTamperedCiphertextDecryptsGarbage(t *testing.T) {
+	kit := newTestKit(t, PresetTest())
+	msg := []uint64{10, 20, 30, 40}
+	ct, _ := kit.enc.EncryptUints(msg)
+	// Flip one residue word of c1: RLWE mixing spreads the damage over
+	// every slot.
+	ct.Value[1].Coeffs[0][5] ^= 0xDEADBEEF
+	got := kit.dec.DecryptUints(ct)
+	matches := 0
+	for i := range msg {
+		if got[i] == msg[i] {
+			matches++
+		}
+	}
+	if matches > 1 {
+		t.Errorf("tampering survived: %d of %d slots intact", matches, len(msg))
+	}
+}
+
+func TestNoiseExhaustionCorruptsDecryption(t *testing.T) {
+	// Chain plaintext multiplies until the budget hits zero; the
+	// decrypted slots must diverge from the true product chain.
+	kit := newTestKit(t, PresetTest())
+	tmod := kit.ctx.T.Value
+	vals := []uint64{3, 1, 2, 1}
+	ct, _ := kit.enc.EncryptUints(vals)
+	pt, _ := kit.ecd.EncodeUints([]uint64{2, 1, 1, 1})
+	pm := kit.ev.PrepareMul(pt)
+
+	want := append([]uint64(nil), vals...)
+	exhausted := false
+	for i := 0; i < 12; i++ {
+		ct = kit.ev.MulPlain(ct, pm)
+		want[0] = want[0] * 2 % tmod
+		if NoiseBudget(kit.ctx, kit.sk, ct) == 0 {
+			exhausted = true
+			break
+		}
+	}
+	if !exhausted {
+		t.Skip("budget not exhausted within the multiply chain; parameters too roomy")
+	}
+	got := kit.dec.DecryptUints(ct)
+	same := true
+	for i := range want {
+		if got[i] != want[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("decryption still exact after budget exhaustion — noise meter inconsistent")
+	}
+}
+
+func TestEvaluatorWithoutKeysFailsCleanly(t *testing.T) {
+	kit := newTestKit(t, PresetTest())
+	bare := NewEvaluator(kit.ctx, nil, nil)
+	ct, _ := kit.enc.EncryptUints([]uint64{1})
+	d2, err := bare.Mul(ct, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bare.Relinearize(d2); err == nil {
+		t.Error("expected error without relinearization key")
+	}
+	if _, err := bare.RotateRows(ct, 1); err == nil {
+		t.Error("expected error without Galois keys")
+	}
+}
+
+func TestGaloisKeyFromDifferentSecretFails(t *testing.T) {
+	// Rotating with keys generated for another secret must not produce
+	// the correct rotation.
+	kit := newTestKit(t, PresetTest())
+	foreignKG := NewKeyGenerator(kit.ctx, [32]byte{77})
+	foreignSK := foreignKG.GenSecretKey()
+	foreignGalois := foreignKG.GenRotationKeys(foreignSK, 1)
+	ev := NewEvaluator(kit.ctx, nil, foreignGalois)
+
+	vals := []uint64{5, 6, 7, 8}
+	ct, _ := kit.enc.EncryptUints(vals)
+	rot, err := ev.RotateRows(ct, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := kit.dec.DecryptUints(rot)
+	matches := 0
+	for i := 0; i < 3; i++ {
+		if got[i] == vals[i+1] {
+			matches++
+		}
+	}
+	if matches == 3 {
+		t.Error("foreign Galois keys produced a correct rotation")
+	}
+}
+
+func TestDeterministicKeysAndEncryptions(t *testing.T) {
+	// Same seeds → identical keys and ciphertexts (the reproducibility
+	// contract every experiment in this repo relies on).
+	params := PresetTest()
+	build := func() ([]uint64, *Ciphertext, *Context) {
+		ctx, err := NewContext(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kg := NewKeyGenerator(ctx, [32]byte{5})
+		sk := kg.GenSecretKey()
+		enc := NewEncryptor(ctx, kg.GenPublicKey(sk), [32]byte{6})
+		ct, _ := enc.EncryptUints([]uint64{9, 8, 7})
+		return NewDecryptor(ctx, sk).DecryptUints(ct), ct, ctx
+	}
+	d1, ct1, ctx1 := build()
+	d2, ct2, _ := build()
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatal("decryption mismatch across identical builds")
+		}
+	}
+	if !ctx1.RingQ.Equal(ct1.Value[0], ct2.Value[0]) {
+		t.Error("ciphertexts differ across identical seeds")
+	}
+}

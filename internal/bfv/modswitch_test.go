@@ -1,0 +1,147 @@
+package bfv
+
+import "testing"
+
+func TestModSwitchDownPreservesPlaintext(t *testing.T) {
+	kit := newTestKit(t, PresetTest())
+	vals := make([]uint64, kit.ctx.Params.N())
+	for i := range vals {
+		vals[i] = uint64(i) % kit.ctx.T.Value
+	}
+	ct, err := kit.enc.EncryptUints(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := NoiseBudget(kit.ctx, kit.sk, ct)
+	small, err := kit.ev.ModSwitchDown(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Drop != 1 {
+		t.Fatalf("drop = %d", small.Drop)
+	}
+	after := NoiseBudget(kit.ctx, kit.sk, small)
+	t.Logf("budget before %d, after switch %d", before, after)
+	if after <= 0 {
+		t.Fatal("budget exhausted by the switch")
+	}
+	got := kit.dec.DecryptUints(small)
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("slot %d: got %d want %d", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestModSwitchDownAfterComputation(t *testing.T) {
+	// The deployment pattern: compute at full modulus, switch, send.
+	kit := newTestKit(t, PresetTest(), 1)
+	vals := []uint64{3, 5, 7, 11}
+	ct, _ := kit.enc.EncryptUints(vals)
+	pt, _ := kit.ecd.EncodeUints([]uint64{2, 2, 2, 2})
+	prod := kit.ev.MulPlain(ct, kit.ev.PrepareMul(pt))
+	rot, err := kit.ev.RotateRows(prod, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := kit.ev.ModSwitchDown(rot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := kit.dec.DecryptUints(small)
+	want := []uint64{10, 14, 22}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slot %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestModSwitchWireShrinks(t *testing.T) {
+	kit := newTestKit(t, PresetTest())
+	ct, _ := kit.enc.EncryptUints([]uint64{1, 2, 3})
+	small, err := kit.ev.ModSwitchDown(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := len(small.Value[0].Coeffs); rows != 1 {
+		t.Errorf("dropped ciphertext has %d residue rows, want 1", rows)
+	}
+	fullBytes := kit.ctx.Params.CiphertextBytes()
+	smallBytes := kit.ctx.DroppedCiphertextBytes(1)
+	if smallBytes*2 != fullBytes {
+		t.Errorf("dropped size %d, full %d", smallBytes, fullBytes)
+	}
+}
+
+func TestModSwitchFloor(t *testing.T) {
+	kit := newTestKit(t, PresetTest())
+	ct, _ := kit.enc.EncryptUints([]uint64{1})
+	small, err := kit.ev.ModSwitchDown(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kit.ev.ModSwitchDown(small); err == nil {
+		t.Error("expected error switching below one residue")
+	}
+}
+
+func TestDroppedCiphertextOpsRestricted(t *testing.T) {
+	kit := newTestKit(t, PresetTest(), 1)
+	a, _ := kit.enc.EncryptUints([]uint64{1, 2})
+	b, _ := kit.enc.EncryptUints([]uint64{10, 20})
+	da, err := kit.ev.ModSwitchDown(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := kit.ev.ModSwitchDown(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Additions still work at matching levels.
+	sum := kit.ev.Add(da, db)
+	got := kit.dec.DecryptUints(sum)
+	if got[0] != 11 || got[1] != 22 {
+		t.Errorf("dropped add: %v", got[:2])
+	}
+	// Mixed levels and multiplicative ops fail loudly.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic adding mixed levels")
+			}
+		}()
+		kit.ev.Add(a, db)
+	}()
+	if _, err := kit.ev.RotateRows(da, 1); err == nil {
+		t.Error("expected rotation rejection at dropped level")
+	}
+	if _, err := kit.ev.Mul(da, db); err == nil {
+		t.Error("expected Mul rejection at dropped level")
+	}
+}
+
+func TestModSwitchToSmallest(t *testing.T) {
+	// A three-residue chain can shed two residues when the budget is
+	// healthy.
+	params := Parameters{LogN: 11, QBits: []int{40, 40, 40}, PBits: 41, TBits: 16, Sigma: 3.2}
+	kit := newTestKit(t, params)
+	vals := []uint64{1, 2, 3, 4}
+	ct, _ := kit.enc.EncryptUints(vals)
+	budget := NoiseBudget(kit.ctx, kit.sk, ct)
+	small, err := kit.ev.ModSwitchToSmallest(ct, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Drop == 0 {
+		t.Error("expected at least one drop with a fresh budget")
+	}
+	got := kit.dec.DecryptUints(small)
+	for i, w := range vals {
+		if got[i] != w {
+			t.Fatalf("slot %d: got %d want %d", i, got[i], w)
+		}
+	}
+	t.Logf("dropped %d of %d residues; final budget %d",
+		small.Drop, len(params.QBits), NoiseBudget(kit.ctx, kit.sk, small))
+}

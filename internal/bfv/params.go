@@ -1,0 +1,311 @@
+// Package bfv implements the Brakerski/Fan-Vercauteren somewhat
+// homomorphic encryption scheme in full RNS form: key generation,
+// asymmetric encryption (the kernel CHOCO-TACO accelerates), decryption,
+// batched (SIMD) plaintext encoding, and the homomorphic evaluation
+// operations of Table 1 of the paper — ciphertext/plaintext addition,
+// plaintext multiplication, ciphertext multiplication with
+// relinearization, and slot rotation via Galois automorphisms — plus an
+// exact invariant-noise-budget meter.
+//
+// Following SEAL (the library the paper builds on), the last RNS prime
+// is a "special" prime reserved for key switching: fresh ciphertexts and
+// all homomorphic results live modulo the data primes only. This is what
+// makes the paper's Table 3 ciphertext sizes come out to
+// 2·N·(k-1)·8 bytes.
+package bfv
+
+import (
+	"fmt"
+	"math/big"
+
+	"choco/internal/nt"
+	"choco/internal/ring"
+)
+
+// Parameters defines a BFV parameter set: ring degree, RNS modulus
+// chain (data primes followed by one key-switching prime), plaintext
+// modulus, and error width.
+type Parameters struct {
+	LogN int
+	// QBits holds the bit sizes of the data primes; PBits the bit size
+	// of the key-switching special prime (0 disables key switching).
+	QBits []int
+	PBits int
+	// TBits is the bit size of the plaintext modulus; the modulus is
+	// generated as an NTT-friendly prime so that batching is available.
+	TBits int
+	Sigma float64
+}
+
+// N returns the ring degree.
+func (p Parameters) N() int { return 1 << uint(p.LogN) }
+
+// Slots returns the number of plaintext slots (equal to N for BFV
+// batching over a 2×(N/2) matrix).
+func (p Parameters) Slots() int { return p.N() }
+
+// CiphertextBytes returns the serialized size in bytes of a fresh
+// ciphertext: 2 polynomials × N coefficients × data residues × 8 bytes.
+// These are the numbers in the paper's Table 3.
+func (p Parameters) CiphertextBytes() int {
+	return 2 * p.N() * len(p.QBits) * 8
+}
+
+// LogQ returns the total data-modulus width in bits.
+func (p Parameters) LogQ() int {
+	s := 0
+	for _, b := range p.QBits {
+		s += b
+	}
+	return s
+}
+
+// Validate performs a sanity check of the parameter set.
+func (p Parameters) Validate() error {
+	if p.LogN < 10 || p.LogN > 16 {
+		return fmt.Errorf("bfv: logN=%d outside supported range [10,16]", p.LogN)
+	}
+	if len(p.QBits) == 0 {
+		return fmt.Errorf("bfv: no data primes")
+	}
+	for _, b := range p.QBits {
+		if b < p.LogN+2 || b > nt.MaxModulusBits {
+			return fmt.Errorf("bfv: invalid data prime size %d", b)
+		}
+	}
+	if p.PBits != 0 && (p.PBits < p.LogN+2 || p.PBits > nt.MaxModulusBits) {
+		return fmt.Errorf("bfv: invalid special prime size %d", p.PBits)
+	}
+	if p.TBits < p.LogN+2 || p.TBits >= p.LogQ() {
+		return fmt.Errorf("bfv: plaintext modulus size %d invalid for logQ=%d", p.TBits, p.LogQ())
+	}
+	if p.Sigma <= 0 {
+		return fmt.Errorf("bfv: sigma must be positive")
+	}
+	return nil
+}
+
+// Context carries all precomputation for a parameter set. It is
+// read-only after construction and safe for concurrent use.
+type Context struct {
+	Params Parameters
+
+	// RingQ is the data-prime ring (fresh ciphertexts live here).
+	// RingQP appends the special prime and hosts key-switching keys.
+	// RingT is the one-modulus plaintext ring used by the encoder.
+	// RingE is the extended basis used for exact tensor products.
+	RingQ  *ring.Ring
+	RingQP *ring.Ring
+	RingT  *ring.Ring
+
+	ringE *ring.Ring
+
+	// T is the plaintext modulus; Delta = floor(Q/t).
+	T        nt.Modulus
+	BigQ     *big.Int
+	BigP     *big.Int
+	Delta    *big.Int
+	deltaRNS []uint64 // Delta mod q_i
+
+	// Key-switch helpers: qTilde[i] = (Q/q_i)·[(Q/q_i)^-1 mod q_i]
+	// (the CRT basis element, ≡1 mod q_i, ≡0 mod q_j), reduced into
+	// the QP basis; pInv[i] = P^-1 mod q_i; pModQ[i] = P mod q_i.
+	qTildeQP [][]uint64
+	pInvQ    []uint64
+	pModQ    []uint64
+
+	// Batching index map: slot i lives at coefficient indexMap[i].
+	indexMap []int
+
+	// ringQDrop[d] is the data ring with d residues removed (for
+	// modulus-switched ciphertexts); ringQDrop[0] == RingQ.
+	ringQDrop []*ring.Ring
+}
+
+// RingAtDrop returns the data ring with drop residues removed.
+func (ctx *Context) RingAtDrop(drop int) *ring.Ring {
+	return ctx.ringQDrop[drop]
+}
+
+// MaxDrop returns how many residues modulus switching can remove while
+// leaving one.
+func (ctx *Context) MaxDrop() int { return len(ctx.RingQ.Moduli) - 1 }
+
+// DroppedCiphertextBytes returns the wire payload of a degree-1
+// ciphertext with drop residues removed.
+func (ctx *Context) DroppedCiphertextBytes(drop int) int {
+	return 2 * ctx.Params.N() * (len(ctx.Params.QBits) - drop) * 8
+}
+
+// NewContext generates primes and precomputes everything needed to
+// operate under params.
+func NewContext(params Parameters) (*Context, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	// Generate the RNS chain: data primes, special prime, extended
+	// basis primes and the plaintext prime must all be distinct and
+	// NTT-friendly for degree N.
+	allBits := append([]int{}, params.QBits...)
+	if params.PBits != 0 {
+		allBits = append(allBits, params.PBits)
+	}
+	qpPrimes, err := nt.GenerateNTTPrimesVarBits(allBits, params.LogN)
+	if err != nil {
+		return nil, err
+	}
+	nData := len(params.QBits)
+
+	ctx := &Context{Params: params}
+	ctx.RingQP, err = ring.NewRing(params.LogN, qpPrimes)
+	if err != nil {
+		return nil, err
+	}
+	if params.PBits != 0 {
+		ctx.RingQ = ctx.RingQP.AtLevel(nData - 1)
+	} else {
+		ctx.RingQ = ctx.RingQP
+	}
+
+	// Plaintext modulus: a TBits prime ≡ 1 mod 2N distinct from the
+	// chain (bit sizes differ in practice; if equal, take extras).
+	var tVal uint64
+	for count := 1; count <= nData+2 && tVal == 0; count++ {
+		tPrimes, err := nt.GenerateNTTPrimes(params.TBits, params.LogN, count)
+		if err != nil {
+			return nil, err
+		}
+		for _, cand := range tPrimes {
+			used := false
+			for _, q := range qpPrimes {
+				if q == cand {
+					used = true
+					break
+				}
+			}
+			if !used {
+				tVal = cand
+				break
+			}
+		}
+	}
+	if tVal == 0 {
+		return nil, fmt.Errorf("bfv: could not find distinct plaintext prime")
+	}
+	ctx.T = nt.NewModulus(tVal)
+	ctx.RingT, err = ring.NewRing(params.LogN, []uint64{tVal})
+	if err != nil {
+		return nil, err
+	}
+
+	ctx.BigQ = ctx.RingQ.ModulusBig()
+	ctx.Delta = new(big.Int).Div(ctx.BigQ, new(big.Int).SetUint64(tVal))
+	ctx.deltaRNS = make([]uint64, nData)
+	for i, m := range ctx.RingQ.Moduli {
+		ctx.deltaRNS[i] = new(big.Int).Mod(ctx.Delta, new(big.Int).SetUint64(m.Value)).Uint64()
+	}
+
+	if params.PBits != 0 {
+		pMod := ctx.RingQP.Moduli[nData]
+		ctx.BigP = new(big.Int).SetUint64(pMod.Value)
+		ctx.pInvQ = make([]uint64, nData)
+		ctx.pModQ = make([]uint64, nData)
+		for i, m := range ctx.RingQ.Moduli {
+			pm := m.Reduce(pMod.Value)
+			ctx.pModQ[i] = pm
+			inv, ok := m.Inv(pm)
+			if !ok {
+				return nil, fmt.Errorf("bfv: special prime not invertible mod q_%d", i)
+			}
+			ctx.pInvQ[i] = inv
+		}
+		// qTilde_i over the QP basis.
+		ctx.qTildeQP = make([][]uint64, nData)
+		for i := range ctx.qTildeQP {
+			qi := new(big.Int).SetUint64(ctx.RingQ.Moduli[i].Value)
+			hat := new(big.Int).Div(ctx.BigQ, qi)
+			hatInv := new(big.Int).ModInverse(new(big.Int).Mod(hat, qi), qi)
+			tilde := new(big.Int).Mul(hat, hatInv) // ≡1 mod q_i, ≡0 mod q_j
+			row := make([]uint64, len(ctx.RingQP.Moduli))
+			for j, m := range ctx.RingQP.Moduli {
+				row[j] = new(big.Int).Mod(tilde, new(big.Int).SetUint64(m.Value)).Uint64()
+			}
+			ctx.qTildeQP[i] = row
+		}
+	}
+
+	// Extended basis for exact ciphertext-ciphertext multiplication:
+	// product must exceed N · Q² · 4.
+	needBits := 2*ctx.RingQ.ModulusBits() + params.LogN + 3
+	var eBits []int
+	gotBits := 0
+	for gotBits < needBits {
+		eBits = append(eBits, 55)
+		gotBits += 55
+	}
+	ePrimes, err := nt.GenerateNTTPrimes(55, params.LogN, len(eBits))
+	if err != nil {
+		return nil, err
+	}
+	ctx.ringE, err = ring.NewRing(params.LogN, ePrimes)
+	if err != nil {
+		return nil, err
+	}
+
+	ctx.ringQDrop = make([]*ring.Ring, nData)
+	for d := 0; d < nData; d++ {
+		ctx.ringQDrop[d] = ctx.RingQ.AtLevel(nData - 1 - d)
+	}
+
+	ctx.indexMap = buildIndexMap(params.LogN)
+	return ctx, nil
+}
+
+// buildIndexMap computes the slot-to-coefficient position map for the
+// 2×(N/2) batching matrix, following SEAL's BatchEncoder: slot i of row
+// r sits at the bit-reversed index of the (3^i)-th odd power position.
+func buildIndexMap(logN int) []int {
+	n := 1 << uint(logN)
+	m := uint64(2 * n)
+	rowSize := n / 2
+	idx := make([]int, n)
+	pos := uint64(1)
+	gen := uint64(3)
+	for i := 0; i < rowSize; i++ {
+		index1 := int((pos - 1) >> 1)
+		index2 := int((m - pos - 1) >> 1)
+		idx[i] = bitrev(index1, logN)
+		idx[rowSize+i] = bitrev(index2, logN)
+		pos = pos * gen % m
+	}
+	return idx
+}
+
+func bitrev(x, bits int) int {
+	r := 0
+	for i := 0; i < bits; i++ {
+		r = (r << 1) | (x & 1)
+		x >>= 1
+	}
+	return r
+}
+
+// PresetA returns the paper's Table 3 parameter set A:
+// BFV, N=8192, log2 q = 175 with residues {58,58,59}, log2 t = 23.
+// The 59-bit prime serves as the key-switching prime, leaving 2 data
+// residues and a 262,144-byte ciphertext.
+func PresetA() Parameters {
+	return Parameters{LogN: 13, QBits: []int{58, 58}, PBits: 59, TBits: 23, Sigma: 3.2}
+}
+
+// PresetB returns the paper's Table 3 parameter set B:
+// BFV, N=4096, log2 q = 109 with residues {36,36,37}, log2 t = 18,
+// 131,072-byte ciphertext.
+func PresetB() Parameters {
+	return Parameters{LogN: 12, QBits: []int{36, 36}, PBits: 37, TBits: 18, Sigma: 3.2}
+}
+
+// PresetTest returns a small parameter set for fast unit tests.
+func PresetTest() Parameters {
+	return Parameters{LogN: 11, QBits: []int{40, 40}, PBits: 41, TBits: 17, Sigma: 3.2}
+}

@@ -1,0 +1,195 @@
+package bfv
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// slotVec makes bounded random slot vectors generatable by
+// testing/quick (values already reduced into a small range so products
+// and sums stay well within t).
+type slotVec struct{ v []uint64 }
+
+func (slotVec) Generate(rand *rand.Rand, size int) reflect.Value {
+	v := make([]uint64, 32)
+	for i := range v {
+		v[i] = uint64(rand.Intn(256))
+	}
+	return reflect.ValueOf(slotVec{v: v})
+}
+
+// propKit is shared across the property tests (context setup is the
+// expensive part).
+var propKitCache *testKit
+
+func propKit(t *testing.T) *testKit {
+	t.Helper()
+	if propKitCache == nil {
+		propKitCache = newTestKit(t, PresetTest(), 1, 2, 3)
+	}
+	return propKitCache
+}
+
+func TestQuickEncryptionIsAdditivelyHomomorphic(t *testing.T) {
+	kit := propKit(t)
+	tmod := kit.ctx.T.Value
+	f := func(a, b slotVec) bool {
+		cta, err := kit.enc.EncryptUints(a.v)
+		if err != nil {
+			return false
+		}
+		ctb, err := kit.enc.EncryptUints(b.v)
+		if err != nil {
+			return false
+		}
+		got := kit.dec.DecryptUints(kit.ev.Add(cta, ctb))
+		for i := range a.v {
+			if got[i] != (a.v[i]+b.v[i])%tmod {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMulPlainDistributesOverAdd(t *testing.T) {
+	// Enc(x)⊙(p+q) == Enc(x)⊙p + Enc(x)⊙q in every slot.
+	kit := propKit(t)
+	tmod := kit.ctx.T.Value
+	f := func(x, p, q slotVec) bool {
+		ct, err := kit.enc.EncryptUints(x.v)
+		if err != nil {
+			return false
+		}
+		sum := make([]uint64, len(p.v))
+		for i := range sum {
+			sum[i] = (p.v[i] + q.v[i]) % tmod
+		}
+		ptSum, _ := kit.ecd.EncodeUints(sum)
+		ptP, _ := kit.ecd.EncodeUints(p.v)
+		ptQ, _ := kit.ecd.EncodeUints(q.v)
+		lhs := kit.dec.DecryptUints(kit.ev.MulPlain(ct, kit.ev.PrepareMul(ptSum)))
+		viaP := kit.ev.MulPlain(ct, kit.ev.PrepareMul(ptP))
+		viaQ := kit.ev.MulPlain(ct, kit.ev.PrepareMul(ptQ))
+		rhs := kit.dec.DecryptUints(kit.ev.Add(viaP, viaQ))
+		for i := range lhs {
+			if lhs[i] != rhs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRotationComposition(t *testing.T) {
+	// rotate(rotate(ct, a), b) decrypts to rotate-by-(a+b).
+	kit := propKit(t)
+	row := kit.ctx.Params.N() / 2
+	f := func(x slotVec, aSeed, bSeed uint8) bool {
+		a := 1 + int(aSeed)%2 // steps with available keys: 1..2
+		b := 1 + int(bSeed)%2
+		full := make([]uint64, kit.ctx.Params.N())
+		copy(full, x.v)
+		ct, err := kit.enc.EncryptUints(full)
+		if err != nil {
+			return false
+		}
+		r1, err := kit.ev.RotateRows(ct, a)
+		if err != nil {
+			return false
+		}
+		r2, err := kit.ev.RotateRows(r1, b)
+		if err != nil {
+			return false
+		}
+		got := kit.dec.DecryptUints(r2)
+		for i := 0; i < row; i++ {
+			src := (i + a + b) % row
+			if got[i] != full[src] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCtMultiplyMatchesSlotProducts(t *testing.T) {
+	kit := propKit(t)
+	tmod := kit.ctx.T.Value
+	f := func(a, b slotVec) bool {
+		cta, err := kit.enc.EncryptUints(a.v)
+		if err != nil {
+			return false
+		}
+		ctb, err := kit.enc.EncryptUints(b.v)
+		if err != nil {
+			return false
+		}
+		prod, err := kit.ev.MulRelin(cta, ctb)
+		if err != nil {
+			return false
+		}
+		got := kit.dec.DecryptUints(prod)
+		for i := range a.v {
+			if got[i] != a.v[i]*b.v[i]%tmod {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEncodeDecodeIdentity(t *testing.T) {
+	kit := propKit(t)
+	f := func(x slotVec) bool {
+		pt, err := kit.ecd.EncodeUints(x.v)
+		if err != nil {
+			return false
+		}
+		got := kit.ecd.DecodeUints(pt)
+		for i := range x.v {
+			if got[i] != x.v[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFreshCiphertextsDiffer(t *testing.T) {
+	// Semantic-security smoke test: two encryptions of the same
+	// message are different ciphertexts (randomized encryption).
+	kit := propKit(t)
+	f := func(x slotVec) bool {
+		a, err := kit.enc.EncryptUints(x.v)
+		if err != nil {
+			return false
+		}
+		b, err := kit.enc.EncryptUints(x.v)
+		if err != nil {
+			return false
+		}
+		return !kit.ctx.RingQ.Equal(a.Value[0], b.Value[0]) &&
+			!kit.ctx.RingQ.Equal(a.Value[1], b.Value[1])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}

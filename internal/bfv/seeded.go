@@ -1,0 +1,125 @@
+package bfv
+
+import (
+	"choco/internal/ring"
+	"choco/internal/sampling"
+)
+
+// Seeded symmetric encryption: when the encryptor holds the secret key
+// (always true for CHOCO's client), the second ciphertext component can
+// be a pseudorandom polynomial expanded from a 32-byte seed instead of
+// being transmitted:
+//
+//	a  ← PRG(seed),  c0 = [-(a·s + e) + Δm]_q,  send (c0, seed)
+//
+// The server expands a from the seed, reconstructing (c0, a). This
+// halves the client's upload — on top of everything CHOCO already does
+// — at zero security cost (a is uniform either way). An extension
+// beyond the paper; SEAL and Lattigo ship the same optimization.
+
+// SeededCiphertext is the compressed wire form of a fresh symmetric
+// encryption.
+type SeededCiphertext struct {
+	C0   *ring.Poly
+	Seed [32]byte
+}
+
+// SymmetricEncryptor encrypts under the secret key, producing seeded
+// ciphertexts.
+type SymmetricEncryptor struct {
+	ctx     *Context
+	sk      *SecretKey
+	encoder *Encoder
+	src     *sampling.Source
+	// OpCount tallies encryptions performed.
+	OpCount int
+	counter uint64
+}
+
+// NewSymmetricEncryptor returns a secret-key encryptor seeded by seed.
+func NewSymmetricEncryptor(ctx *Context, sk *SecretKey, seed [32]byte) *SymmetricEncryptor {
+	return &SymmetricEncryptor{
+		ctx:     ctx,
+		sk:      sk,
+		encoder: NewEncoder(ctx),
+		src:     sampling.NewSource(seed, "bfv-symmetric-encryptor"),
+	}
+}
+
+// expandA deterministically regenerates the uniform polynomial from a
+// seed (NTT domain, one row per data prime).
+func expandA(ctx *Context, seed [32]byte) *ring.Poly {
+	r := ctx.RingQ
+	src := sampling.NewSource(seed, "bfv-seeded-a")
+	a := r.NewPoly()
+	for i, m := range r.Moduli {
+		src.UniformMod(a.Coeffs[i], m.Value)
+	}
+	a.IsNTT = true
+	return a
+}
+
+// EncryptSeeded encrypts a plaintext into the compressed form.
+func (enc *SymmetricEncryptor) EncryptSeeded(pt *Plaintext) *SeededCiphertext {
+	ctx := enc.ctx
+	r := ctx.RingQ
+	enc.OpCount++
+
+	// Derive a fresh per-ciphertext seed from the encryptor's stream.
+	var ctSeed [32]byte
+	for i := 0; i < 4; i++ {
+		v := enc.src.Uint64()
+		for j := 0; j < 8; j++ {
+			ctSeed[8*i+j] = byte(v >> (8 * j))
+		}
+	}
+	enc.counter++
+
+	a := expandA(ctx, ctSeed)
+
+	// c0 = -(a·s + e) + Δm, transmitted in the coefficient domain.
+	c0 := r.NewPoly()
+	r.MulCoeffs(a, enc.sk.ValueQ, c0)
+	r.INTT(c0)
+	eSigned := make([]int64, ctx.Params.N())
+	enc.src.GaussianSigned(eSigned, ctx.Params.Sigma)
+	e := r.NewPoly()
+	r.SetCoeffsInt64(eSigned, e)
+	r.Add(c0, e, c0)
+	r.Neg(c0, c0)
+	dm := enc.encoder.liftToQScaled(pt)
+	r.Add(c0, dm, c0)
+
+	return &SeededCiphertext{C0: c0, Seed: ctSeed}
+}
+
+// EncryptUintsSeeded encodes and encrypts in one step.
+func (enc *SymmetricEncryptor) EncryptUintsSeeded(values []uint64) (*SeededCiphertext, error) {
+	pt, err := enc.encoder.EncodeUints(values)
+	if err != nil {
+		return nil, err
+	}
+	return enc.EncryptSeeded(pt), nil
+}
+
+// EncryptIntsSeeded encodes and encrypts signed values.
+func (enc *SymmetricEncryptor) EncryptIntsSeeded(values []int64) (*SeededCiphertext, error) {
+	pt, err := enc.encoder.EncodeInts(values)
+	if err != nil {
+		return nil, err
+	}
+	return enc.EncryptSeeded(pt), nil
+}
+
+// Expand reconstructs the full two-component ciphertext (server side).
+func (sct *SeededCiphertext) Expand(ctx *Context) *Ciphertext {
+	a := expandA(ctx, sct.Seed)
+	ctx.RingQ.INTT(a) // ciphertexts live in the coefficient domain
+	return &Ciphertext{Value: []*ring.Poly{ctx.RingQ.CopyPoly(sct.C0), a}}
+}
+
+// WireBytes returns the serialized payload size: one polynomial plus
+// the seed — about half a regular ciphertext.
+func (sct *SeededCiphertext) WireBytes(ctx *Context) int {
+	return ctx.Params.N()*len(ctx.RingQ.Moduli)*8 + 32
+}

@@ -1,0 +1,67 @@
+package ckks
+
+import "testing"
+
+func benchFloats(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = float64(i%100)/25 - 2
+	}
+	return v
+}
+
+func BenchmarkEncryptPresetC(b *testing.B) {
+	kit := newTestKit(b, PresetC())
+	pt, _ := kit.ecd.EncodeFloats(benchFloats(kit.ctx.Params.Slots()),
+		kit.ctx.Params.MaxLevel(), kit.ctx.Params.DefaultScale())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kit.enc.Encrypt(pt)
+	}
+}
+
+func BenchmarkEncodePresetC(b *testing.B) {
+	kit := newTestKit(b, PresetC())
+	vals := benchFloats(kit.ctx.Params.Slots())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kit.ecd.EncodeFloats(vals, kit.ctx.Params.MaxLevel(), kit.ctx.Params.DefaultScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecryptDecodePresetC(b *testing.B) {
+	kit := newTestKit(b, PresetC())
+	ct, _ := kit.enc.EncryptFloats(benchFloats(kit.ctx.Params.Slots()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kit.dec.DecryptFloats(ct)
+	}
+}
+
+func BenchmarkMulRelinRescaleTest(b *testing.B) {
+	kit := newTestKit(b, PresetTest())
+	ct, _ := kit.enc.EncryptFloats(benchFloats(64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prod, err := kit.ev.MulRelin(ct, ct)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := kit.ev.Rescale(prod); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRotatePresetTest(b *testing.B) {
+	kit := newTestKit(b, PresetTest(), 1)
+	ct, _ := kit.enc.EncryptFloats(benchFloats(64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kit.ev.RotateLeft(ct, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package ckks
+
+import (
+	"choco/internal/ring"
+	"choco/internal/sampling"
+)
+
+// Ciphertext is a CKKS ciphertext at some level, carrying its scale.
+// Polynomials are stored in the coefficient domain over the level's
+// data ring.
+type Ciphertext struct {
+	Value []*ring.Poly
+	Level int
+	Scale float64
+}
+
+// Degree returns the ciphertext degree.
+func (ct *Ciphertext) Degree() int { return len(ct.Value) - 1 }
+
+// CopyCt deep-copies a ciphertext.
+func (ctx *Context) CopyCt(ct *Ciphertext) *Ciphertext {
+	r := ctx.RingAtLevel(ct.Level)
+	out := &Ciphertext{Value: make([]*ring.Poly, len(ct.Value)), Level: ct.Level, Scale: ct.Scale}
+	for i, p := range ct.Value {
+		out.Value[i] = r.CopyPoly(p)
+	}
+	return out
+}
+
+// Encryptor performs asymmetric CKKS encryption.
+type Encryptor struct {
+	ctx     *Context
+	pk      *PublicKey
+	encoder *Encoder
+	src     *sampling.Source
+	// OpCount tallies encryptions, for client cost accounting.
+	OpCount int
+}
+
+// NewEncryptor returns an encryptor drawing randomness from seed.
+func NewEncryptor(ctx *Context, pk *PublicKey, seed [32]byte) *Encryptor {
+	return &Encryptor{ctx: ctx, pk: pk, encoder: NewEncoder(ctx), src: sampling.NewSource(seed, "ckks-encryptor")}
+}
+
+// Encrypt encrypts a plaintext at its level. Encryption happens at the
+// top level; lower-level plaintexts are supported by dropping residues
+// of the public key.
+func (enc *Encryptor) Encrypt(pt *Plaintext) *Ciphertext {
+	ctx := enc.ctx
+	r := ctx.RingAtLevel(pt.Level)
+	n := ctx.Params.N()
+	enc.OpCount++
+
+	u := r.NewPoly()
+	uSigned := make([]int64, n)
+	enc.src.TernarySigned(uSigned)
+	r.SetCoeffsInt64(uSigned, u)
+	r.NTT(u)
+
+	eSigned := make([]int64, n)
+
+	trunc := func(p *ring.Poly) *ring.Poly {
+		return &ring.Poly{Coeffs: p.Coeffs[:pt.Level+1], IsNTT: p.IsNTT}
+	}
+
+	c0 := r.NewPoly()
+	r.MulCoeffs(trunc(enc.pk.P0), u, c0)
+	r.INTT(c0)
+	e1 := r.NewPoly()
+	enc.src.GaussianSigned(eSigned, ctx.Params.Sigma)
+	r.SetCoeffsInt64(eSigned, e1)
+	r.Add(c0, e1, c0)
+	r.Add(c0, pt.Poly, c0) // message added directly (no Δ in CKKS)
+
+	c1 := r.NewPoly()
+	r.MulCoeffs(trunc(enc.pk.P1), u, c1)
+	r.INTT(c1)
+	e2 := r.NewPoly()
+	enc.src.GaussianSigned(eSigned, ctx.Params.Sigma)
+	r.SetCoeffsInt64(eSigned, e2)
+	r.Add(c1, e2, c1)
+
+	return &Ciphertext{Value: []*ring.Poly{c0, c1}, Level: pt.Level, Scale: pt.Scale}
+}
+
+// EncryptFloats encodes and encrypts real values at the top level with
+// the default scale.
+func (enc *Encryptor) EncryptFloats(values []float64) (*Ciphertext, error) {
+	pt, err := enc.encoder.EncodeFloats(values, enc.ctx.Params.MaxLevel(), enc.ctx.Params.DefaultScale())
+	if err != nil {
+		return nil, err
+	}
+	return enc.Encrypt(pt), nil
+}
+
+// Decryptor inverts encryption.
+type Decryptor struct {
+	ctx *Context
+	sk  *SecretKey
+	// OpCount tallies decryptions.
+	OpCount int
+}
+
+// NewDecryptor returns a decryptor for sk.
+func NewDecryptor(ctx *Context, sk *SecretKey) *Decryptor {
+	return &Decryptor{ctx: ctx, sk: sk}
+}
+
+// Decrypt computes [c0 + c1·s + c2·s² + ...]_q as a plaintext carrying
+// the ciphertext's scale.
+func (dec *Decryptor) Decrypt(ct *Ciphertext) *Plaintext {
+	ctx := dec.ctx
+	r := ctx.RingAtLevel(ct.Level)
+	dec.OpCount++
+
+	skTrunc := &ring.Poly{Coeffs: dec.sk.ValueQ.Coeffs[:ct.Level+1], IsNTT: true}
+	acc := r.CopyPoly(ct.Value[0])
+	r.NTT(acc)
+	sPow := r.CopyPoly(skTrunc)
+	tmp := r.NewPoly()
+	for i := 1; i < len(ct.Value); i++ {
+		ci := r.CopyPoly(ct.Value[i])
+		r.NTT(ci)
+		r.MulCoeffs(ci, sPow, tmp)
+		r.Add(acc, tmp, acc)
+		if i+1 < len(ct.Value) {
+			r.MulCoeffs(sPow, skTrunc, sPow)
+		}
+	}
+	r.INTT(acc)
+	return &Plaintext{Poly: acc, Level: ct.Level, Scale: ct.Scale}
+}
+
+// DecryptFloats decrypts and decodes the real parts of all slots.
+func (dec *Decryptor) DecryptFloats(ct *Ciphertext) []float64 {
+	return NewEncoder(dec.ctx).DecodeFloats(dec.Decrypt(ct))
+}
+
+// DecryptComplex decrypts and decodes all slots.
+func (dec *Decryptor) DecryptComplex(ct *Ciphertext) []complex128 {
+	return NewEncoder(dec.ctx).DecodeComplex(dec.Decrypt(ct))
+}

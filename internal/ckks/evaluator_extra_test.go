@@ -1,0 +1,44 @@
+package ckks
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSubPlainAndNeg(t *testing.T) {
+	kit := newTestKit(t, PresetTest())
+	a := []float64{3, -1.5, 0.25, 8}
+	p := []float64{1, 1, -2, 4}
+	ct, _ := kit.enc.EncryptFloats(a)
+	pt, _ := kit.ecd.EncodeFloats(p, ct.Level, ct.Scale)
+	diff, err := kit.ev.SubPlain(ct, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := kit.dec.DecryptFloats(diff)
+	for i := range a {
+		if math.Abs(got[i]-(a[i]-p[i])) > 1e-4 {
+			t.Errorf("slot %d: got %v want %v", i, got[i], a[i]-p[i])
+		}
+	}
+	neg := kit.ev.Neg(ct)
+	gotNeg := kit.dec.DecryptFloats(neg)
+	for i := range a {
+		if math.Abs(gotNeg[i]+a[i]) > 1e-4 {
+			t.Errorf("neg slot %d: got %v want %v", i, gotNeg[i], -a[i])
+		}
+	}
+}
+
+func TestSubPlainRejectsMismatch(t *testing.T) {
+	kit := newTestKit(t, PresetTest())
+	ct, _ := kit.enc.EncryptFloats([]float64{1})
+	pt, _ := kit.ecd.EncodeFloats([]float64{1}, ct.Level, ct.Scale*4)
+	if _, err := kit.ev.SubPlain(ct, pt); err == nil {
+		t.Error("expected scale mismatch error")
+	}
+	pt0, _ := kit.ecd.EncodeFloats([]float64{1}, 0, ct.Scale)
+	if _, err := kit.ev.SubPlain(ct, pt0); err == nil {
+		t.Error("expected level mismatch error")
+	}
+}

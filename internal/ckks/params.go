@@ -1,0 +1,224 @@
+// Package ckks implements the Cheon-Kim-Kim-Song approximate-arithmetic
+// homomorphic encryption scheme in full RNS form: canonical-embedding
+// encoding over complex slots, encryption/decryption (sharing the
+// kernel CHOCO-TACO accelerates), homomorphic addition, plaintext and
+// ciphertext multiplication with relinearization and rescaling, slot
+// rotation, and conjugation. CHOCO uses CKKS for its fixed-point
+// workloads: PageRank, KNN, and K-Means.
+package ckks
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"choco/internal/nt"
+	"choco/internal/ring"
+)
+
+// Parameters defines a CKKS parameter set. QBits lists the data primes
+// (q0 first); PBits is the key-switching special prime; DefaultScale is
+// 2^LogScale.
+type Parameters struct {
+	LogN     int
+	QBits    []int
+	PBits    int
+	LogScale int
+	Sigma    float64
+}
+
+// N returns the ring degree.
+func (p Parameters) N() int { return 1 << uint(p.LogN) }
+
+// Slots returns the number of complex plaintext slots (N/2).
+func (p Parameters) Slots() int { return p.N() / 2 }
+
+// MaxLevel is the highest ciphertext level (number of data primes - 1).
+func (p Parameters) MaxLevel() int { return len(p.QBits) - 1 }
+
+// DefaultScale returns 2^LogScale.
+func (p Parameters) DefaultScale() float64 {
+	return math.Ldexp(1, p.LogScale)
+}
+
+// CiphertextBytes returns the serialized size of a fresh (full-level)
+// ciphertext: 2 polynomials × N × data residues × 8 bytes.
+func (p Parameters) CiphertextBytes() int {
+	return 2 * p.N() * len(p.QBits) * 8
+}
+
+// CiphertextBytesAtLevel returns the size of a ciphertext at the given
+// level.
+func (p Parameters) CiphertextBytesAtLevel(level int) int {
+	return 2 * p.N() * (level + 1) * 8
+}
+
+// Validate checks the parameter set.
+func (p Parameters) Validate() error {
+	if p.LogN < 10 || p.LogN > 16 {
+		return fmt.Errorf("ckks: logN=%d outside supported range [10,16]", p.LogN)
+	}
+	if len(p.QBits) == 0 {
+		return fmt.Errorf("ckks: no data primes")
+	}
+	for _, b := range p.QBits {
+		if b < p.LogN+2 || b > nt.MaxModulusBits {
+			return fmt.Errorf("ckks: invalid data prime size %d", b)
+		}
+	}
+	if p.PBits != 0 && (p.PBits < p.LogN+2 || p.PBits > nt.MaxModulusBits) {
+		return fmt.Errorf("ckks: invalid special prime size %d", p.PBits)
+	}
+	if p.LogScale < 10 || p.LogScale >= p.QBits[0] {
+		return fmt.Errorf("ckks: LogScale=%d must be in [10, q0 bits)", p.LogScale)
+	}
+	if p.Sigma <= 0 {
+		return fmt.Errorf("ckks: sigma must be positive")
+	}
+	return nil
+}
+
+// Context carries precomputation for a CKKS parameter set.
+type Context struct {
+	Params Parameters
+
+	// RingQ covers all data primes; RingQP appends the special prime.
+	RingQ  *ring.Ring
+	RingQP *ring.Ring
+
+	// ringQl[l] is the data ring truncated to level l; ringQlP[l] is
+	// the level-l key-switching ring (q0..ql, p).
+	ringQl  []*ring.Ring
+	ringQlP []*ring.Ring
+
+	BigP *big.Int
+	// qTildeQP[i][j]: the CRT basis element for data prime i reduced
+	// into QP residue j (≡1 mod q_i, ≡0 mod other data primes).
+	qTildeQP [][]uint64
+	pInvQ    []uint64
+
+	// Embedding tables: rotGroup[i] = 5^i mod 2N; roots[k] = e^{2πik/2N}.
+	rotGroup []uint64
+	roots    []complex128
+}
+
+// NewContext generates primes and precomputes embedding and
+// key-switching tables.
+func NewContext(params Parameters) (*Context, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	allBits := append([]int{}, params.QBits...)
+	if params.PBits != 0 {
+		allBits = append(allBits, params.PBits)
+	}
+	primes, err := nt.GenerateNTTPrimesVarBits(allBits, params.LogN)
+	if err != nil {
+		return nil, err
+	}
+	nData := len(params.QBits)
+
+	ctx := &Context{Params: params}
+	ctx.RingQP, err = ring.NewRing(params.LogN, primes)
+	if err != nil {
+		return nil, err
+	}
+	if params.PBits != 0 {
+		ctx.RingQ = ctx.RingQP.AtLevel(nData - 1)
+	} else {
+		ctx.RingQ = ctx.RingQP
+	}
+
+	ctx.ringQl = make([]*ring.Ring, nData)
+	ctx.ringQlP = make([]*ring.Ring, nData)
+	for l := 0; l < nData; l++ {
+		ctx.ringQl[l] = ctx.RingQ.AtLevel(l)
+		if params.PBits != 0 {
+			mods := append(append([]uint64{}, primes[:l+1]...), primes[nData])
+			rl, err := ring.NewRing(params.LogN, mods)
+			if err != nil {
+				return nil, err
+			}
+			ctx.ringQlP[l] = rl
+		}
+	}
+
+	if params.PBits != 0 {
+		pVal := primes[nData]
+		ctx.BigP = new(big.Int).SetUint64(pVal)
+		ctx.pInvQ = make([]uint64, nData)
+		for i, m := range ctx.RingQ.Moduli {
+			inv, ok := m.Inv(m.Reduce(pVal))
+			if !ok {
+				return nil, fmt.Errorf("ckks: special prime not invertible mod q_%d", i)
+			}
+			ctx.pInvQ[i] = inv
+		}
+		bigQ := ctx.RingQ.ModulusBig()
+		ctx.qTildeQP = make([][]uint64, nData)
+		for i := range ctx.qTildeQP {
+			qi := new(big.Int).SetUint64(ctx.RingQ.Moduli[i].Value)
+			hat := new(big.Int).Div(bigQ, qi)
+			hatInv := new(big.Int).ModInverse(new(big.Int).Mod(hat, qi), qi)
+			tilde := new(big.Int).Mul(hat, hatInv)
+			row := make([]uint64, len(ctx.RingQP.Moduli))
+			for j, m := range ctx.RingQP.Moduli {
+				row[j] = new(big.Int).Mod(tilde, new(big.Int).SetUint64(m.Value)).Uint64()
+			}
+			ctx.qTildeQP[i] = row
+		}
+	}
+
+	// Canonical embedding tables.
+	m := 2 * params.N()
+	nh := params.N() / 2
+	ctx.rotGroup = make([]uint64, nh)
+	g := uint64(1)
+	for i := 0; i < nh; i++ {
+		ctx.rotGroup[i] = g
+		g = g * 5 % uint64(m)
+	}
+	ctx.roots = make([]complex128, m+1)
+	for k := 0; k <= m; k++ {
+		angle := 2 * math.Pi * float64(k) / float64(m)
+		ctx.roots[k] = complex(math.Cos(angle), math.Sin(angle))
+	}
+	return ctx, nil
+}
+
+// RingAtLevel returns the data ring truncated to the given level.
+func (ctx *Context) RingAtLevel(level int) *ring.Ring { return ctx.ringQl[level] }
+
+// GaloisElementForRotation returns g = 5^steps mod 2N (inverse exponent
+// for negative steps), the automorphism that rotates CKKS slots left by
+// steps.
+func (ctx *Context) GaloisElementForRotation(steps int) uint64 {
+	n := ctx.Params.N()
+	order := n / 2
+	s := ((steps % order) + order) % order
+	twoN := uint64(2 * n)
+	g := uint64(1)
+	for i := 0; i < s; i++ {
+		g = g * 5 % twoN
+	}
+	return g
+}
+
+// GaloisElementConjugate returns 2N-1, the conjugation automorphism.
+func (ctx *Context) GaloisElementConjugate() uint64 {
+	return uint64(2*ctx.Params.N() - 1)
+}
+
+// PresetC returns the paper's Table 3 parameter set C: CKKS, N=8192,
+// residues {60,60,60} (two data primes plus the key-switching prime),
+// 262,144-byte ciphertext.
+func PresetC() Parameters {
+	return Parameters{LogN: 13, QBits: []int{60, 60}, PBits: 60, LogScale: 45, Sigma: 3.2}
+}
+
+// PresetTest returns a small parameter set for fast unit tests. The
+// scale is chosen close to the prime size so that one rescale leaves a
+// healthy working scale (2^30).
+func PresetTest() Parameters {
+	return Parameters{LogN: 11, QBits: []int{50, 50}, PBits: 51, LogScale: 40, Sigma: 3.2}
+}

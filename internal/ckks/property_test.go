@@ -1,0 +1,210 @@
+package ckks
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// floatVec generates bounded real vectors for testing/quick.
+type floatVec struct{ v []float64 }
+
+func (floatVec) Generate(rand *rand.Rand, size int) reflect.Value {
+	v := make([]float64, 24)
+	for i := range v {
+		v[i] = rand.Float64()*8 - 4
+	}
+	return reflect.ValueOf(floatVec{v: v})
+}
+
+var ckksPropKit *testKit
+
+func propKit(t *testing.T) *testKit {
+	t.Helper()
+	if ckksPropKit == nil {
+		ckksPropKit = newTestKit(t, PresetTest(), 1, 2)
+	}
+	return ckksPropKit
+}
+
+func maxErr(got, want []float64) float64 {
+	m := 0.0
+	for i := range want {
+		if e := math.Abs(got[i] - want[i]); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+func TestQuickAdditiveHomomorphism(t *testing.T) {
+	kit := propKit(t)
+	f := func(a, b floatVec) bool {
+		cta, err := kit.enc.EncryptFloats(a.v)
+		if err != nil {
+			return false
+		}
+		ctb, err := kit.enc.EncryptFloats(b.v)
+		if err != nil {
+			return false
+		}
+		sum, err := kit.ev.Add(cta, ctb)
+		if err != nil {
+			return false
+		}
+		want := make([]float64, len(a.v))
+		for i := range want {
+			want[i] = a.v[i] + b.v[i]
+		}
+		return maxErr(kit.dec.DecryptFloats(sum)[:len(want)], want) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMultiplicativeHomomorphism(t *testing.T) {
+	kit := propKit(t)
+	f := func(a, b floatVec) bool {
+		cta, err := kit.enc.EncryptFloats(a.v)
+		if err != nil {
+			return false
+		}
+		ctb, err := kit.enc.EncryptFloats(b.v)
+		if err != nil {
+			return false
+		}
+		prod, err := kit.ev.MulRelin(cta, ctb)
+		if err != nil {
+			return false
+		}
+		want := make([]float64, len(a.v))
+		for i := range want {
+			want[i] = a.v[i] * b.v[i]
+		}
+		return maxErr(kit.dec.DecryptFloats(prod)[:len(want)], want) < 1e-2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEncodingIsLinear(t *testing.T) {
+	kit := propKit(t)
+	scale := kit.ctx.Params.DefaultScale()
+	lvl := kit.ctx.Params.MaxLevel()
+	r := kit.ctx.RingAtLevel(lvl)
+	f := func(a, b floatVec) bool {
+		pa, err := kit.ecd.EncodeFloats(a.v, lvl, scale)
+		if err != nil {
+			return false
+		}
+		pb, err := kit.ecd.EncodeFloats(b.v, lvl, scale)
+		if err != nil {
+			return false
+		}
+		sumPoly := r.NewPoly()
+		r.Add(pa.Poly, pb.Poly, sumPoly)
+		sumPt := &Plaintext{Poly: sumPoly, Level: lvl, Scale: scale}
+		got := kit.ecd.DecodeFloats(sumPt)
+		want := make([]float64, len(a.v))
+		for i := range want {
+			want[i] = a.v[i] + b.v[i]
+		}
+		return maxErr(got[:len(want)], want) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRescalePreservesValues(t *testing.T) {
+	kit := propKit(t)
+	f := func(a floatVec) bool {
+		ct, err := kit.enc.EncryptFloats(a.v)
+		if err != nil {
+			return false
+		}
+		sq, err := kit.ev.MulRelin(ct, ct)
+		if err != nil {
+			return false
+		}
+		rs, err := kit.ev.Rescale(sq)
+		if err != nil {
+			return false
+		}
+		want := make([]float64, len(a.v))
+		for i := range want {
+			want[i] = a.v[i] * a.v[i]
+		}
+		return maxErr(kit.dec.DecryptFloats(rs)[:len(want)], want) < 1e-2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWrongSecretKeyGarbage(t *testing.T) {
+	kit := propKit(t)
+	other := NewKeyGenerator(kit.ctx, [32]byte{123}).GenSecretKey()
+	wrongDec := NewDecryptor(kit.ctx, other)
+	ct, _ := kit.enc.EncryptFloats([]float64{1, 2, 3})
+	got := wrongDec.DecryptFloats(ct)
+	// Values should be enormous noise, nowhere near the message.
+	close := 0
+	for i, w := range []float64{1, 2, 3} {
+		if math.Abs(got[i]-w) < 1 {
+			close++
+		}
+	}
+	if close > 0 {
+		t.Errorf("wrong key recovered %d slots", close)
+	}
+}
+
+func TestTamperedCKKSCiphertext(t *testing.T) {
+	kit := propKit(t)
+	ct, _ := kit.enc.EncryptFloats([]float64{1, 2, 3})
+	ct.Value[1].Coeffs[0][3] ^= 0xABCDEF
+	got := kit.dec.DecryptFloats(ct)
+	close := 0
+	for i, w := range []float64{1, 2, 3} {
+		if math.Abs(got[i]-w) < 0.5 {
+			close++
+		}
+	}
+	if close > 0 {
+		t.Errorf("tampering survived in %d slots", close)
+	}
+}
+
+func TestPrecisionStatistics(t *testing.T) {
+	// Mean/max decode error over a full-width encryption must sit far
+	// below the scale — the CKKS precision meter.
+	kit := propKit(t)
+	nh := kit.ctx.Params.Slots()
+	vals := make([]float64, nh)
+	for i := range vals {
+		vals[i] = math.Sin(float64(i) * 0.01)
+	}
+	ct, err := kit.enc.EncryptFloats(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := kit.dec.DecryptFloats(ct)
+	var sumErr, worst float64
+	for i := range vals {
+		e := math.Abs(got[i] - vals[i])
+		sumErr += e
+		if e > worst {
+			worst = e
+		}
+	}
+	mean := sumErr / float64(nh)
+	t.Logf("precision: mean err %.2e, worst %.2e (log2 worst ≈ %.1f bits)", mean, worst, math.Log2(worst))
+	if worst > 1e-6 {
+		t.Errorf("worst-case precision %.2e too coarse for scale 2^%d", worst, kit.ctx.Params.LogScale)
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+
+	"choco/internal/bfv"
+)
+
+// BatchedLinear evaluates y = W·x over a whole batch of inputs packed
+// position-major: slot b of ciphertext i holds element i of input b
+// (the CryptoNets/LoLa "batching" layout of §2.1). Every slot is
+// useful — maximal SIMD throughput — but one ciphertext per vector
+// element makes the latency and communication of a single input
+// enormous. CHOCO's packed operators (Conv2D, FC) make the opposite
+// trade; the bench package's ablation quantifies the crossover.
+type BatchedLinear struct {
+	In, Out int
+	// Weights[o][i], quantized signed.
+	Weights [][]int64
+}
+
+// NewBatchedLinear validates the weight matrix.
+func NewBatchedLinear(in, out int, weights [][]int64) (*BatchedLinear, error) {
+	if in <= 0 || out <= 0 {
+		return nil, fmt.Errorf("core: invalid batched dims %dx%d", in, out)
+	}
+	if len(weights) != out {
+		return nil, fmt.Errorf("core: weights have %d rows, want %d", len(weights), out)
+	}
+	for o := range weights {
+		if len(weights[o]) != in {
+			return nil, fmt.Errorf("core: weight row %d has %d cols, want %d", o, len(weights[o]), in)
+		}
+	}
+	return &BatchedLinear{In: in, Out: out, Weights: weights}, nil
+}
+
+// PackBatch lays out a batch of input vectors position-major: the i-th
+// slot vector holds element i of every input. len(batch) ≤ slots.
+func (l *BatchedLinear) PackBatch(batch [][]int64, slots int) ([][]int64, error) {
+	if len(batch) > slots {
+		return nil, fmt.Errorf("core: batch of %d exceeds %d slots", len(batch), slots)
+	}
+	out := make([][]int64, l.In)
+	for i := 0; i < l.In; i++ {
+		out[i] = make([]int64, slots)
+		for b, x := range batch {
+			if len(x) != l.In {
+				return nil, fmt.Errorf("core: batch item %d has %d elements, want %d", b, len(x), l.In)
+			}
+			out[i][b] = x[i]
+		}
+	}
+	return out, nil
+}
+
+// Apply computes the Out output-element ciphertexts from the In input
+// ciphertexts using scalar multiplies and additions only — zero
+// rotations, zero masking: the throughput-optimal structure.
+func (l *BatchedLinear) Apply(ev *bfv.Evaluator, cts []*bfv.Ciphertext) ([]*bfv.Ciphertext, OpCounts, error) {
+	var ops OpCounts
+	if len(cts) != l.In {
+		return nil, ops, fmt.Errorf("core: got %d input ciphertexts, want %d", len(cts), l.In)
+	}
+	outs := make([]*bfv.Ciphertext, l.Out)
+	for o := 0; o < l.Out; o++ {
+		var acc *bfv.Ciphertext
+		for i := 0; i < l.In; i++ {
+			w := l.Weights[o][i]
+			if w == 0 {
+				continue
+			}
+			var term *bfv.Ciphertext
+			if w > 0 {
+				term = ev.MulScalar(cts[i], uint64(w))
+			} else {
+				term = ev.Neg(ev.MulScalar(cts[i], uint64(-w)))
+			}
+			ops.PlainMults++ // scalar multiplies count as plaintext muls
+			if acc == nil {
+				acc = term
+			} else {
+				acc = ev.Add(acc, term)
+				ops.Adds++
+			}
+		}
+		if acc == nil {
+			return nil, ops, fmt.Errorf("core: output %d has all-zero weights", o)
+		}
+		outs[o] = acc
+	}
+	return outs, ops, nil
+}
+
+// ExtractBatch reads output element o of every batch item from the
+// decoded slot vector of output ciphertext o.
+func (l *BatchedLinear) ExtractBatch(decoded [][]int64, batchSize int) [][]int64 {
+	out := make([][]int64, batchSize)
+	for b := 0; b < batchSize; b++ {
+		out[b] = make([]int64, l.Out)
+		for o := 0; o < l.Out; o++ {
+			out[b][o] = decoded[o][b]
+		}
+	}
+	return out
+}
+
+// CiphertextsPerInference returns (up, down) ciphertext counts for a
+// batch of the given size — the §2.1 tradeoff in one formula: counts
+// are independent of batch size up to the slot capacity.
+func (l *BatchedLinear) CiphertextsPerInference() (up, down int) {
+	return l.In, l.Out
+}

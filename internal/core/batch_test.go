@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"choco/internal/bfv"
+	"choco/internal/sampling"
+)
+
+func TestBatchedLinearValidation(t *testing.T) {
+	if _, err := NewBatchedLinear(0, 2, nil); err == nil {
+		t.Error("expected error for zero dims")
+	}
+	if _, err := NewBatchedLinear(2, 2, [][]int64{{1, 2}}); err == nil {
+		t.Error("expected error for row count")
+	}
+	if _, err := NewBatchedLinear(2, 1, [][]int64{{1}}); err == nil {
+		t.Error("expected error for column count")
+	}
+}
+
+func TestBatchedLinearMatchesPlainPerItem(t *testing.T) {
+	in, out, batch := 12, 5, 9
+	src := sampling.NewSource([32]byte{31}, "batched")
+	w := make([][]int64, out)
+	for o := range w {
+		w[o] = make([]int64, in)
+		for i := range w[o] {
+			w[o][i] = int64(src.Intn(15)) - 7
+		}
+	}
+	bl, err := NewBatchedLinear(in, out, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	items := make([][]int64, batch)
+	for b := range items {
+		items[b] = make([]int64, in)
+		for i := range items[b] {
+			items[b][i] = int64(src.Intn(31)) - 15
+		}
+	}
+
+	k := newKit(t, nil)
+	slots := k.ctx.Params.Slots()
+	packed, err := bl.PackBatch(items, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := make([]*bfv.Ciphertext, in)
+	for i := 0; i < in; i++ {
+		ct, err := k.enc.EncryptInts(packed[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ins[i] = ct
+	}
+	outs, ops, err := bl.Apply(k.ev, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops.Rotations != 0 || ops.CtMults != 0 {
+		t.Errorf("batched layer must use no rotations/ctmults: %+v", ops)
+	}
+	decoded := make([][]int64, out)
+	for o := range outs {
+		decoded[o] = k.dec.DecryptInts(outs[o])
+	}
+	got := bl.ExtractBatch(decoded, batch)
+	for b := range items {
+		want := PlainFC(w, items[b])
+		for o := range want {
+			if got[b][o] != want[o] {
+				t.Fatalf("item %d output %d: got %d want %d", b, o, got[b][o], want[o])
+			}
+		}
+	}
+}
+
+func TestBatchedPackErrors(t *testing.T) {
+	bl, err := NewBatchedLinear(2, 1, [][]int64{{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bl.PackBatch(make([][]int64, 10000), 64); err == nil {
+		t.Error("expected slot-capacity error")
+	}
+	if _, err := bl.PackBatch([][]int64{{1}}, 64); err == nil {
+		t.Error("expected element-count error")
+	}
+}
+
+func TestBatchedTradeoffStructure(t *testing.T) {
+	// §2.1: batched ciphertext counts are independent of batch size —
+	// great for throughput, terrible for a single input. Compare with
+	// the packed FC's 2 ciphertexts per input.
+	in, out := 64, 10
+	w := make([][]int64, out)
+	for o := range w {
+		w[o] = make([]int64, in)
+		w[o][0] = 1
+	}
+	bl, err := NewBatchedLinear(in, out, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, down := bl.CiphertextsPerInference()
+	if up != in || down != out {
+		t.Fatalf("counts (%d,%d)", up, down)
+	}
+	// Packed: 1 up + 1 down per single input. Batched amortizes only
+	// past (in+out)/2 inputs.
+	crossover := (up + down) / 2
+	if crossover < 10 {
+		t.Errorf("crossover %d implausibly small for a 64×10 layer", crossover)
+	}
+}

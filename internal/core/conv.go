@@ -1,0 +1,313 @@
+package core
+
+import (
+	"fmt"
+
+	"choco/internal/bfv"
+	"choco/internal/rotred"
+)
+
+// ConvSpec describes a 2D convolution layer ("same" padding, unit
+// stride; strided layers subsample on the client, which repacks between
+// layers anyway in the client-aided model).
+type ConvSpec struct {
+	InH, InW, InC int
+	KH, KW        int
+	OutC          int
+}
+
+// OutSize returns the spatial output size (same padding).
+func (s ConvSpec) OutSize() (int, int) { return s.InH, s.InW }
+
+// MACs returns the multiply-accumulate count of the layer.
+func (s ConvSpec) MACs() int64 {
+	return int64(s.InH) * int64(s.InW) * int64(s.InC) * int64(s.OutC) * int64(s.KH) * int64(s.KW)
+}
+
+// Conv2D is an encrypted convolution operator. Input channels are
+// packed with rotational redundancy into power-of-two-strided blocks of
+// one ciphertext row; kernel-offset and channel-block alignments are
+// plain rotations shared across output groups; weights enter as
+// block-diagonal plaintexts, so the whole layer uses exactly one
+// multiplication per alignment — the paper's "optimal multiplication
+// efficiency".
+type Conv2D struct {
+	Spec   ConvSpec
+	Layout rotred.Layout
+	// Hp, Wp are the zero-padded spatial dimensions; ph, pw the halo.
+	Hp, Wp, ph, pw int
+	// Cb is the number of channel blocks per ciphertext row; output
+	// channels are produced in ceil(OutC/Cb) ciphertext groups.
+	Cb      int
+	rowSize int
+	// Weights[o][c][k] with k = ky*KW + kx, quantized.
+	Weights [][][]int64
+}
+
+// NewConv2D validates the spec against the ring geometry (rowSize =
+// N/2 slots per batching row) and computes the redundant layout.
+func NewConv2D(spec ConvSpec, weights [][][]int64, rowSize int) (*Conv2D, error) {
+	if len(weights) != spec.OutC {
+		return nil, fmt.Errorf("core: weights have %d output channels, spec %d", len(weights), spec.OutC)
+	}
+	for o := range weights {
+		if len(weights[o]) != spec.InC {
+			return nil, fmt.Errorf("core: output %d has %d input channels, spec %d", o, len(weights[o]), spec.InC)
+		}
+		for c := range weights[o] {
+			if len(weights[o][c]) != spec.KH*spec.KW {
+				return nil, fmt.Errorf("core: kernel size mismatch at [%d][%d]", o, c)
+			}
+		}
+	}
+	conv, err := NewConv2DSpecOnly(spec, rowSize)
+	if err != nil {
+		return nil, err
+	}
+	conv.Weights = weights
+	return conv, nil
+}
+
+// NewConv2DSpecOnly builds the packing/geometry side of the operator
+// without weights — what the client needs to pack inputs, extract
+// outputs, and derive rotation-key requirements. Apply requires
+// weights and rejects a spec-only operator.
+func NewConv2DSpecOnly(spec ConvSpec, rowSize int) (*Conv2D, error) {
+	if spec.KH%2 == 0 || spec.KW%2 == 0 {
+		return nil, fmt.Errorf("core: even kernel sizes unsupported (got %dx%d)", spec.KH, spec.KW)
+	}
+	ph, pw := (spec.KH-1)/2, (spec.KW-1)/2
+	hp, wp := spec.InH+2*ph, spec.InW+2*pw
+	window := hp * wp
+	pad := ph*wp + pw
+	layout, err := rotred.NewLayout(window, pad, spec.InC, rowSize)
+	if err != nil {
+		return nil, fmt.Errorf("core: conv layout: %w", err)
+	}
+	cb := rowSize / layout.Stride
+	if cb < 1 {
+		return nil, fmt.Errorf("core: channel stride %d exceeds row size %d", layout.Stride, rowSize)
+	}
+	if spec.InC > cb {
+		return nil, fmt.Errorf("core: %d input channels exceed %d blocks per ciphertext", spec.InC, cb)
+	}
+	return &Conv2D{
+		Spec: spec, Layout: layout,
+		Hp: hp, Wp: wp, ph: ph, pw: pw,
+		Cb: cb, rowSize: rowSize,
+	}, nil
+}
+
+// Groups returns the number of output ciphertexts.
+func (c *Conv2D) Groups() int { return (c.Spec.OutC + c.Cb - 1) / c.Cb }
+
+// kernelOffsets returns the slot deltas for each kernel position.
+func (c *Conv2D) kernelOffsets() []int {
+	var out []int
+	for ky := 0; ky < c.Spec.KH; ky++ {
+		for kx := 0; kx < c.Spec.KW; kx++ {
+			dy, dx := ky-c.ph, kx-c.pw
+			out = append(out, dy*c.Wp+dx)
+		}
+	}
+	return out
+}
+
+// RotationSteps lists every rotation amount Apply may use; generate
+// Galois keys for exactly these.
+func (c *Conv2D) RotationSteps() []int {
+	seen := map[int]bool{}
+	var steps []int
+	for d := 0; d < c.Cb; d++ {
+		for _, delta := range c.kernelOffsets() {
+			s := d*c.Layout.Stride + delta
+			s = ((s % c.rowSize) + c.rowSize) % c.rowSize
+			if s != 0 && !seen[s] {
+				seen[s] = true
+				steps = append(steps, s)
+			}
+		}
+	}
+	return steps
+}
+
+// PackInput lays the image (channel-major, InC×InH×InW, quantized
+// signed values) into a slot vector with zero halo and rotational
+// redundancy, duplicated across both batching rows.
+func (c *Conv2D) PackInput(image [][]int64, slots int) ([]int64, error) {
+	if len(image) != c.Spec.InC {
+		return nil, fmt.Errorf("core: image has %d channels, spec %d", len(image), c.Spec.InC)
+	}
+	if slots < 2*c.rowSize {
+		return nil, fmt.Errorf("core: need %d slots, have %d", 2*c.rowSize, slots)
+	}
+	out := make([]int64, slots)
+	l := c.Layout
+	for ch, img := range image {
+		if len(img) != c.Spec.InH*c.Spec.InW {
+			return nil, fmt.Errorf("core: channel %d has %d pixels", ch, len(img))
+		}
+		padded := make([]int64, l.Window)
+		for y := 0; y < c.Spec.InH; y++ {
+			for x := 0; x < c.Spec.InW; x++ {
+				padded[(y+c.ph)*c.Wp+(x+c.pw)] = img[y*c.Spec.InW+x]
+			}
+		}
+		base := ch * l.Stride
+		for i := 0; i < l.Pad; i++ {
+			out[base+i] = padded[l.Window-l.Pad+i]
+		}
+		copy(out[base+l.Pad:base+l.Pad+l.Window], padded)
+		for i := 0; i < l.Pad; i++ {
+			out[base+l.Pad+l.Window+i] = padded[i]
+		}
+	}
+	// Duplicate into the second batching row so row rotations behave
+	// uniformly.
+	copy(out[c.rowSize:2*c.rowSize], out[:c.rowSize])
+	return out, nil
+}
+
+// Apply evaluates the convolution over an encrypted packed input,
+// returning one ciphertext per output group and the operation counts.
+func (c *Conv2D) Apply(ev *bfv.Evaluator, ecd *bfv.Encoder, ct *bfv.Ciphertext, slots int) ([]*bfv.Ciphertext, OpCounts, error) {
+	var ops OpCounts
+	if c.Weights == nil {
+		return nil, ops, fmt.Errorf("core: Apply on a spec-only convolution (no weights)")
+	}
+	offsets := c.kernelOffsets()
+	l := c.Layout
+
+	// Shared rotations: one per (block shift d, kernel offset k).
+	type rotKey struct{ d, k int }
+	rots := make(map[rotKey]*bfv.Ciphertext)
+	for d := 0; d < c.Cb; d++ {
+		for ki, delta := range offsets {
+			steps := d*l.Stride + delta
+			steps = ((steps % c.rowSize) + c.rowSize) % c.rowSize
+			if steps == 0 {
+				rots[rotKey{d, ki}] = ct
+				continue
+			}
+			r, err := ev.RotateRows(ct, steps)
+			if err != nil {
+				return nil, ops, err
+			}
+			ops.Rotations++
+			rots[rotKey{d, ki}] = r
+		}
+	}
+
+	groups := c.Groups()
+	outs := make([]*bfv.Ciphertext, groups)
+	for g := 0; g < groups; g++ {
+		var acc *bfv.Ciphertext
+		for d := 0; d < c.Cb; d++ {
+			for ki := range offsets {
+				diag := c.weightDiag(g, d, ki, slots)
+				if diag == nil {
+					continue
+				}
+				pt, err := ecd.EncodeInts(diag)
+				if err != nil {
+					return nil, ops, err
+				}
+				term := ev.MulPlain(rots[rotKey{d, ki}], ev.PrepareMul(pt))
+				ops.PlainMults++
+				if acc == nil {
+					acc = term
+				} else {
+					acc = ev.Add(acc, term)
+					ops.Adds++
+				}
+			}
+		}
+		if acc == nil {
+			return nil, ops, fmt.Errorf("core: group %d has no contributing weights", g)
+		}
+		outs[g] = acc
+	}
+	return outs, ops, nil
+}
+
+// weightDiag builds the block-diagonal weight plaintext for output
+// group g, block shift d, kernel index ki: block b receives weight
+// w[g·Cb+b][(b+d) mod Cb][ki] at the interior (valid output) positions.
+// Returns nil when every block is zero.
+func (c *Conv2D) weightDiag(g, d, ki, slots int) []int64 {
+	l := c.Layout
+	diag := make([]int64, slots)
+	any := false
+	for b := 0; b < c.Cb; b++ {
+		o := g*c.Cb + b
+		if o >= c.Spec.OutC {
+			continue
+		}
+		ch := (b + d) % c.Cb
+		if ch >= c.Spec.InC {
+			continue
+		}
+		w := c.Weights[o][ch][ki]
+		if w == 0 {
+			continue
+		}
+		any = true
+		base := b * l.Stride
+		for y := 0; y < c.Spec.InH; y++ {
+			rowBase := base + l.Pad + (y+c.ph)*c.Wp + c.pw
+			for x := 0; x < c.Spec.InW; x++ {
+				diag[rowBase+x] = w
+			}
+		}
+	}
+	if !any {
+		return nil
+	}
+	for i := 0; i < c.rowSize && c.rowSize*2 <= slots; i++ {
+		diag[c.rowSize+i] = diag[i]
+	}
+	return diag
+}
+
+// ExtractOutput pulls output channel o's InH×InW activation map from a
+// decoded slot vector of group o/Cb.
+func (c *Conv2D) ExtractOutput(decoded []int64, o int) []int64 {
+	b := o % c.Cb
+	l := c.Layout
+	base := b*l.Stride + l.Pad
+	out := make([]int64, c.Spec.InH*c.Spec.InW)
+	for y := 0; y < c.Spec.InH; y++ {
+		for x := 0; x < c.Spec.InW; x++ {
+			out[y*c.Spec.InW+x] = decoded[base+(y+c.ph)*c.Wp+(x+c.pw)]
+		}
+	}
+	return out
+}
+
+// PlainConv2D is the cleartext reference implementation ("same"
+// padding, unit stride) used to validate the encrypted operator.
+func PlainConv2D(spec ConvSpec, weights [][][]int64, image [][]int64) [][]int64 {
+	ph, pw := (spec.KH-1)/2, (spec.KW-1)/2
+	out := make([][]int64, spec.OutC)
+	for o := 0; o < spec.OutC; o++ {
+		out[o] = make([]int64, spec.InH*spec.InW)
+		for y := 0; y < spec.InH; y++ {
+			for x := 0; x < spec.InW; x++ {
+				var acc int64
+				for c := 0; c < spec.InC; c++ {
+					for ky := 0; ky < spec.KH; ky++ {
+						for kx := 0; kx < spec.KW; kx++ {
+							iy, ix := y+ky-ph, x+kx-pw
+							if iy < 0 || iy >= spec.InH || ix < 0 || ix >= spec.InW {
+								continue
+							}
+							acc += weights[o][c][ky*spec.KW+kx] * image[c][iy*spec.InW+ix]
+						}
+					}
+				}
+				out[o][y*spec.InW+x] = acc
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"fmt"
+
+	"choco/internal/bfv"
+)
+
+// FC is an encrypted fully-connected layer evaluated with the
+// baby-step/giant-step diagonal method over a replicated input packing.
+// Replicating the padded input vector across the ciphertext row is
+// rotational redundancy taken to its limit: every rotation the layer
+// needs becomes a plain cyclic rotation, with zero masking multiplies.
+type FC struct {
+	In, Out int
+	// P is the padded square dimension (power of two ≥ max(In, Out)),
+	// split into G giant steps of B baby steps.
+	P, B, G int
+	rowSize int
+	// Weights[o][i], quantized.
+	Weights [][]int64
+}
+
+// NewFC validates dimensions against the ciphertext row size.
+func NewFC(in, out int, weights [][]int64, rowSize int) (*FC, error) {
+	if len(weights) != out {
+		return nil, fmt.Errorf("core: weights have %d rows, want %d", len(weights), out)
+	}
+	for o := range weights {
+		if len(weights[o]) != in {
+			return nil, fmt.Errorf("core: weight row %d has %d cols, want %d", o, len(weights[o]), in)
+		}
+	}
+	fc, err := NewFCSpecOnly(in, out, rowSize)
+	if err != nil {
+		return nil, err
+	}
+	fc.Weights = weights
+	return fc, nil
+}
+
+// NewFCSpecOnly builds the packing/geometry side without weights (the
+// client's half); Apply rejects a spec-only operator.
+func NewFCSpecOnly(in, out, rowSize int) (*FC, error) {
+	if in <= 0 || out <= 0 {
+		return nil, fmt.Errorf("core: invalid FC dims %dx%d", in, out)
+	}
+	p := 1
+	for p < in || p < out {
+		p <<= 1
+	}
+	if p > rowSize {
+		return nil, fmt.Errorf("core: FC dimension %d exceeds row size %d", p, rowSize)
+	}
+	b := 1
+	for b*b < p {
+		b <<= 1
+	}
+	g := p / b
+	return &FC{In: in, Out: out, P: p, B: b, G: g, rowSize: rowSize}, nil
+}
+
+// RotationSteps lists the rotation amounts Apply uses (baby steps 1..B-1
+// and giant steps B, 2B, ...).
+func (f *FC) RotationSteps() []int {
+	var steps []int
+	for j := 1; j < f.B; j++ {
+		steps = append(steps, j)
+	}
+	for i := 1; i < f.G; i++ {
+		steps = append(steps, i*f.B)
+	}
+	return steps
+}
+
+// PackInput replicates the zero-padded input vector across both
+// batching rows so rotations by any amount < P act as windowed
+// rotations of the logical vector.
+func (f *FC) PackInput(x []int64, slots int) ([]int64, error) {
+	if len(x) != f.In {
+		return nil, fmt.Errorf("core: input has %d elements, want %d", len(x), f.In)
+	}
+	if slots < 2*f.rowSize {
+		return nil, fmt.Errorf("core: need %d slots, have %d", 2*f.rowSize, slots)
+	}
+	out := make([]int64, slots)
+	for rep := 0; rep < f.rowSize/f.P; rep++ {
+		copy(out[rep*f.P:], x)
+	}
+	copy(out[f.rowSize:2*f.rowSize], out[:f.rowSize])
+	return out, nil
+}
+
+// diag returns diagonal d of the P×P padded weight matrix:
+// diag[j] = W[j][(j+d) mod P], replicated across the row.
+func (f *FC) diag(d, slots int) []int64 {
+	out := make([]int64, slots)
+	any := false
+	for j := 0; j < f.P; j++ {
+		var w int64
+		if j < f.Out {
+			i := (j + d) % f.P
+			if i < f.In {
+				w = f.Weights[j][i]
+			}
+		}
+		if w != 0 {
+			any = true
+		}
+		for rep := 0; rep < f.rowSize/f.P; rep++ {
+			out[rep*f.P+j] = w
+		}
+	}
+	if !any {
+		return nil
+	}
+	copy(out[f.rowSize:2*f.rowSize], out[:f.rowSize])
+	return out
+}
+
+// rotatePlain rotates a replicated plaintext vector left by s within
+// each P-periodic block (free on the server: plaintext manipulation).
+func (f *FC) rotatePlain(v []int64, s int) []int64 {
+	out := make([]int64, len(v))
+	s = ((s % f.P) + f.P) % f.P
+	for rep := 0; rep < f.rowSize/f.P; rep++ {
+		base := rep * f.P
+		for j := 0; j < f.P; j++ {
+			out[base+j] = v[base+(j+s)%f.P]
+		}
+	}
+	copy(out[f.rowSize:2*f.rowSize], out[:f.rowSize])
+	return out
+}
+
+// Apply evaluates y = W·x over the encrypted replicated packing using
+// BSGS: B-1 baby rotations of the ciphertext, G-1 giant rotations of
+// partial sums, P plaintext multiplies.
+func (f *FC) Apply(ev *bfv.Evaluator, ecd *bfv.Encoder, ct *bfv.Ciphertext, slots int) (*bfv.Ciphertext, OpCounts, error) {
+	var ops OpCounts
+	if f.Weights == nil {
+		return nil, ops, fmt.Errorf("core: Apply on a spec-only FC layer (no weights)")
+	}
+
+	babies := make([]*bfv.Ciphertext, f.B)
+	babies[0] = ct
+	for j := 1; j < f.B; j++ {
+		r, err := ev.RotateRows(ct, j)
+		if err != nil {
+			return nil, ops, err
+		}
+		ops.Rotations++
+		babies[j] = r
+	}
+
+	var total *bfv.Ciphertext
+	for i := 0; i < f.G; i++ {
+		var inner *bfv.Ciphertext
+		for j := 0; j < f.B; j++ {
+			d := i*f.B + j
+			diag := f.diag(d, slots)
+			if diag == nil {
+				continue
+			}
+			// Pre-rotate the diagonal right by i·B so the outer giant
+			// rotation restores alignment.
+			shifted := f.rotatePlain(diag, -i*f.B)
+			pt, err := ecd.EncodeInts(shifted)
+			if err != nil {
+				return nil, ops, err
+			}
+			term := ev.MulPlain(babies[j], ev.PrepareMul(pt))
+			ops.PlainMults++
+			if inner == nil {
+				inner = term
+			} else {
+				inner = ev.Add(inner, term)
+				ops.Adds++
+			}
+		}
+		if inner == nil {
+			continue
+		}
+		if i > 0 {
+			r, err := ev.RotateRows(inner, i*f.B)
+			if err != nil {
+				return nil, ops, err
+			}
+			ops.Rotations++
+			inner = r
+		}
+		if total == nil {
+			total = inner
+		} else {
+			total = ev.Add(total, inner)
+			ops.Adds++
+		}
+	}
+	if total == nil {
+		return nil, ops, fmt.Errorf("core: FC weight matrix is all zero")
+	}
+	return total, ops, nil
+}
+
+// ApplyNaive evaluates the same product with the textbook diagonal
+// method — P-1 ciphertext rotations instead of BSGS's ~2√P. Kept as
+// the ablation baseline quantifying what the BSGS structure buys the
+// server (DESIGN.md per-experiment index; requires rotation keys for
+// every step in 1..P-1).
+func (f *FC) ApplyNaive(ev *bfv.Evaluator, ecd *bfv.Encoder, ct *bfv.Ciphertext, slots int) (*bfv.Ciphertext, OpCounts, error) {
+	var ops OpCounts
+	if f.Weights == nil {
+		return nil, ops, fmt.Errorf("core: Apply on a spec-only FC layer (no weights)")
+	}
+	var total *bfv.Ciphertext
+	for d := 0; d < f.P; d++ {
+		diag := f.diag(d, slots)
+		if diag == nil {
+			continue
+		}
+		x := ct
+		if d != 0 {
+			r, err := ev.RotateRows(ct, d)
+			if err != nil {
+				return nil, ops, err
+			}
+			ops.Rotations++
+			x = r
+		}
+		pt, err := ecd.EncodeInts(diag)
+		if err != nil {
+			return nil, ops, err
+		}
+		term := ev.MulPlain(x, ev.PrepareMul(pt))
+		ops.PlainMults++
+		if total == nil {
+			total = term
+		} else {
+			total = ev.Add(total, term)
+			ops.Adds++
+		}
+	}
+	if total == nil {
+		return nil, ops, fmt.Errorf("core: FC weight matrix is all zero")
+	}
+	return total, ops, nil
+}
+
+// NaiveRotationSteps lists the rotation amounts ApplyNaive uses.
+func (f *FC) NaiveRotationSteps() []int {
+	steps := make([]int, 0, f.P-1)
+	for d := 1; d < f.P; d++ {
+		steps = append(steps, d)
+	}
+	return steps
+}
+
+// ExtractOutput reads the Out result values from a decoded slot vector.
+func (f *FC) ExtractOutput(decoded []int64) []int64 {
+	out := make([]int64, f.Out)
+	copy(out, decoded[:f.Out])
+	return out
+}
+
+// PlainFC is the cleartext reference.
+func PlainFC(weights [][]int64, x []int64) []int64 {
+	out := make([]int64, len(weights))
+	for o := range weights {
+		var acc int64
+		for i := range weights[o] {
+			acc += weights[o][i] * x[i]
+		}
+		out[o] = acc
+	}
+	return out
+}
+
+// BSGSRotations returns the rotation count of the BSGS method for a
+// padded dimension p (used by the cost model).
+func BSGSRotations(p int) int {
+	b := 1
+	for b*b < p {
+		b <<= 1
+	}
+	return (b - 1) + (p/b - 1)
+}
+
+// DiagonalRotations returns the rotation count of the naive diagonal
+// method, for the ablation comparison.
+func DiagonalRotations(p int) int { return p - 1 }

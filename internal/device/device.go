@@ -1,0 +1,103 @@
+package device
+
+import (
+	"math"
+
+	"choco/internal/core"
+)
+
+// HEShape identifies the HE parameter geometry cost models depend on.
+type HEShape struct {
+	N int // ring degree
+	K int // RNS residues processed by the client (data + special where applicable)
+}
+
+func (s HEShape) complexityUnit() float64 {
+	return float64(s.N) * math.Log2(float64(s.N)) * float64(s.K)
+}
+
+// Client models the IMX6-class software client.
+type Client struct {
+	ClockHz float64
+	PowerW  float64
+}
+
+// DefaultClient returns the paper's IMX6 client.
+func DefaultClient() Client {
+	return Client{ClockHz: IMX6ClockHz, PowerW: IMX6ActivePowerW}
+}
+
+// EncryptTime returns the software encryption latency for one
+// ciphertext.
+func (c Client) EncryptTime(s HEShape) float64 {
+	return AlphaEncCyclesPerUnit * s.complexityUnit() / c.ClockHz
+}
+
+// DecryptTime returns the software decryption latency for one
+// ciphertext.
+func (c Client) DecryptTime(s HEShape) float64 {
+	return AlphaDecCyclesPerUnit * s.complexityUnit() / c.ClockHz
+}
+
+// Energy converts client active time to energy.
+func (c Client) Energy(t float64) float64 { return c.PowerW * t }
+
+// PartialHWEncryptTime bounds encryption latency when only the NTT and
+// polynomial-multiplication fraction is accelerated by factor s —
+// the paper's HEAX/FPGA best-case methodology (§2.2).
+func (c Client) PartialHWEncryptTime(shape HEShape, coveredSpeedup float64) float64 {
+	t := c.EncryptTime(shape)
+	return t * ((1 - NTTFraction) + NTTFraction/coveredSpeedup)
+}
+
+// PartialHWDecryptTime is the decryption analogue.
+func (c Client) PartialHWDecryptTime(shape HEShape, coveredSpeedup float64) float64 {
+	t := c.DecryptTime(shape)
+	return t * ((1 - NTTFraction) + NTTFraction/coveredSpeedup)
+}
+
+// LocalInferenceTime models TFLite int8 inference from the MAC count
+// plus the interpreter's fixed per-invocation overhead.
+func (c Client) LocalInferenceTime(macs int64) float64 {
+	return TFLiteOverheadS + float64(macs)/(TFLiteMACsPerCycle*c.ClockHz)
+}
+
+// Link models the client's radio.
+type Link struct {
+	BitsPerSec float64
+	PowerW     float64
+}
+
+// DefaultLink returns the paper's 22 Mbps / 10 mW Bluetooth link.
+func DefaultLink() Link {
+	return Link{BitsPerSec: BluetoothBitsPerSec, PowerW: BluetoothPowerW}
+}
+
+// Time returns the transfer latency for a byte volume.
+func (l Link) Time(bytes int64) float64 {
+	return float64(bytes) * 8 / l.BitsPerSec
+}
+
+// Energy returns the radio energy for a byte volume.
+func (l Link) Energy(bytes int64) float64 { return l.PowerW * l.Time(bytes) }
+
+// Server models the Xeon offload server executing HE operations.
+type Server struct {
+	ClockHz float64
+}
+
+// DefaultServer returns the paper's 2.5 GHz Xeon.
+func DefaultServer() Server { return Server{ClockHz: XeonClockHz} }
+
+// OpTime returns the latency of a batch of homomorphic operations at
+// the given shape, following Table 1 complexities.
+func (s Server) OpTime(shape HEShape, ops core.OpCounts) float64 {
+	n := float64(shape.N)
+	logn := math.Log2(n)
+	k := float64(shape.K)
+	cycles := float64(ops.PlainMults)*ServerPlainMultCyclesPerUnit*n*logn*k +
+		float64(ops.Rotations)*ServerRotateCyclesPerUnit*n*logn*k*k +
+		float64(ops.CtMults)*ServerCtMultCyclesPerUnit*n*logn*k*k +
+		float64(ops.Adds)*ServerAddCyclesPerUnit*n*k
+	return cycles / s.ClockHz
+}

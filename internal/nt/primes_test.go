@@ -1,0 +1,185 @@
+package nt
+
+import "testing"
+
+func TestIsPrime(t *testing.T) {
+	cases := map[uint64]bool{
+		0:                   false,
+		1:                   false,
+		2:                   true,
+		3:                   true,
+		4:                   false,
+		97:                  true,
+		561:                 false, // Carmichael number
+		65537:               true,
+		1<<61 - 1:           true,  // Mersenne prime M61
+		1<<58 - 27:          true,  // used elsewhere in tests
+		1<<32 + 1:           false, // 641 * 6700417
+		4294967291:          true,
+		1000000007:          true,
+		1000000008:          false,
+		2305843009213693950: false,
+	}
+	for n, want := range cases {
+		if got := IsPrime(n); got != want {
+			t.Errorf("IsPrime(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestGenerateNTTPrimes(t *testing.T) {
+	for _, tc := range []struct{ bits, logN, count int }{
+		{58, 13, 3},
+		{36, 12, 2},
+		{37, 12, 1},
+		{60, 13, 3},
+		{30, 11, 4},
+	} {
+		primes, err := GenerateNTTPrimes(tc.bits, tc.logN, tc.count)
+		if err != nil {
+			t.Fatalf("GenerateNTTPrimes(%v): %v", tc, err)
+		}
+		if len(primes) != tc.count {
+			t.Fatalf("got %d primes, want %d", len(primes), tc.count)
+		}
+		seen := map[uint64]bool{}
+		for _, p := range primes {
+			if seen[p] {
+				t.Errorf("duplicate prime %d", p)
+			}
+			seen[p] = true
+			if !IsPrime(p) {
+				t.Errorf("%d is not prime", p)
+			}
+			if p%(2<<uint(tc.logN)) != 1 {
+				t.Errorf("%d is not 1 mod 2N", p)
+			}
+			if bl := NewModulus(p).BitLen(); bl != tc.bits {
+				t.Errorf("prime %d has %d bits, want %d", p, bl, tc.bits)
+			}
+		}
+	}
+}
+
+func TestGenerateNTTPrimesErrors(t *testing.T) {
+	if _, err := GenerateNTTPrimes(10, 13, 1); err == nil {
+		t.Error("expected error for bitLen < logN+2")
+	}
+	if _, err := GenerateNTTPrimes(62, 13, 1); err == nil {
+		t.Error("expected error for bitLen > MaxModulusBits")
+	}
+}
+
+func TestGenerateNTTPrimesVarBits(t *testing.T) {
+	// The paper's parameter set A: {58, 58, 59} at N = 8192.
+	primes, err := GenerateNTTPrimesVarBits([]int{58, 58, 59}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(primes) != 3 {
+		t.Fatalf("got %d primes", len(primes))
+	}
+	wantBits := []int{58, 58, 59}
+	seen := map[uint64]bool{}
+	for i, p := range primes {
+		if seen[p] {
+			t.Errorf("duplicate prime %d", p)
+		}
+		seen[p] = true
+		if bl := NewModulus(p).BitLen(); bl != wantBits[i] {
+			t.Errorf("prime %d: %d bits, want %d", i, bl, wantBits[i])
+		}
+	}
+}
+
+func TestPrimitiveRoot(t *testing.T) {
+	for _, p := range []uint64{17, 12289, 65537, 1000000007} {
+		g, err := PrimitiveRoot(p)
+		if err != nil {
+			t.Fatalf("PrimitiveRoot(%d): %v", p, err)
+		}
+		m := NewModulus(p)
+		// g must have order exactly p-1: g^(p-1) = 1 and g^((p-1)/f) != 1
+		// for each prime factor f of p-1.
+		if m.Pow(g, p-1) != 1 {
+			t.Errorf("g^(p-1) != 1 for p=%d g=%d", p, g)
+		}
+		for _, f := range distinctPrimeFactors(p - 1) {
+			if m.Pow(g, (p-1)/f) == 1 {
+				t.Errorf("g=%d has order < p-1 for p=%d (factor %d)", g, p, f)
+			}
+		}
+	}
+	if _, err := PrimitiveRoot(15); err == nil {
+		t.Error("expected error for composite modulus")
+	}
+}
+
+func TestMinimalPrimitiveRootOfUnity(t *testing.T) {
+	// 12289 = 3·2^12 + 1 admits 2N-th roots for N up to 2048.
+	p := uint64(12289)
+	m := NewModulus(p)
+	for _, n := range []uint64{2, 4, 1024, 4096} {
+		w, err := MinimalPrimitiveRootOfUnity(p, n)
+		if err != nil {
+			t.Fatalf("root of unity order %d: %v", n, err)
+		}
+		if m.Pow(w, n) != 1 {
+			t.Errorf("w^%d != 1", n)
+		}
+		if n > 1 && m.Pow(w, n/2) == 1 {
+			t.Errorf("w has order < %d", n)
+		}
+	}
+	if _, err := MinimalPrimitiveRootOfUnity(p, 12288*4); err == nil {
+		t.Error("expected error when n does not divide p-1")
+	}
+}
+
+func TestDistinctPrimeFactors(t *testing.T) {
+	got := distinctPrimeFactors(2 * 2 * 3 * 7 * 7 * 13)
+	want := map[uint64]bool{2: true, 3: true, 7: true, 13: true}
+	if len(got) != len(want) {
+		t.Fatalf("factors = %v", got)
+	}
+	for _, f := range got {
+		if !want[f] {
+			t.Errorf("unexpected factor %d", f)
+		}
+	}
+	// Large semiprime exercising Pollard rho: 1000003 * 1000033.
+	got = distinctPrimeFactors(1000003 * 1000033)
+	if len(got) != 2 {
+		t.Fatalf("semiprime factors = %v", got)
+	}
+}
+
+func BenchmarkIsPrime58Bit(b *testing.B) {
+	n := uint64(1<<58) - 27
+	for i := 0; i < b.N; i++ {
+		if !IsPrime(n) {
+			b.Fatal("prime misclassified")
+		}
+	}
+}
+
+func BenchmarkGenerateNTTPrimes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateNTTPrimes(58, 13, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPrimitiveRoot(b *testing.B) {
+	primes, err := GenerateNTTPrimes(58, 13, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MinimalPrimitiveRootOfUnity(primes[0], 1<<14); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package params
+
+import (
+	"testing"
+
+	"choco/internal/bfv"
+)
+
+func TestSecurityTable(t *testing.T) {
+	if !SecurityOK(13, 218) {
+		t.Error("218 bits at N=8192 should be secure")
+	}
+	if SecurityOK(13, 219) {
+		t.Error("219 bits at N=8192 should be rejected")
+	}
+	if SecurityOK(9, 10) {
+		t.Error("unknown logN should be rejected")
+	}
+	if _, err := MaxLogQP(13); err != nil {
+		t.Error(err)
+	}
+	if _, err := MaxLogQP(20); err == nil {
+		t.Error("expected error for unknown logN")
+	}
+}
+
+func TestPaperPresetsAreSecure(t *testing.T) {
+	// Table 3: all CHOCO presets satisfy 128-bit security.
+	a := bfv.PresetA()
+	if !SecurityOK(a.LogN, a.LogQ()+a.PBits) {
+		t.Error("Preset A insecure")
+	}
+	b := bfv.PresetB()
+	if !SecurityOK(b.LogN, b.LogQ()+b.PBits) {
+		t.Error("Preset B insecure")
+	}
+}
+
+func TestNoiseModelNeverUnderestimates(t *testing.T) {
+	// Compare the analytic model against the exact noise meter for a
+	// few profiles: predicted budget must not exceed measured budget
+	// (a model that is too optimistic would select broken parameters).
+	params := bfv.PresetTest()
+	ctx, err := bfv.NewContext(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg := bfv.NewKeyGenerator(ctx, [32]byte{3})
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	relin := kg.GenRelinearizationKey(sk)
+	galois := kg.GenRotationKeys(sk, 1)
+	enc := bfv.NewEncryptor(ctx, pk, [32]byte{4})
+	ecd := bfv.NewEncoder(ctx)
+	ev := bfv.NewEvaluator(ctx, relin, galois)
+
+	vals := make([]uint64, params.N())
+	for i := range vals {
+		vals[i] = uint64(i) % (1 << 10)
+	}
+	ct, _ := enc.EncryptUints(vals)
+	pt, _ := ecd.EncodeUints(vals)
+	pm := ev.PrepareMul(pt)
+
+	cases := []struct {
+		name    string
+		profile Profile
+		run     func() *bfv.Ciphertext
+	}{
+		{"fresh", Profile{TBits: params.TBits}, func() *bfv.Ciphertext { return ct }},
+		{"plainmult", Profile{TBits: params.TBits, PlainMults: 1}, func() *bfv.Ciphertext {
+			return ev.MulPlain(ct, pm)
+		}},
+		{"rotate", Profile{TBits: params.TBits, Rotations: 1}, func() *bfv.Ciphertext {
+			out, err := ev.RotateRows(ct, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}},
+		{"ctmult", Profile{TBits: params.TBits, CtMults: 1}, func() *bfv.Ciphertext {
+			out, err := ev.MulRelin(ct, ct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}},
+	}
+	kData := len(params.QBits)
+	for _, tc := range cases {
+		measured := bfv.NoiseBudget(ctx, sk, tc.run())
+		predicted := BudgetBits(tc.profile, params.LogN, kData, params.QBits[0], params.TBits)
+		t.Logf("%s: predicted budget %d, measured %d", tc.name, predicted, measured)
+		if predicted > measured {
+			t.Errorf("%s: model predicted %d bits but only %d measured (model too optimistic)",
+				tc.name, predicted, measured)
+		}
+		if predicted < measured-40 {
+			t.Errorf("%s: model wildly pessimistic (%d vs %d)", tc.name, predicted, measured)
+		}
+	}
+}
+
+func TestSelectBFVPrefersSmallCiphertexts(t *testing.T) {
+	// A shallow profile should fit in N=2048... our floor is N=2048
+	// (logN=11); deep profiles must grow the ciphertext.
+	shallow := Profile{TBits: 15, PlainMults: 1, Rotations: 2, LogAccum: 4}
+	deep := Profile{TBits: 18, PlainMults: 1, MaskedPermutes: 3, CtMults: 1, LogAccum: 6}
+	ps, err := SelectBFV(shallow, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := SelectBFV(deep, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.CiphertextBytes() > pd.CiphertextBytes() {
+		t.Errorf("shallow profile got larger ciphertext (%d) than deep (%d)",
+			ps.CiphertextBytes(), pd.CiphertextBytes())
+	}
+	if err := ps.Validate(); err != nil {
+		t.Errorf("selected parameters invalid: %v", err)
+	}
+	if !SecurityOK(ps.LogN, ps.LogQ()+ps.PBits) {
+		t.Error("selected parameters insecure")
+	}
+}
+
+func TestSelectBFVRespectsMinSlots(t *testing.T) {
+	p := Profile{TBits: 15, MinSlots: 8192, PlainMults: 1}
+	sel, err := SelectBFV(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.N() < 8192 {
+		t.Errorf("selected N=%d < required slots", sel.N())
+	}
+}
+
+func TestSelectBFVImpossibleProfile(t *testing.T) {
+	p := Profile{TBits: 40, CtMults: 30}
+	if _, err := SelectBFV(p, 2); err == nil {
+		t.Error("expected failure for absurd depth")
+	}
+}
+
+func TestRotationalRedundancyShrinksParameters(t *testing.T) {
+	// The paper's core claim (§3.3/Table 4): replacing masked
+	// permutations with plain rotations lowers noise enough to shrink
+	// the selected ciphertext.
+	withMasking := Profile{TBits: 20, MinSlots: 8192, PlainMults: 1, MaskedPermutes: 4, LogAccum: 6}
+	withRotRed := Profile{TBits: 20, MinSlots: 8192, PlainMults: 1, Rotations: 4, LogAccum: 6}
+	pm, err := SelectBFV(withMasking, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := SelectBFV(withRotRed, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.CiphertextBytes() >= pm.CiphertextBytes() {
+		t.Errorf("rotational redundancy did not shrink ciphertext: %d vs %d",
+			pr.CiphertextBytes(), pm.CiphertextBytes())
+	}
+	t.Logf("masked: N=%d k=%d (%d B); rotred: N=%d k=%d (%d B)",
+		pm.N(), len(pm.QBits), pm.CiphertextBytes(), pr.N(), len(pr.QBits), pr.CiphertextBytes())
+}
+
+func TestSelectCKKSForDepth(t *testing.T) {
+	p, err := SelectCKKSForDepth(2, 30, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("selected CKKS params invalid: %v", err)
+	}
+	if p.MaxLevel() < 2 {
+		t.Errorf("depth 2 needs at least 3 data primes, got %d", p.MaxLevel()+1)
+	}
+	if _, err := SelectCKKSForDepth(40, 40, 4096); err == nil {
+		t.Error("expected failure for absurd CKKS depth")
+	}
+	if _, err := SelectCKKSForDepth(1, 10, 16); err == nil {
+		t.Error("expected failure for tiny scale")
+	}
+}
+
+func TestPageRankPlans(t *testing.T) {
+	// PageRank scores need ~24 bits of quantized precision in BFV; the
+	// CKKS variant gets precision from a 2^30 scale per level.
+	bfvPlans := PageRankPlansBFV(24, 24, 1024, 1)
+	if len(bfvPlans) == 0 {
+		t.Fatal("no BFV plans")
+	}
+	ckksPlans := PageRankPlansCKKS(24, 30, 1024, 1)
+	if len(ckksPlans) == 0 {
+		t.Fatal("no CKKS plans")
+	}
+	best := func(plans []RefreshPlan) RefreshPlan {
+		m := plans[0]
+		for _, p := range plans {
+			if p.TotalCommBytes < m.TotalCommBytes {
+				m = p
+			}
+		}
+		return m
+	}
+	worst := func(plans []RefreshPlan) RefreshPlan {
+		m := plans[0]
+		for _, p := range plans {
+			if p.TotalCommBytes > m.TotalCommBytes {
+				m = p
+			}
+		}
+		return m
+	}
+	bMin, bMax := best(bfvPlans), worst(bfvPlans)
+	cMin := best(ckksPlans)
+	t.Logf("BFV 24 iters: min comm setSize=%d (%d B), max comm setSize=%d (%d B); CKKS min setSize=%d (%d B)",
+		bMin.SetSize, bMin.TotalCommBytes, bMax.SetSize, bMax.TotalCommBytes, cMin.SetSize, cMin.TotalCommBytes)
+	// Paper §5.6: frequent communication of small ciphertexts beats
+	// fully-encrypted execution — the optimal plan uses smaller
+	// encrypted sets than the worst plan.
+	if bMin.SetSize >= bMax.SetSize {
+		t.Errorf("expected small encrypted sets to minimize communication (min at %d, max at %d)",
+			bMin.SetSize, bMax.SetSize)
+	}
+	// Paper Fig 13: CKKS reaches the same iteration count with less
+	// total communication than BFV.
+	if cMin.TotalCommBytes > bMin.TotalCommBytes {
+		t.Errorf("CKKS optimal plan (%d B) should not exceed BFV optimal (%d B)",
+			cMin.TotalCommBytes, bMin.TotalCommBytes)
+	}
+	// The client-optimal schedules fit CHOCO-TACO's supported window
+	// (N ≤ 8192, k ≤ 3) — the §5.6 synergy claim.
+	if cMin.CtxBytes > 2*8192*3*8 {
+		t.Errorf("CKKS optimal ciphertext %d exceeds the TACO-supported size", cMin.CtxBytes)
+	}
+}

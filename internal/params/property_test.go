@@ -1,0 +1,84 @@
+package params
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// profileValue generates random-but-plausible application profiles.
+type profileValue struct{ p Profile }
+
+func (profileValue) Generate(rand *rand.Rand, size int) reflect.Value {
+	return reflect.ValueOf(profileValue{p: Profile{
+		TBits:          14 + rand.Intn(14),
+		MinSlots:       1 << (10 + rand.Intn(4)),
+		CtMults:        rand.Intn(2),
+		PlainMults:     rand.Intn(3),
+		Rotations:      rand.Intn(12),
+		MaskedPermutes: rand.Intn(2),
+		LogAccum:       rand.Intn(12),
+	}})
+}
+
+func TestQuickSelectedParametersAlwaysSecureAndValid(t *testing.T) {
+	f := func(pv profileValue) bool {
+		sel, err := SelectBFV(pv.p, 2)
+		if err != nil {
+			// Infeasible profiles are allowed to fail — but only
+			// loudly, never by returning junk.
+			return sel.LogN == 0
+		}
+		if sel.Validate() != nil {
+			return false
+		}
+		if !SecurityOK(sel.LogN, sel.LogQ()+sel.PBits) {
+			return false
+		}
+		if sel.N() < pv.p.MinSlots {
+			return false
+		}
+		// The predicted budget honored the margin.
+		return BudgetBits(pv.p, sel.LogN, len(sel.QBits), sel.QBits[0], pv.p.TBits) >= 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHarderProfilesNeverGetSmallerCiphertexts(t *testing.T) {
+	// Adding work to a profile can only keep or grow the selected
+	// ciphertext.
+	f := func(pv profileValue) bool {
+		base, err := SelectBFV(pv.p, 2)
+		if err != nil {
+			return true
+		}
+		harder := pv.p
+		harder.PlainMults++
+		harder.MaskedPermutes++
+		sel, err := SelectBFV(harder, 2)
+		if err != nil {
+			return true // harder profile may become infeasible
+		}
+		return sel.CiphertextBytes() >= base.CiphertextBytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNoiseModelMonotone(t *testing.T) {
+	f := func(pv profileValue) bool {
+		n := EstimateNoiseBits(pv.p, 13, pv.p.TBits)
+		more := pv.p
+		more.CtMults++
+		more.Rotations++
+		more.LogAccum++
+		return EstimateNoiseBits(more, 13, more.TBits) > n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

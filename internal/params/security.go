@@ -1,0 +1,40 @@
+// Package params implements CHOCO's client-optimized HE parameter
+// selection (§3.2 of the paper): given an application's arithmetic
+// profile (plaintext width, multiplicative depth, rotations,
+// accumulations), find the parameter set with the smallest ciphertext —
+// and therefore the smallest client communication and enc/dec cost —
+// that still satisfies a 128-bit security level and leaves a positive
+// noise budget. It also hosts the analytic noise model used to schedule
+// client refreshes (the EVA compiler's role for CKKS in the paper).
+package params
+
+import "fmt"
+
+// maxLogQP is the homomorphicencryption.org standard upper bound on the
+// total modulus width (data + key-switching primes) for 128-bit
+// security with ternary secrets.
+var maxLogQP = map[int]int{
+	10: 27,
+	11: 54,
+	12: 109,
+	13: 218,
+	14: 438,
+	15: 881,
+}
+
+// MaxLogQP returns the maximal total modulus width in bits permitting
+// 128-bit security at ring degree 2^logN.
+func MaxLogQP(logN int) (int, error) {
+	v, ok := maxLogQP[logN]
+	if !ok {
+		return 0, fmt.Errorf("params: no security bound for logN=%d", logN)
+	}
+	return v, nil
+}
+
+// SecurityOK reports whether a total modulus of logQP bits at degree
+// 2^logN achieves 128-bit security.
+func SecurityOK(logN, logQP int) bool {
+	v, ok := maxLogQP[logN]
+	return ok && logQP <= v
+}

@@ -1,0 +1,253 @@
+package params
+
+import (
+	"fmt"
+
+	"choco/internal/bfv"
+	"choco/internal/ckks"
+)
+
+// Profile describes the arithmetic an application performs on a
+// ciphertext between client refreshes (one linear phase in the
+// client-aided model). Sequential counts compound noise; parallel
+// fan-in is captured by LogAccum.
+type Profile struct {
+	// TBits is the required BFV plaintext width in bits (quantization
+	// width plus accumulation headroom).
+	TBits int
+	// MinSlots is the number of SIMD slots the packing needs.
+	MinSlots int
+	// CtMults is the sequential ciphertext-ciphertext multiply depth.
+	CtMults int
+	// PlainMults is the sequential plaintext multiply depth.
+	PlainMults int
+	// Rotations is the sequential rotation count (cheap with
+	// rotational redundancy).
+	Rotations int
+	// MaskedPermutes is the sequential count of arbitrary permutations
+	// implemented with masking multiplies (the expensive alternative
+	// that rotational redundancy eliminates, Fig 4A).
+	MaskedPermutes int
+	// LogAccum is log2 of the largest accumulation fan-in.
+	LogAccum int
+}
+
+// logErrB is log2 of the 6σ error bound (σ = 3.2).
+const logErrB = 5
+
+// EstimateNoiseBits returns a conservative estimate of log2 of the
+// noise term w after executing the profile at ring degree 2^logN with
+// BFV plaintext width tBits and kData data primes of dataPrimeBits
+// each. The constants were validated against the exact noise meter of
+// the bfv package (the model must never underestimate by more than a
+// couple of bits, or the selector would pick undecryptable parameters).
+func EstimateNoiseBits(p Profile, logN, tBits int) int {
+	// Fresh encryption noise: ‖e·u + e2·s + e1‖ ≲ B·(2N+1).
+	noise := logErrB + logN + 2
+	// Each sequential plaintext multiply convolves with an encoded
+	// plaintext of coefficients < t: factor ~ t·N worst case.
+	noise += p.PlainMults * (tBits + logN)
+	// A masked permutation is two rotations plus masking multiplies;
+	// the masking multiply dominates (mask encodes to full-range
+	// coefficients): same cost as a plaintext multiply plus the
+	// key-switch additive term.
+	noise += p.MaskedPermutes * (tBits + logN)
+	// Ciphertext multiplies: w_out ≈ t·N·(w_a + w_b) + t·N·B·N.
+	noise += p.CtMults * (tBits + logN + 2)
+	// Rotations add key-switch noise ≈ k·N·B (the q_max/P ratio ~1);
+	// additive, so only the largest term matters alongside growth.
+	ksNoise := 2 + logN + logErrB
+	if p.Rotations > 0 && ksNoise > noise {
+		noise = ksNoise + 1
+	}
+	// Accumulation fan-in multiplies the norm by the fan-in.
+	noise += p.LogAccum
+	return noise
+}
+
+// BudgetBits returns the predicted remaining noise budget for the
+// profile under (logN, kData, dataPrimeBits, tBits).
+func BudgetBits(p Profile, logN, kData, dataPrimeBits, tBits int) int {
+	logQ := kData * dataPrimeBits
+	return logQ - tBits - EstimateNoiseBits(p, logN, tBits) - 1
+}
+
+// SelectBFV returns the BFV parameter set with the smallest ciphertext
+// that supports the profile with at least margin bits of residual
+// budget at 128-bit security. This is CHOCO's client-optimized
+// parameter minimization.
+func SelectBFV(p Profile, margin int) (bfv.Parameters, error) {
+	type cand struct {
+		params bfv.Parameters
+		bytes  int
+	}
+	var best *cand
+	for logN := 11; logN <= 15; logN++ {
+		if p.MinSlots > 1<<uint(logN) {
+			continue
+		}
+		// Batching needs a plaintext prime ≡ 1 mod 2N, so t must have
+		// at least logN+2 bits at this degree.
+		if p.TBits < logN+2 {
+			continue
+		}
+		maxQP, err := MaxLogQP(logN)
+		if err != nil {
+			continue
+		}
+		for kData := 1; kData <= 6; kData++ {
+			// Largest usable prime size given the security cap, with
+			// one equal-size special prime (+1 bit, as in Table 3's
+			// {58,58,59} layout).
+			b := (maxQP - 1) / (kData + 1)
+			if b > 60 {
+				b = 60
+			}
+			if b < logN+2 {
+				continue
+			}
+			if p.TBits >= kData*b {
+				continue
+			}
+			if BudgetBits(p, logN, kData, b, p.TBits) < margin {
+				continue
+			}
+			qBits := make([]int, kData)
+			for i := range qBits {
+				qBits[i] = b
+			}
+			pb := b + 1
+			if (kData*b + pb) > maxQP {
+				pb = b
+			}
+			params := bfv.Parameters{LogN: logN, QBits: qBits, PBits: pb, TBits: p.TBits, Sigma: 3.2}
+			c := cand{params: params, bytes: params.CiphertextBytes()}
+			if best == nil || c.bytes < best.bytes ||
+				(c.bytes == best.bytes && params.LogN < best.params.LogN) {
+				bc := c
+				best = &bc
+			}
+		}
+	}
+	if best == nil {
+		return bfv.Parameters{}, fmt.Errorf("params: no secure BFV parameters support profile %+v", p)
+	}
+	return best.params, nil
+}
+
+// SelectCKKSForDepth returns the smallest CKKS parameter set that
+// supports `depth` sequential multiplies at the given scale with
+// 128-bit security: one q0 of scale+margin bits, `depth` rescaling
+// primes of scale bits, and one special prime.
+func SelectCKKSForDepth(depth, logScale, minSlots int) (ckks.Parameters, error) {
+	if logScale < 20 {
+		return ckks.Parameters{}, fmt.Errorf("params: logScale %d too small", logScale)
+	}
+	for logN := 11; logN <= 15; logN++ {
+		if minSlots > 1<<uint(logN-1) {
+			continue
+		}
+		maxQP, err := MaxLogQP(logN)
+		if err != nil {
+			continue
+		}
+		q0 := logScale + 10
+		if q0 > 60 {
+			q0 = 60
+		}
+		// The key-switching prime only needs to dominate the
+		// decomposition noise; a few bits above the scale suffices and
+		// keeps the chain within tighter security budgets.
+		special := logScale + 6
+		if special > 60 {
+			special = 60
+		}
+		total := q0 + depth*logScale + special
+		if total > maxQP {
+			continue
+		}
+		qBits := make([]int, depth+1)
+		qBits[0] = q0
+		for i := 1; i <= depth; i++ {
+			qBits[i] = logScale
+		}
+		return ckks.Parameters{LogN: logN, QBits: qBits, PBits: special, LogScale: logScale, Sigma: 3.2}, nil
+	}
+	return ckks.Parameters{}, fmt.Errorf("params: no secure CKKS parameters for depth %d at scale 2^%d", depth, logScale)
+}
+
+// RefreshPlan describes a client-aided schedule: total iterations split
+// into sets executed fully encrypted, with a client decrypt/re-encrypt
+// refresh between sets.
+type RefreshPlan struct {
+	TotalIterations int
+	SetSize         int // iterations per encrypted set
+	Refreshes       int // client round trips (sets - 1)
+	CtxBytes        int // ciphertext size under the minimal parameters
+	TotalCommBytes  int // ciphertexts exchanged × size
+}
+
+// PageRankPlansBFV enumerates, for a total iteration count, every
+// divisor split into equal encrypted sets, selecting minimal BFV
+// parameters per set depth (each PageRank iteration is one plaintext
+// multiply plus rotations and adds) and reporting the communication.
+// ciphertextsPerExchange is how many ciphertexts cross the link per
+// refresh in each direction (1 for a single packed rank vector).
+func PageRankPlansBFV(total, tBits, minSlots, ciphertextsPerExchange int) []RefreshPlan {
+	var plans []RefreshPlan
+	for set := 1; set <= total; set++ {
+		if total%set != 0 {
+			continue
+		}
+		prof := Profile{
+			TBits:      tBits,
+			MinSlots:   minSlots,
+			PlainMults: set,
+			Rotations:  set,
+			LogAccum:   4,
+		}
+		params, err := SelectBFV(prof, 2)
+		if err != nil {
+			continue
+		}
+		sets := total / set
+		// Each boundary is one upload + one download; the initial
+		// upload and final download are also counted.
+		exchanges := sets + 1
+		plan := RefreshPlan{
+			TotalIterations: total,
+			SetSize:         set,
+			Refreshes:       sets - 1,
+			CtxBytes:        params.CiphertextBytes(),
+			TotalCommBytes:  exchanges * ciphertextsPerExchange * params.CiphertextBytes(),
+		}
+		plans = append(plans, plan)
+	}
+	return plans
+}
+
+// PageRankPlansCKKS is the CKKS analogue: each encrypted iteration
+// consumes one rescaling prime.
+func PageRankPlansCKKS(total, logScale, minSlots, ciphertextsPerExchange int) []RefreshPlan {
+	var plans []RefreshPlan
+	for set := 1; set <= total; set++ {
+		if total%set != 0 {
+			continue
+		}
+		params, err := SelectCKKSForDepth(set, logScale, minSlots)
+		if err != nil {
+			continue
+		}
+		sets := total / set
+		exchanges := sets + 1
+		plan := RefreshPlan{
+			TotalIterations: total,
+			SetSize:         set,
+			Refreshes:       sets - 1,
+			CtxBytes:        params.CiphertextBytes(),
+			TotalCommBytes:  exchanges * ciphertextsPerExchange * params.CiphertextBytes(),
+		}
+		plans = append(plans, plan)
+	}
+	return plans
+}

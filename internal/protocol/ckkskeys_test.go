@@ -1,0 +1,91 @@
+package protocol
+
+import (
+	"math"
+	"testing"
+
+	"choco/internal/ckks"
+)
+
+func TestCKKSKeyBundleRoundTrip(t *testing.T) {
+	ctx, err := ckks.NewContext(ckks.PresetTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg := ckks.NewKeyGenerator(ctx, [32]byte{41})
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	relin := kg.GenRelinearizationKey(sk)
+	galois := kg.GenRotationKeys(sk, 1, 2)
+
+	bundle := &CKKSKeyBundle{PK: pk, Relin: relin, Galois: galois}
+	data := MarshalCKKSKeyBundle(bundle)
+	back, err := UnmarshalCKKSKeyBundle(ctx, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Galois) != len(galois) || back.Relin == nil {
+		t.Fatal("bundle contents lost")
+	}
+
+	// A server constructed purely from the unmarshaled bundle must
+	// evaluate correctly on the client's ciphertexts.
+	enc := ckks.NewEncryptor(ctx, back.PK, [32]byte{42})
+	dec := ckks.NewDecryptor(ctx, sk)
+	ev := ckks.NewEvaluator(ctx, back.Relin, back.Galois)
+
+	vals := []float64{1.5, -2, 3, 0.5}
+	ct, err := enc.EncryptFloats(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, err := ev.MulRelin(ct, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rot, err := ev.RotateLeft(ct, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSq := dec.DecryptFloats(sq)
+	gotRot := dec.DecryptFloats(rot)
+	for i, v := range vals {
+		if math.Abs(gotSq[i]-v*v) > 1e-2 {
+			t.Errorf("square slot %d: got %v want %v", i, gotSq[i], v*v)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if math.Abs(gotRot[i]-vals[i+1]) > 1e-2 {
+			t.Errorf("rotate slot %d: got %v want %v", i, gotRot[i], vals[i+1])
+		}
+	}
+}
+
+func TestCKKSKeyBundleErrors(t *testing.T) {
+	ctx, err := ckks.NewContext(ckks.PresetTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalCKKSKeyBundle(ctx, []byte{1, 2, 3}); err == nil {
+		t.Error("expected truncation error")
+	}
+	kg := ckks.NewKeyGenerator(ctx, [32]byte{43})
+	sk := kg.GenSecretKey()
+	bundle := &CKKSKeyBundle{PK: kg.GenPublicKey(sk), Galois: map[uint64]*ckks.GaloisKey{}}
+	data := MarshalCKKSKeyBundle(bundle)
+	back, err := UnmarshalCKKSKeyBundle(ctx, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Relin != nil {
+		t.Error("unexpected relin key")
+	}
+	data[0] ^= 1
+	if _, err := UnmarshalCKKSKeyBundle(ctx, data); err == nil {
+		t.Error("expected magic error")
+	}
+	data[0] ^= 1
+	if _, err := UnmarshalCKKSKeyBundle(ctx, append(data, 0)); err == nil {
+		t.Error("expected trailing-bytes error")
+	}
+}

@@ -1,0 +1,84 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"choco/internal/bfv"
+)
+
+// Wire-format stability tests: the header layout is a compatibility
+// contract between deployed clients and servers; these pin it.
+
+func TestBFVWireHeaderLayout(t *testing.T) {
+	ctx, err := bfv.NewContext(bfv.PresetTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg := bfv.NewKeyGenerator(ctx, [32]byte{1})
+	sk := kg.GenSecretKey()
+	enc := bfv.NewEncryptor(ctx, kg.GenPublicKey(sk), [32]byte{2})
+	data := MarshalBFV(enc.EncryptZero())
+
+	if got := binary.LittleEndian.Uint32(data[0:]); got != SchemeBFV {
+		t.Errorf("scheme tag %d", got)
+	}
+	if got := binary.LittleEndian.Uint32(data[4:]); got != 2 {
+		t.Errorf("component count %d, want 2", got)
+	}
+	if got := binary.LittleEndian.Uint32(data[8:]); int(got) != ctx.Params.N() {
+		t.Errorf("N field %d", got)
+	}
+	if got := binary.LittleEndian.Uint32(data[12:]); int(got) != len(ctx.Params.QBits) {
+		t.Errorf("k field %d", got)
+	}
+	if len(data) != headerBytes+ctx.Params.CiphertextBytes() {
+		t.Errorf("total length %d", len(data))
+	}
+}
+
+func TestBFVWireDeterminism(t *testing.T) {
+	// Identical seeds must byte-identically reproduce the wire form —
+	// the foundation of the repo's reproducibility.
+	build := func() []byte {
+		ctx, err := bfv.NewContext(bfv.PresetTest())
+		if err != nil {
+			t.Fatal(err)
+		}
+		kg := bfv.NewKeyGenerator(ctx, [32]byte{3})
+		sk := kg.GenSecretKey()
+		enc := bfv.NewEncryptor(ctx, kg.GenPublicKey(sk), [32]byte{4})
+		ct, _ := enc.EncryptUints([]uint64{1, 2, 3})
+		return MarshalBFV(ct)
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("wire bytes differ at offset %d", i)
+		}
+	}
+}
+
+func TestCrossSchemeUnmarshalRejected(t *testing.T) {
+	bctx, err := bfv.NewContext(bfv.PresetTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg := bfv.NewKeyGenerator(bctx, [32]byte{1})
+	sk := kg.GenSecretKey()
+	enc := bfv.NewEncryptor(bctx, kg.GenPublicKey(sk), [32]byte{2})
+	bfvWire := MarshalBFV(enc.EncryptZero())
+
+	// A BFV frame must not unmarshal as CKKS, and a key bundle must
+	// not unmarshal as a ciphertext.
+	kb := MarshalKeyBundle(&KeyBundle{PK: kg.GenPublicKey(sk), Galois: map[uint64]*bfv.GaloisKey{}})
+	if _, err := UnmarshalBFV(bctx, kb); err == nil {
+		t.Error("key bundle accepted as ciphertext")
+	}
+	if _, err := UnmarshalKeyBundle(bctx, bfvWire); err == nil {
+		t.Error("ciphertext accepted as key bundle")
+	}
+}

@@ -1,0 +1,362 @@
+// Package protocol serializes ciphertexts and frames them over
+// transports. Serialized sizes are what the paper's communication
+// numbers count (Table 3, Figs 10/11/13/14), so the encoding is a flat
+// little-endian dump of the RNS residue words: 2 polynomials × N
+// coefficients × k residues × 8 bytes, plus a fixed 24-byte header.
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+
+	"choco/internal/bfv"
+	"choco/internal/ckks"
+	"choco/internal/ring"
+)
+
+const headerBytes = 24
+
+// Scheme tags for the frame header.
+const (
+	SchemeBFV  = uint32(1)
+	SchemeCKKS = uint32(2)
+)
+
+// MarshalBFV serializes a BFV ciphertext.
+func MarshalBFV(ct *bfv.Ciphertext) []byte {
+	polys := ct.Value
+	n := len(polys[0].Coeffs[0])
+	k := len(polys[0].Coeffs)
+	buf := make([]byte, headerBytes+len(polys)*n*k*8)
+	binary.LittleEndian.PutUint32(buf[0:], SchemeBFV)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(polys)))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(n))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(k))
+	off := headerBytes
+	for _, p := range polys {
+		for _, row := range p.Coeffs {
+			for _, v := range row {
+				binary.LittleEndian.PutUint64(buf[off:], v)
+				off += 8
+			}
+		}
+	}
+	return buf
+}
+
+// UnmarshalBFV reconstructs a BFV ciphertext serialized by MarshalBFV.
+func UnmarshalBFV(ctx *bfv.Context, data []byte) (*bfv.Ciphertext, error) {
+	if len(data) < headerBytes {
+		return nil, fmt.Errorf("protocol: truncated ciphertext")
+	}
+	if binary.LittleEndian.Uint32(data[0:]) != SchemeBFV {
+		return nil, fmt.Errorf("protocol: not a BFV ciphertext")
+	}
+	deg := int(binary.LittleEndian.Uint32(data[4:]))
+	n := int(binary.LittleEndian.Uint32(data[8:]))
+	k := int(binary.LittleEndian.Uint32(data[12:]))
+	full := len(ctx.RingQ.Moduli)
+	if n != ctx.Params.N() || k < 1 || k > full {
+		return nil, fmt.Errorf("protocol: ciphertext shape (N=%d,k=%d) does not match context (N=%d,k≤%d)",
+			n, k, ctx.Params.N(), full)
+	}
+	want := headerBytes + deg*n*k*8
+	if len(data) != want {
+		return nil, fmt.Errorf("protocol: ciphertext length %d, want %d", len(data), want)
+	}
+	drop := full - k
+	r := ctx.RingAtDrop(drop)
+	ct := &bfv.Ciphertext{Value: make([]*ring.Poly, deg), Drop: drop}
+	off := headerBytes
+	for i := 0; i < deg; i++ {
+		p := r.NewPoly()
+		for _, row := range p.Coeffs {
+			for j := range row {
+				row[j] = binary.LittleEndian.Uint64(data[off:])
+				off += 8
+			}
+		}
+		ct.Value[i] = p
+	}
+	return ct, nil
+}
+
+// SchemeBFVSeeded tags a seed-compressed symmetric BFV ciphertext.
+const SchemeBFVSeeded = uint32(3)
+
+// MarshalSeededBFV serializes a seed-compressed ciphertext: header,
+// 32-byte seed, then the single c0 polynomial — about half the bytes
+// of MarshalBFV.
+func MarshalSeededBFV(sct *bfv.SeededCiphertext) []byte {
+	n := len(sct.C0.Coeffs[0])
+	k := len(sct.C0.Coeffs)
+	buf := make([]byte, headerBytes+32+n*k*8)
+	binary.LittleEndian.PutUint32(buf[0:], SchemeBFVSeeded)
+	binary.LittleEndian.PutUint32(buf[4:], 1)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(n))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(k))
+	copy(buf[headerBytes:], sct.Seed[:])
+	off := headerBytes + 32
+	for _, row := range sct.C0.Coeffs {
+		for _, v := range row {
+			binary.LittleEndian.PutUint64(buf[off:], v)
+			off += 8
+		}
+	}
+	return buf
+}
+
+// UnmarshalSeededBFV reconstructs and expands a seed-compressed
+// ciphertext into a regular two-component one (the server-side step).
+func UnmarshalSeededBFV(ctx *bfv.Context, data []byte) (*bfv.Ciphertext, error) {
+	if len(data) < headerBytes+32 {
+		return nil, fmt.Errorf("protocol: truncated seeded ciphertext")
+	}
+	if binary.LittleEndian.Uint32(data[0:]) != SchemeBFVSeeded {
+		return nil, fmt.Errorf("protocol: not a seeded BFV ciphertext")
+	}
+	n := int(binary.LittleEndian.Uint32(data[8:]))
+	k := int(binary.LittleEndian.Uint32(data[12:]))
+	if n != ctx.Params.N() || k != len(ctx.RingQ.Moduli) {
+		return nil, fmt.Errorf("protocol: seeded ciphertext shape mismatch")
+	}
+	if len(data) != headerBytes+32+n*k*8 {
+		return nil, fmt.Errorf("protocol: seeded ciphertext length %d", len(data))
+	}
+	sct := &bfv.SeededCiphertext{C0: ctx.RingQ.NewPoly()}
+	copy(sct.Seed[:], data[headerBytes:])
+	off := headerBytes + 32
+	for _, row := range sct.C0.Coeffs {
+		for j := range row {
+			row[j] = binary.LittleEndian.Uint64(data[off:])
+			off += 8
+		}
+	}
+	return sct.Expand(ctx), nil
+}
+
+// UnmarshalAnyBFV dispatches on the scheme tag, accepting both regular
+// and seed-compressed BFV ciphertexts (servers sniff incoming frames
+// with this).
+func UnmarshalAnyBFV(ctx *bfv.Context, data []byte) (*bfv.Ciphertext, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("protocol: truncated frame")
+	}
+	switch binary.LittleEndian.Uint32(data[0:]) {
+	case SchemeBFV:
+		return UnmarshalBFV(ctx, data)
+	case SchemeBFVSeeded:
+		return UnmarshalSeededBFV(ctx, data)
+	}
+	return nil, fmt.Errorf("protocol: unknown BFV frame tag")
+}
+
+// MarshalCKKS serializes a CKKS ciphertext (level and scale travel in
+// the header's spare fields).
+func MarshalCKKS(ct *ckks.Ciphertext) []byte {
+	polys := ct.Value
+	n := len(polys[0].Coeffs[0])
+	k := len(polys[0].Coeffs)
+	buf := make([]byte, headerBytes+len(polys)*n*k*8)
+	binary.LittleEndian.PutUint32(buf[0:], SchemeCKKS)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(polys)))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(n))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(k))
+	binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(ct.Scale))
+	off := headerBytes
+	for _, p := range polys {
+		for _, row := range p.Coeffs {
+			for _, v := range row {
+				binary.LittleEndian.PutUint64(buf[off:], v)
+				off += 8
+			}
+		}
+	}
+	return buf
+}
+
+// UnmarshalCKKS reconstructs a CKKS ciphertext.
+func UnmarshalCKKS(ctx *ckks.Context, data []byte) (*ckks.Ciphertext, error) {
+	if len(data) < headerBytes {
+		return nil, fmt.Errorf("protocol: truncated ciphertext")
+	}
+	if binary.LittleEndian.Uint32(data[0:]) != SchemeCKKS {
+		return nil, fmt.Errorf("protocol: not a CKKS ciphertext")
+	}
+	deg := int(binary.LittleEndian.Uint32(data[4:]))
+	n := int(binary.LittleEndian.Uint32(data[8:]))
+	k := int(binary.LittleEndian.Uint32(data[12:]))
+	scale := math.Float64frombits(binary.LittleEndian.Uint64(data[16:]))
+	if n != ctx.Params.N() || k > len(ctx.RingQ.Moduli) || k < 1 {
+		return nil, fmt.Errorf("protocol: ciphertext shape mismatch")
+	}
+	want := headerBytes + deg*n*k*8
+	if len(data) != want {
+		return nil, fmt.Errorf("protocol: ciphertext length %d, want %d", len(data), want)
+	}
+	level := k - 1
+	r := ctx.RingAtLevel(level)
+	ct := &ckks.Ciphertext{Value: make([]*ring.Poly, deg), Level: level, Scale: scale}
+	off := headerBytes
+	for i := 0; i < deg; i++ {
+		p := r.NewPoly()
+		for _, row := range p.Coeffs {
+			for j := range row {
+				row[j] = binary.LittleEndian.Uint64(data[off:])
+				off += 8
+			}
+		}
+		ct.Value[i] = p
+	}
+	return ct, nil
+}
+
+// Transport moves framed messages between the client and the offload
+// server and accounts for every byte, which is the quantity CHOCO
+// optimizes.
+type Transport interface {
+	Send(msg []byte) error
+	Recv() ([]byte, error)
+	// SentBytes and ReceivedBytes report cumulative traffic from this
+	// endpoint's perspective (payload plus 4-byte frame length).
+	SentBytes() int64
+	ReceivedBytes() int64
+}
+
+// Pipe is an in-memory duplex transport pair for same-process
+// client/server experiments.
+type Pipe struct {
+	out       chan []byte
+	in        chan []byte
+	mu        sync.Mutex
+	sent      int64
+	received  int64
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// NewPipe returns two connected endpoints.
+func NewPipe() (*Pipe, *Pipe) {
+	ab := make(chan []byte, 1024)
+	ba := make(chan []byte, 1024)
+	closed := make(chan struct{})
+	a := &Pipe{out: ab, in: ba, closed: closed}
+	b := &Pipe{out: ba, in: ab, closed: closed}
+	return a, b
+}
+
+// Send delivers one message.
+func (p *Pipe) Send(msg []byte) error {
+	cp := make([]byte, len(msg))
+	copy(cp, msg)
+	select {
+	case p.out <- cp:
+	case <-p.closed:
+		return fmt.Errorf("protocol: pipe closed")
+	}
+	p.mu.Lock()
+	p.sent += int64(len(msg)) + 4
+	p.mu.Unlock()
+	return nil
+}
+
+// Recv blocks for the next message.
+func (p *Pipe) Recv() ([]byte, error) {
+	select {
+	case msg := <-p.in:
+		p.mu.Lock()
+		p.received += int64(len(msg)) + 4
+		p.mu.Unlock()
+		return msg, nil
+	case <-p.closed:
+		return nil, io.EOF
+	}
+}
+
+// Close shuts both endpoints down.
+func (p *Pipe) Close() {
+	p.closeOnce.Do(func() { close(p.closed) })
+}
+
+// SentBytes reports bytes sent from this endpoint.
+func (p *Pipe) SentBytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sent
+}
+
+// ReceivedBytes reports bytes received at this endpoint.
+func (p *Pipe) ReceivedBytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.received
+}
+
+// Conn is a length-prefix framed transport over a net.Conn (the real
+// client/server deployment in cmd/chocoserver and cmd/chococlient).
+type Conn struct {
+	c        net.Conn
+	mu       sync.Mutex
+	sent     int64
+	received int64
+}
+
+// NewConn wraps a network connection.
+func NewConn(c net.Conn) *Conn { return &Conn{c: c} }
+
+// Send writes a 4-byte length prefix followed by the message.
+func (t *Conn) Send(msg []byte) error {
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(msg)))
+	if _, err := t.c.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	if _, err := t.c.Write(msg); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.sent += int64(len(msg)) + 4
+	t.mu.Unlock()
+	return nil
+}
+
+// Recv reads one framed message.
+func (t *Conn) Recv() ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(t.c, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n > 1<<30 {
+		return nil, fmt.Errorf("protocol: frame too large (%d)", n)
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(t.c, msg); err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	t.received += int64(n) + 4
+	t.mu.Unlock()
+	return msg, nil
+}
+
+// SentBytes reports cumulative sent bytes.
+func (t *Conn) SentBytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sent
+}
+
+// ReceivedBytes reports cumulative received bytes.
+func (t *Conn) ReceivedBytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.received
+}
+
+// Close closes the underlying connection.
+func (t *Conn) Close() error { return t.c.Close() }

@@ -1,0 +1,222 @@
+package ring
+
+import (
+	"math/big"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"choco/internal/nt"
+)
+
+// propertyRing is a fixed small ring for the quick.Check properties.
+func propertyRing(t *testing.T) *Ring {
+	t.Helper()
+	primes, err := nt.GenerateNTTPrimesVarBits([]int{30, 31}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRing(6, primes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// polyValue makes *Poly generatable by testing/quick.
+type polyValue struct{ coeffs []uint64 }
+
+func (polyValue) Generate(rand *rand.Rand, size int) reflect.Value {
+	c := make([]uint64, 64)
+	for i := range c {
+		c[i] = rand.Uint64()
+	}
+	return reflect.ValueOf(polyValue{coeffs: c})
+}
+
+func (r *Ring) fromValue(v polyValue) *Poly {
+	p := r.NewPoly()
+	r.SetCoeffsUint64(v.coeffs, p)
+	return p
+}
+
+func TestQuickNTTIsLinear(t *testing.T) {
+	r := propertyRing(t)
+	f := func(av, bv polyValue) bool {
+		a, b := r.fromValue(av), r.fromValue(bv)
+		// NTT(a+b) == NTT(a) + NTT(b)
+		sum := r.NewPoly()
+		r.Add(a, b, sum)
+		r.NTT(sum)
+		r.NTT(a)
+		r.NTT(b)
+		sum2 := r.NewPoly()
+		r.Add(a, b, sum2)
+		return r.Equal(sum, sum2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMulCommutesAndDistributes(t *testing.T) {
+	r := propertyRing(t)
+	f := func(av, bv, cv polyValue) bool {
+		a, b, c := r.fromValue(av), r.fromValue(bv), r.fromValue(cv)
+		r.NTT(a)
+		r.NTT(b)
+		r.NTT(c)
+		// a⊙b == b⊙a
+		ab := r.NewPoly()
+		ba := r.NewPoly()
+		r.MulCoeffs(a, b, ab)
+		r.MulCoeffs(b, a, ba)
+		if !r.Equal(ab, ba) {
+			return false
+		}
+		// a⊙(b+c) == a⊙b + a⊙c
+		bc := r.NewPoly()
+		r.Add(b, c, bc)
+		lhs := r.NewPoly()
+		r.MulCoeffs(a, bc, lhs)
+		ac := r.NewPoly()
+		r.MulCoeffs(a, c, ac)
+		rhs := r.NewPoly()
+		r.Add(ab, ac, rhs)
+		return r.Equal(lhs, rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNegacyclicShift(t *testing.T) {
+	// Multiplying by X shifts coefficients with a sign wrap:
+	// (a·X)[0] = -a[N-1], (a·X)[i] = a[i-1].
+	r := propertyRing(t)
+	x := r.NewPoly()
+	x.Coeffs[0][1] = 1
+	x.Coeffs[1][1] = 1
+	r.NTT(x)
+	f := func(av polyValue) bool {
+		a := r.fromValue(av)
+		orig := r.CopyPoly(a)
+		r.NTT(a)
+		shifted := r.NewPoly()
+		r.MulCoeffs(a, x, shifted)
+		r.INTT(shifted)
+		for lvl, m := range r.Moduli {
+			if shifted.Coeffs[lvl][0] != m.Neg(orig.Coeffs[lvl][r.N-1]) {
+				return false
+			}
+			for i := 1; i < r.N; i++ {
+				if shifted.Coeffs[lvl][i] != orig.Coeffs[lvl][i-1] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAutomorphismPreservesAddition(t *testing.T) {
+	r := propertyRing(t)
+	f := func(av, bv polyValue, gSeed uint8) bool {
+		g := uint64(2*int(gSeed)+3) % uint64(2*r.N)
+		if g == 0 {
+			g = 3
+		}
+		a, b := r.fromValue(av), r.fromValue(bv)
+		sum := r.NewPoly()
+		r.Add(a, b, sum)
+		phiSum := r.NewPoly()
+		r.Automorphism(sum, g, phiSum)
+		pa := r.NewPoly()
+		pb := r.NewPoly()
+		r.Automorphism(a, g, pa)
+		r.Automorphism(b, g, pb)
+		rhs := r.NewPoly()
+		r.Add(pa, pb, rhs)
+		return r.Equal(phiSum, rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAutomorphismIsPermutationWithSigns(t *testing.T) {
+	// Every coefficient magnitude is preserved; only position and sign
+	// change.
+	r := propertyRing(t)
+	f := func(av polyValue, gSeed uint8) bool {
+		g := uint64(2*int(gSeed)+3) % uint64(2*r.N)
+		if g == 0 {
+			g = 3
+		}
+		a := r.fromValue(av)
+		out := r.NewPoly()
+		r.Automorphism(a, g, out)
+		for lvl, m := range r.Moduli {
+			counts := map[uint64]int{}
+			for i := 0; i < r.N; i++ {
+				v := a.Coeffs[lvl][i]
+				if m.Neg(v) < v {
+					v = m.Neg(v)
+				}
+				counts[v]++
+			}
+			for i := 0; i < r.N; i++ {
+				v := out.Coeffs[lvl][i]
+				if m.Neg(v) < v {
+					v = m.Neg(v)
+				}
+				counts[v]--
+			}
+			for _, c := range counts {
+				if c != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCRTComposeDecompose(t *testing.T) {
+	r := propertyRing(t)
+	f := func(av polyValue) bool {
+		a := r.fromValue(av)
+		vals := make([]*big.Int, r.N)
+		r.PolyToBigintCentered(a, vals)
+		back := r.NewPoly()
+		r.SetCoeffsBigint(vals, back)
+		return r.Equal(a, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickScalarMulMatchesRepeatedAdd(t *testing.T) {
+	r := propertyRing(t)
+	f := func(av polyValue, c uint8) bool {
+		a := r.fromValue(av)
+		byMul := r.NewPoly()
+		r.MulScalar(a, uint64(c), byMul)
+		acc := r.NewPoly()
+		for i := 0; i < int(c); i++ {
+			r.Add(acc, a, acc)
+		}
+		return r.Equal(byMul, acc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

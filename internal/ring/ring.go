@@ -1,0 +1,561 @@
+// Package ring implements the negacyclic polynomial ring
+// R_q = Z_q[X]/(X^N + 1) in residue-number-system (RNS) form, the
+// computational substrate of the BFV and CKKS schemes. It provides the
+// number-theoretic transform (NTT) with Shoup-precomputed twiddles,
+// coefficient-wise arithmetic, Galois automorphisms (the basis of
+// encrypted rotation), and exact CRT composition/decomposition to
+// math/big integers for the scheme operations that need the full
+// coefficient value (decryption scaling, tensor-product scaling, and
+// noise measurement).
+package ring
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+
+	"choco/internal/nt"
+)
+
+// Ring describes R_q for a fixed degree N and RNS modulus chain.
+type Ring struct {
+	N      int
+	LogN   int
+	Moduli []nt.Modulus
+
+	tables []*nttTable
+
+	// CRT precomputations over the full basis.
+	bigQ     *big.Int   // product of all moduli
+	halfQ    *big.Int   // floor(Q/2), for centered representatives
+	qiHat    []*big.Int // Q / q_i
+	qiHatInv []uint64   // (Q/q_i)^-1 mod q_i
+}
+
+// nttTable holds per-modulus NTT precomputations.
+type nttTable struct {
+	mod nt.Modulus
+	// psiRev[i] = psi^{bitrev(i)}, psi a 2N-th primitive root; Shoup
+	// companions for the hot loop.
+	psiRev         []uint64
+	psiRevShoup    []uint64
+	psiInvRev      []uint64
+	psiInvRevShoup []uint64
+	nInv           uint64
+	nInvShoup      uint64
+}
+
+// NewRing constructs the ring of degree 2^logN with the given moduli.
+// Every modulus must be an NTT-friendly prime (q ≡ 1 mod 2N).
+func NewRing(logN int, moduli []uint64) (*Ring, error) {
+	if logN < 2 || logN > 17 {
+		return nil, fmt.Errorf("ring: unsupported logN=%d", logN)
+	}
+	if len(moduli) == 0 {
+		return nil, fmt.Errorf("ring: empty modulus chain")
+	}
+	n := 1 << uint(logN)
+	r := &Ring{N: n, LogN: logN}
+	seen := map[uint64]bool{}
+	for _, q := range moduli {
+		if seen[q] {
+			return nil, fmt.Errorf("ring: duplicate modulus %d", q)
+		}
+		seen[q] = true
+		if q%(2*uint64(n)) != 1 {
+			return nil, fmt.Errorf("ring: modulus %d is not 1 mod 2N", q)
+		}
+		if !nt.IsPrime(q) {
+			return nil, fmt.Errorf("ring: modulus %d is not prime", q)
+		}
+		r.Moduli = append(r.Moduli, nt.NewModulus(q))
+	}
+	for _, m := range r.Moduli {
+		tbl, err := newNTTTable(m, logN)
+		if err != nil {
+			return nil, err
+		}
+		r.tables = append(r.tables, tbl)
+	}
+	r.precomputeCRT()
+	return r, nil
+}
+
+func (r *Ring) precomputeCRT() {
+	r.bigQ = big.NewInt(1)
+	for _, m := range r.Moduli {
+		r.bigQ.Mul(r.bigQ, new(big.Int).SetUint64(m.Value))
+	}
+	r.halfQ = new(big.Int).Rsh(r.bigQ, 1)
+	r.qiHat = make([]*big.Int, len(r.Moduli))
+	r.qiHatInv = make([]uint64, len(r.Moduli))
+	for i, m := range r.Moduli {
+		r.qiHat[i] = new(big.Int).Div(r.bigQ, new(big.Int).SetUint64(m.Value))
+		rem := new(big.Int).Mod(r.qiHat[i], new(big.Int).SetUint64(m.Value)).Uint64()
+		inv, ok := m.Inv(rem)
+		if !ok {
+			panic("ring: CRT basis moduli not pairwise coprime")
+		}
+		r.qiHatInv[i] = inv
+	}
+}
+
+func newNTTTable(m nt.Modulus, logN int) (*nttTable, error) {
+	n := uint64(1) << uint(logN)
+	psi, err := nt.MinimalPrimitiveRootOfUnity(m.Value, 2*n)
+	if err != nil {
+		return nil, fmt.Errorf("ring: modulus %d: %w", m.Value, err)
+	}
+	psiInv, ok := m.Inv(psi)
+	if !ok {
+		return nil, fmt.Errorf("ring: psi not invertible mod %d", m.Value)
+	}
+	t := &nttTable{mod: m}
+	t.psiRev = make([]uint64, n)
+	t.psiRevShoup = make([]uint64, n)
+	t.psiInvRev = make([]uint64, n)
+	t.psiInvRevShoup = make([]uint64, n)
+	powPsi := uint64(1)
+	powPsiInv := uint64(1)
+	for i := uint64(0); i < n; i++ {
+		j := bits.Reverse64(i) >> uint(64-logN)
+		t.psiRev[j] = powPsi
+		t.psiInvRev[j] = powPsiInv
+		powPsi = m.Mul(powPsi, psi)
+		powPsiInv = m.Mul(powPsiInv, psiInv)
+	}
+	for i := range t.psiRev {
+		t.psiRevShoup[i] = m.ShoupPrecomp(t.psiRev[i])
+		t.psiInvRevShoup[i] = m.ShoupPrecomp(t.psiInvRev[i])
+	}
+	nInv, ok := m.Inv(n % m.Value)
+	if !ok {
+		return nil, fmt.Errorf("ring: N not invertible mod %d", m.Value)
+	}
+	t.nInv = nInv
+	t.nInvShoup = m.ShoupPrecomp(nInv)
+	return t, nil
+}
+
+// Level returns the number of RNS residues.
+func (r *Ring) Level() int { return len(r.Moduli) }
+
+// ModulusBig returns (a copy of) the full modulus Q as a big integer.
+func (r *Ring) ModulusBig() *big.Int { return new(big.Int).Set(r.bigQ) }
+
+// ModulusBits returns ceil(log2 Q), the total coefficient modulus width.
+func (r *Ring) ModulusBits() int { return r.bigQ.BitLen() }
+
+// AtLevel returns a ring identical to r but truncated to the first
+// level+1 moduli. It shares NTT tables with r.
+func (r *Ring) AtLevel(level int) *Ring {
+	if level < 0 || level >= len(r.Moduli) {
+		panic("ring: level out of range")
+	}
+	sub := &Ring{
+		N:      r.N,
+		LogN:   r.LogN,
+		Moduli: r.Moduli[:level+1],
+		tables: r.tables[:level+1],
+	}
+	sub.precomputeCRT()
+	return sub
+}
+
+// Poly is an element of R_q stored as one residue row per modulus. The
+// IsNTT flag records the current domain.
+type Poly struct {
+	Coeffs [][]uint64
+	IsNTT  bool
+}
+
+// NewPoly allocates a zero polynomial for the ring.
+func (r *Ring) NewPoly() *Poly {
+	backing := make([]uint64, len(r.Moduli)*r.N)
+	coeffs := make([][]uint64, len(r.Moduli))
+	for i := range coeffs {
+		coeffs[i], backing = backing[:r.N], backing[r.N:]
+	}
+	return &Poly{Coeffs: coeffs}
+}
+
+// CopyPoly returns a deep copy of p.
+func (r *Ring) CopyPoly(p *Poly) *Poly {
+	q := r.NewPoly()
+	for i := range p.Coeffs {
+		copy(q.Coeffs[i], p.Coeffs[i])
+	}
+	q.IsNTT = p.IsNTT
+	return q
+}
+
+// Copy copies src into dst.
+func (r *Ring) Copy(dst, src *Poly) {
+	for i := range src.Coeffs {
+		copy(dst.Coeffs[i], src.Coeffs[i])
+	}
+	dst.IsNTT = src.IsNTT
+}
+
+// Zero clears p in place.
+func (r *Ring) Zero(p *Poly) {
+	for i := range p.Coeffs {
+		row := p.Coeffs[i]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+	p.IsNTT = false
+}
+
+// Equal reports whether a and b are identical (same domain, same
+// residues).
+func (r *Ring) Equal(a, b *Poly) bool {
+	if a.IsNTT != b.IsNTT || len(a.Coeffs) != len(b.Coeffs) {
+		return false
+	}
+	for i := range a.Coeffs {
+		for j := range a.Coeffs[i] {
+			if a.Coeffs[i][j] != b.Coeffs[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// NTT transforms p in place to the evaluation domain.
+func (r *Ring) NTT(p *Poly) {
+	if p.IsNTT {
+		panic("ring: NTT on a polynomial already in NTT domain")
+	}
+	for i, tbl := range r.tables[:len(p.Coeffs)] {
+		nttForward(tbl, p.Coeffs[i])
+	}
+	p.IsNTT = true
+}
+
+// INTT transforms p in place back to the coefficient domain.
+func (r *Ring) INTT(p *Poly) {
+	if !p.IsNTT {
+		panic("ring: INTT on a polynomial already in coefficient domain")
+	}
+	for i, tbl := range r.tables[:len(p.Coeffs)] {
+		nttInverse(tbl, p.Coeffs[i])
+	}
+	p.IsNTT = false
+}
+
+// nttForward is the in-place Cooley-Tukey negacyclic NTT with merged
+// psi powers (Longa-Naehrig). Output is in bit-reversed evaluation
+// order, which is self-consistent for dyadic products.
+func nttForward(tbl *nttTable, a []uint64) {
+	mod := tbl.mod
+	n := len(a)
+	t := n
+	for m := 1; m < n; m <<= 1 {
+		t >>= 1
+		for i := 0; i < m; i++ {
+			j1 := 2 * i * t
+			w := tbl.psiRev[m+i]
+			ws := tbl.psiRevShoup[m+i]
+			for j := j1; j < j1+t; j++ {
+				u := a[j]
+				v := mod.MulShoup(a[j+t], w, ws)
+				a[j] = mod.Add(u, v)
+				a[j+t] = mod.Sub(u, v)
+			}
+		}
+	}
+}
+
+// nttInverse is the in-place Gentleman-Sande inverse transform.
+func nttInverse(tbl *nttTable, a []uint64) {
+	mod := tbl.mod
+	n := len(a)
+	t := 1
+	for m := n; m > 1; m >>= 1 {
+		j1 := 0
+		h := m >> 1
+		for i := 0; i < h; i++ {
+			w := tbl.psiInvRev[h+i]
+			ws := tbl.psiInvRevShoup[h+i]
+			for j := j1; j < j1+t; j++ {
+				u := a[j]
+				v := a[j+t]
+				a[j] = mod.Add(u, v)
+				a[j+t] = mod.MulShoup(mod.Sub(u, v), w, ws)
+			}
+			j1 += 2 * t
+		}
+		t <<= 1
+	}
+	for j := range a {
+		a[j] = mod.MulShoup(a[j], tbl.nInv, tbl.nInvShoup)
+	}
+}
+
+// Add sets out = a + b.
+func (r *Ring) Add(a, b, out *Poly) {
+	r.requireSameDomain(a, b)
+	for i := range out.Coeffs {
+		m := r.Moduli[i]
+		ra, rb, ro := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := range ro {
+			ro[j] = m.Add(ra[j], rb[j])
+		}
+	}
+	out.IsNTT = a.IsNTT
+}
+
+// Sub sets out = a - b.
+func (r *Ring) Sub(a, b, out *Poly) {
+	r.requireSameDomain(a, b)
+	for i := range out.Coeffs {
+		m := r.Moduli[i]
+		ra, rb, ro := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := range ro {
+			ro[j] = m.Sub(ra[j], rb[j])
+		}
+	}
+	out.IsNTT = a.IsNTT
+}
+
+// Neg sets out = -a.
+func (r *Ring) Neg(a, out *Poly) {
+	for i := range out.Coeffs {
+		m := r.Moduli[i]
+		ra, ro := a.Coeffs[i], out.Coeffs[i]
+		for j := range ro {
+			ro[j] = m.Neg(ra[j])
+		}
+	}
+	out.IsNTT = a.IsNTT
+}
+
+// MulCoeffs sets out = a ⊙ b (dyadic product). Both operands must be in
+// the NTT domain, where the dyadic product realizes negacyclic
+// convolution.
+func (r *Ring) MulCoeffs(a, b, out *Poly) {
+	if !a.IsNTT || !b.IsNTT {
+		panic("ring: MulCoeffs requires NTT-domain operands")
+	}
+	for i := range out.Coeffs {
+		m := r.Moduli[i]
+		ra, rb, ro := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := range ro {
+			ro[j] = m.Mul(ra[j], rb[j])
+		}
+	}
+	out.IsNTT = true
+}
+
+// MulCoeffsAdd sets out += a ⊙ b, all in NTT domain.
+func (r *Ring) MulCoeffsAdd(a, b, out *Poly) {
+	if !a.IsNTT || !b.IsNTT || !out.IsNTT {
+		panic("ring: MulCoeffsAdd requires NTT-domain operands")
+	}
+	for i := range out.Coeffs {
+		m := r.Moduli[i]
+		ra, rb, ro := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		for j := range ro {
+			ro[j] = m.Add(ro[j], m.Mul(ra[j], rb[j]))
+		}
+	}
+}
+
+// MulScalar sets out = a * c for a scalar c (already reduced per
+// modulus by the caller or arbitrary; it is reduced here).
+func (r *Ring) MulScalar(a *Poly, c uint64, out *Poly) {
+	for i := range out.Coeffs {
+		m := r.Moduli[i]
+		cc := m.Reduce(c)
+		cs := m.ShoupPrecomp(cc)
+		ra, ro := a.Coeffs[i], out.Coeffs[i]
+		for j := range ro {
+			ro[j] = m.MulShoup(ra[j], cc, cs)
+		}
+	}
+	out.IsNTT = a.IsNTT
+}
+
+// MulScalarBig sets out = a * c for a big scalar, reduced per modulus.
+func (r *Ring) MulScalarBig(a *Poly, c *big.Int, out *Poly) {
+	tmp := new(big.Int)
+	for i := range out.Coeffs {
+		m := r.Moduli[i]
+		cc := tmp.Mod(c, new(big.Int).SetUint64(m.Value)).Uint64()
+		cs := m.ShoupPrecomp(cc)
+		ra, ro := a.Coeffs[i], out.Coeffs[i]
+		for j := range ro {
+			ro[j] = m.MulShoup(ra[j], cc, cs)
+		}
+	}
+	out.IsNTT = a.IsNTT
+}
+
+func (r *Ring) requireSameDomain(a, b *Poly) {
+	if a.IsNTT != b.IsNTT {
+		panic("ring: mixed-domain operands")
+	}
+}
+
+// GaloisElementForRotation returns the Galois element g = 3^steps mod 2N
+// (or its inverse for negative steps) whose automorphism realizes a
+// rotation of the batched plaintext rows by steps slots.
+func (r *Ring) GaloisElementForRotation(steps int) uint64 {
+	twoN := uint64(2 * r.N)
+	g := uint64(1)
+	gen := uint64(3)
+	s := steps
+	if s < 0 {
+		// 3^-1 mod 2N exists since 3 is odd; use exponent (N/2 - |s|)
+		// as the group of row rotations has order N/2.
+		s = s % (r.N / 2)
+		s += r.N / 2
+	}
+	s = s % (r.N / 2)
+	mod2N := func(x uint64) uint64 { return x & (twoN - 1) }
+	for i := 0; i < s; i++ {
+		g = mod2N(g * gen)
+	}
+	return g
+}
+
+// GaloisElementRowSwap returns the Galois element 2N-1 whose
+// automorphism swaps the two rows of the batched plaintext matrix
+// (BFV) or conjugates the slots (CKKS).
+func (r *Ring) GaloisElementRowSwap() uint64 { return uint64(2*r.N - 1) }
+
+// Automorphism applies X -> X^g to a coefficient-domain polynomial:
+// out[i*g mod 2N] = ±a[i] with sign flip when the exponent wraps past N.
+// g must be odd. a and out must not alias.
+func (r *Ring) Automorphism(a *Poly, g uint64, out *Poly) {
+	if a.IsNTT {
+		panic("ring: Automorphism requires coefficient domain")
+	}
+	if g&1 == 0 {
+		panic("ring: Galois element must be odd")
+	}
+	n := uint64(r.N)
+	mask := 2*n - 1
+	for lvl := range out.Coeffs {
+		m := r.Moduli[lvl]
+		ra, ro := a.Coeffs[lvl], out.Coeffs[lvl]
+		idx := uint64(0)
+		for i := uint64(0); i < n; i++ {
+			j := idx
+			v := ra[i]
+			if j >= n {
+				ro[j-n] = m.Neg(v)
+			} else {
+				ro[j] = v
+			}
+			idx = (idx + g) & mask
+		}
+	}
+	out.IsNTT = false
+}
+
+// PolyToBigintCentered writes the centered CRT composition of each
+// coefficient of p (coefficient domain) into out, which must have
+// length N. Values lie in (-Q/2, Q/2].
+func (r *Ring) PolyToBigintCentered(p *Poly, out []*big.Int) {
+	if p.IsNTT {
+		panic("ring: composition requires coefficient domain")
+	}
+	tmp := new(big.Int)
+	for j := 0; j < r.N; j++ {
+		acc := out[j]
+		if acc == nil {
+			acc = new(big.Int)
+			out[j] = acc
+		}
+		acc.SetUint64(0)
+		for i := range p.Coeffs {
+			m := r.Moduli[i]
+			// term = ((c_ij * qiHatInv_i) mod q_i) * qiHat_i
+			v := m.Mul(p.Coeffs[i][j], r.qiHatInv[i])
+			tmp.SetUint64(v)
+			tmp.Mul(tmp, r.qiHat[i])
+			acc.Add(acc, tmp)
+		}
+		acc.Mod(acc, r.bigQ)
+		if acc.Cmp(r.halfQ) > 0 {
+			acc.Sub(acc, r.bigQ)
+		}
+	}
+}
+
+// SetCoeffsBigint decomposes arbitrary big integers (possibly negative)
+// into the RNS residues of p (coefficient domain).
+func (r *Ring) SetCoeffsBigint(values []*big.Int, p *Poly) {
+	tmp := new(big.Int)
+	for i := range p.Coeffs {
+		m := r.Moduli[i]
+		bq := new(big.Int).SetUint64(m.Value)
+		row := p.Coeffs[i]
+		for j := range row {
+			if j < len(values) && values[j] != nil {
+				tmp.Mod(values[j], bq)
+				row[j] = tmp.Uint64()
+			} else {
+				row[j] = 0
+			}
+		}
+	}
+	p.IsNTT = false
+}
+
+// SetCoeffsUint64 sets the polynomial from small unsigned coefficients,
+// reduced per modulus.
+func (r *Ring) SetCoeffsUint64(values []uint64, p *Poly) {
+	for i := range p.Coeffs {
+		m := r.Moduli[i]
+		row := p.Coeffs[i]
+		for j := range row {
+			if j < len(values) {
+				row[j] = m.Reduce(values[j])
+			} else {
+				row[j] = 0
+			}
+		}
+	}
+	p.IsNTT = false
+}
+
+// SetCoeffsInt64 sets the polynomial from small signed coefficients.
+func (r *Ring) SetCoeffsInt64(values []int64, p *Poly) {
+	for i := range p.Coeffs {
+		m := r.Moduli[i]
+		row := p.Coeffs[i]
+		for j := range row {
+			if j < len(values) {
+				v := values[j]
+				if v >= 0 {
+					row[j] = m.Reduce(uint64(v))
+				} else {
+					row[j] = m.Neg(m.Reduce(uint64(-v)))
+				}
+			} else {
+				row[j] = 0
+			}
+		}
+	}
+	p.IsNTT = false
+}
+
+// InfNormBig returns the centered infinity norm of p as a big integer.
+func (r *Ring) InfNormBig(p *Poly) *big.Int {
+	vals := make([]*big.Int, r.N)
+	r.PolyToBigintCentered(p, vals)
+	max := new(big.Int)
+	abs := new(big.Int)
+	for _, v := range vals {
+		abs.Abs(v)
+		if abs.Cmp(max) > 0 {
+			max.Set(abs)
+		}
+	}
+	return max
+}

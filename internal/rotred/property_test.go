@@ -1,0 +1,110 @@
+package rotred
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// layoutGeom generates random valid layout geometries.
+type layoutGeom struct {
+	window, pad, channels int
+}
+
+func (layoutGeom) Generate(rand *rand.Rand, size int) reflect.Value {
+	return reflect.ValueOf(layoutGeom{
+		window:   1 + rand.Intn(60),
+		pad:      rand.Intn(20),
+		channels: 1 + rand.Intn(4),
+	})
+}
+
+func TestQuickPackWindowRoundTrip(t *testing.T) {
+	const slots = 2048
+	f := func(g layoutGeom, seed int64) bool {
+		l, err := NewLayout(g.window, g.pad, g.channels, slots)
+		if err != nil {
+			// Overflow rejections are fine as long as they are loud.
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		chans := make([][]uint64, g.channels)
+		for c := range chans {
+			chans[c] = make([]uint64, g.window)
+			for i := range chans[c] {
+				chans[c][i] = rng.Uint64() % 97
+			}
+		}
+		packed, err := l.Pack(chans, slots)
+		if err != nil {
+			return false
+		}
+		for c := range chans {
+			win := l.WindowOf(packed, c)
+			for i := range win {
+				if win[i] != chans[c][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRedundancyIsConsistent(t *testing.T) {
+	// The left pad must mirror the window's tail and the right pad its
+	// head — the invariant that makes a single rotation equal a
+	// windowed rotation.
+	const slots = 2048
+	f := func(g layoutGeom, seed int64) bool {
+		l, err := NewLayout(g.window, g.pad, g.channels, slots)
+		if err != nil {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		chans := make([][]uint64, g.channels)
+		for c := range chans {
+			chans[c] = make([]uint64, g.window)
+			for i := range chans[c] {
+				chans[c][i] = rng.Uint64() % 1000
+			}
+		}
+		packed, err := l.Pack(chans, slots)
+		if err != nil {
+			return false
+		}
+		for c := range chans {
+			base := c * l.Stride
+			for i := 0; i < l.Pad; i++ {
+				if packed[base+i] != chans[c][l.Window-l.Pad+i] {
+					return false
+				}
+				if packed[base+l.Pad+l.Window+i] != chans[c][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUtilizationBounds(t *testing.T) {
+	f := func(g layoutGeom) bool {
+		l, err := NewLayout(g.window, g.pad, g.channels, 1<<20)
+		if err != nil {
+			return true
+		}
+		u := l.Utilization()
+		return u > 0 && u <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

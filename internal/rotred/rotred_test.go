@@ -1,0 +1,243 @@
+package rotred
+
+import (
+	"testing"
+
+	"choco/internal/bfv"
+)
+
+func TestNewLayoutValidation(t *testing.T) {
+	if _, err := NewLayout(0, 1, 1, 1024); err == nil {
+		t.Error("expected error for zero window")
+	}
+	if _, err := NewLayout(64, 4, 1000, 1024); err == nil {
+		t.Error("expected error for overflowing slots")
+	}
+	l, err := NewLayout(16, 20, 2, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Pad != 16 {
+		t.Errorf("pad should clamp to window size, got %d", l.Pad)
+	}
+}
+
+func TestLayoutGeometry(t *testing.T) {
+	l, err := NewLayout(196, 14, 16, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 196 + 2·14 = 224 → stride 256.
+	if l.Stride != 256 {
+		t.Errorf("stride = %d, want 256", l.Stride)
+	}
+	if l.SlotsNeeded() != 4096 {
+		t.Errorf("slots = %d, want 4096", l.SlotsNeeded())
+	}
+	if u := l.Utilization(); u <= 0.7 || u >= 0.8 {
+		t.Errorf("utilization = %v, want 196/256", u)
+	}
+}
+
+func TestPackAndWindowRoundTrip(t *testing.T) {
+	l, err := NewLayout(8, 2, 3, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chans := [][]uint64{
+		{1, 2, 3, 4, 5, 6, 7, 8},
+		{11, 12, 13, 14, 15, 16, 17, 18},
+		{21, 22, 23, 24, 25, 26, 27, 28},
+	}
+	packed, err := l.Pack(chans, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Channel 0: [7 8 | 1..8 | 1 2] at stride 16.
+	want0 := []uint64{7, 8, 1, 2, 3, 4, 5, 6, 7, 8, 1, 2, 0, 0, 0, 0}
+	for i, w := range want0 {
+		if packed[i] != w {
+			t.Fatalf("slot %d = %d, want %d", i, packed[i], w)
+		}
+	}
+	for c := range chans {
+		win := l.WindowOf(packed, c)
+		for i := range win {
+			if win[i] != chans[c][i] {
+				t.Fatalf("channel %d window mismatch at %d", c, i)
+			}
+		}
+	}
+}
+
+func TestPackErrors(t *testing.T) {
+	l, _ := NewLayout(8, 2, 2, 64)
+	if _, err := l.Pack([][]uint64{{1}}, 64); err == nil {
+		t.Error("expected channel-count error")
+	}
+	if _, err := l.Pack([][]uint64{{1}, {2}}, 64); err == nil {
+		t.Error("expected channel-length error")
+	}
+	if _, err := l.Pack([][]uint64{make([]uint64, 8), make([]uint64, 8)}, 16); err == nil {
+		t.Error("expected slot-capacity error")
+	}
+}
+
+// encryptedFixture builds a BFV kit with rotation keys for the layout.
+func encryptedFixture(t *testing.T, l Layout, maxSteps int) (*bfv.Context, *bfv.SecretKey, *bfv.Encryptor, *bfv.Decryptor, *bfv.Encoder, *bfv.Evaluator) {
+	t.Helper()
+	params := bfv.PresetTest()
+	ctx, err := bfv.NewContext(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg := bfv.NewKeyGenerator(ctx, [32]byte{7})
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	relin := kg.GenRelinearizationKey(sk)
+	galois := kg.GenRotationKeys(sk, l.RequiredRotationKeys(maxSteps)...)
+	return ctx, sk,
+		bfv.NewEncryptor(ctx, pk, [32]byte{8}),
+		bfv.NewDecryptor(ctx, sk),
+		bfv.NewEncoder(ctx),
+		bfv.NewEvaluator(ctx, relin, galois)
+}
+
+func TestWindowedRotateEncrypted(t *testing.T) {
+	l, err := NewLayout(12, 3, 4, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, _, enc, dec, _, ev := encryptedFixture(t, l, 3)
+
+	chans := make([][]uint64, l.Channels)
+	for c := range chans {
+		chans[c] = make([]uint64, l.Window)
+		for i := range chans[c] {
+			chans[c][i] = uint64(100*c + i + 1)
+		}
+	}
+	packed, err := l.Pack(chans, ctx.Params.Slots())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := enc.EncryptUints(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, steps := range []int{1, 2, 3, -1, -3} {
+		rot, err := l.WindowedRotate(ev, ct, steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := dec.DecryptUints(rot)
+		for c := range chans {
+			win := l.WindowOf(got, c)
+			for i := range win {
+				src := ((i+steps)%l.Window + l.Window) % l.Window
+				if win[i] != chans[c][src] {
+					t.Fatalf("steps=%d channel %d slot %d: got %d want %d",
+						steps, c, i, win[i], chans[c][src])
+				}
+			}
+		}
+	}
+	// Exceeding the redundancy is an error, not silent corruption.
+	if _, err := l.WindowedRotate(ev, ct, 4); err == nil {
+		t.Error("expected error beyond redundancy")
+	}
+}
+
+func TestMaskedWindowedRotateMatchesFastPath(t *testing.T) {
+	l, err := NewLayout(12, 3, 2, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, _, enc, dec, ecd, ev := encryptedFixture(t, l, 3)
+	chans := [][]uint64{make([]uint64, 12), make([]uint64, 12)}
+	for c := range chans {
+		for i := range chans[c] {
+			chans[c][i] = uint64(50*c + i + 1)
+		}
+	}
+	packed, _ := l.Pack(chans, ctx.Params.Slots())
+	ct, _ := enc.EncryptUints(packed)
+
+	steps := 2
+	fast, err := l.WindowedRotate(ev, ct, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := l.MaskedWindowedRotate(ev, ecd, ct, steps, ctx.Params.Slots())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotFast := dec.DecryptUints(fast)
+	gotSlow := dec.DecryptUints(slow)
+	for c := range chans {
+		wf := l.WindowOf(gotFast, c)
+		ws := l.WindowOf(gotSlow, c)
+		for i := range wf {
+			if wf[i] != ws[i] {
+				t.Fatalf("channel %d slot %d: fast %d vs masked %d", c, i, wf[i], ws[i])
+			}
+		}
+	}
+}
+
+func TestRotationalRedundancySavesNoise(t *testing.T) {
+	// Table 4's structure: post-rotate budget (rotational redundancy)
+	// far exceeds post-permute budget (masking baseline).
+	l, err := NewLayout(12, 3, 2, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, sk, enc, _, ecd, ev := encryptedFixture(t, l, 3)
+	chans := [][]uint64{make([]uint64, 12), make([]uint64, 12)}
+	packed, _ := l.Pack(chans, ctx.Params.Slots())
+	ct, _ := enc.EncryptUints(packed)
+
+	initial := bfv.NoiseBudget(ctx, sk, ct)
+	fast, _ := l.WindowedRotate(ev, ct, 2)
+	postRotate := bfv.NoiseBudget(ctx, sk, fast)
+	slow, _ := l.MaskedWindowedRotate(ev, ecd, ct, 2, ctx.Params.Slots())
+	postPermute := bfv.NoiseBudget(ctx, sk, slow)
+	t.Logf("noise budget: initial=%d post-rotate=%d post-permute=%d", initial, postRotate, postPermute)
+	if postRotate <= postPermute {
+		t.Errorf("rotational redundancy (%d) should retain more budget than masking (%d)",
+			postRotate, postPermute)
+	}
+	if initial-postRotate >= (initial-postPermute)/2 {
+		t.Errorf("rotation cost (%d bits) should be well below permute cost (%d bits)",
+			initial-postRotate, initial-postPermute)
+	}
+}
+
+func TestZeroPadLayoutStillSupportsMaskedPath(t *testing.T) {
+	// Without redundancy only the masking path works — the situation
+	// prior work is stuck with.
+	l, err := NewLayout(16, 0, 1, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, _, enc, dec, ecd, ev := encryptedFixture(t, l, 5)
+	ch := make([]uint64, 16)
+	for i := range ch {
+		ch[i] = uint64(i + 1)
+	}
+	packed, _ := l.Pack([][]uint64{ch}, ctx.Params.Slots())
+	ct, _ := enc.EncryptUints(packed)
+	if _, err := l.WindowedRotate(ev, ct, 1); err == nil {
+		t.Error("fast path should fail with zero redundancy")
+	}
+	rot, err := l.MaskedWindowedRotate(ev, ecd, ct, 5, ctx.Params.Slots())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := l.WindowOf(dec.DecryptUints(rot), 0)
+	for i := range got {
+		if got[i] != ch[(i+5)%16] {
+			t.Fatalf("slot %d: got %d want %d", i, got[i], ch[(i+5)%16])
+		}
+	}
+}

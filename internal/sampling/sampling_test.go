@@ -1,0 +1,192 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+)
+
+func src(label string) *Source {
+	return NewSource([32]byte{7}, label)
+}
+
+func TestDeterminism(t *testing.T) {
+	a := src("x")
+	b := src("x")
+	c := src("y")
+	bufA := make([]uint64, 64)
+	bufB := make([]uint64, 64)
+	bufC := make([]uint64, 64)
+	a.UniformMod(bufA, 65537)
+	b.UniformMod(bufB, 65537)
+	c.UniformMod(bufC, 65537)
+	same, diff := true, false
+	for i := range bufA {
+		if bufA[i] != bufB[i] {
+			same = false
+		}
+		if bufA[i] != bufC[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same label produced different streams")
+	}
+	if !diff {
+		t.Error("different labels produced identical streams")
+	}
+}
+
+func TestUniformModRange(t *testing.T) {
+	s := src("uniform")
+	for _, q := range []uint64{2, 3, 12289, 1 << 60} {
+		out := make([]uint64, 2048)
+		s.UniformMod(out, q)
+		var sum float64
+		for _, v := range out {
+			if v >= q {
+				t.Fatalf("value %d out of range for q=%d", v, q)
+			}
+			sum += float64(v) / float64(q)
+		}
+		mean := sum / float64(len(out))
+		if q > 100 && (mean < 0.45 || mean > 0.55) {
+			t.Errorf("q=%d: normalized mean %.3f far from 0.5", q, mean)
+		}
+	}
+}
+
+func TestTernaryDistribution(t *testing.T) {
+	s := src("ternary")
+	q := uint64(12289)
+	out := make([]uint64, 30000)
+	s.Ternary(out, q)
+	counts := map[uint64]int{}
+	for _, v := range out {
+		counts[v]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("ternary produced %d distinct values", len(counts))
+	}
+	for _, v := range []uint64{0, 1, q - 1} {
+		frac := float64(counts[v]) / float64(len(out))
+		if frac < 0.30 || frac > 0.37 {
+			t.Errorf("value %d frequency %.3f, want ~1/3", v, frac)
+		}
+	}
+}
+
+func TestTernarySignedMatchesModular(t *testing.T) {
+	q := uint64(97)
+	a := src("tern-match")
+	b := src("tern-match")
+	modular := make([]uint64, 500)
+	signed := make([]int64, 500)
+	a.Ternary(modular, q)
+	b.TernarySigned(signed)
+	for i := range modular {
+		var want uint64
+		switch signed[i] {
+		case 0:
+			want = 0
+		case 1:
+			want = 1
+		case -1:
+			want = q - 1
+		}
+		if modular[i] != want {
+			t.Fatalf("index %d: modular %d vs signed %d", i, modular[i], signed[i])
+		}
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	s := src("gauss")
+	out := make([]int64, 50000)
+	s.GaussianSigned(out, DefaultSigma)
+	var sum, sumSq float64
+	bound := int64(math.Ceil(6 * DefaultSigma))
+	for _, v := range out {
+		if v > bound || v < -bound {
+			t.Fatalf("sample %d outside ±6σ", v)
+		}
+		sum += float64(v)
+		sumSq += float64(v) * float64(v)
+	}
+	n := float64(len(out))
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean) > 0.1 {
+		t.Errorf("mean %.3f too far from 0", mean)
+	}
+	if math.Abs(std-DefaultSigma) > 0.15 {
+		t.Errorf("std %.3f, want ~%.1f", std, DefaultSigma)
+	}
+}
+
+func TestGaussianModular(t *testing.T) {
+	q := uint64(12289)
+	a := src("gm")
+	b := src("gm")
+	mod := make([]uint64, 1000)
+	sgn := make([]int64, 1000)
+	a.Gaussian(mod, q, DefaultSigma)
+	b.GaussianSigned(sgn, DefaultSigma)
+	for i := range mod {
+		var want uint64
+		if sgn[i] >= 0 {
+			want = uint64(sgn[i])
+		} else {
+			want = q - uint64(-sgn[i])
+		}
+		if mod[i] != want {
+			t.Fatalf("index %d: %d vs signed %d", i, mod[i], sgn[i])
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := src("intn")
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("only %d of 7 values seen", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	s.Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := src("f64")
+	for i := 0; i < 1000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := src("norm")
+	var sum, sumSq float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	std := math.Sqrt(sumSq/float64(n) - mean*mean)
+	if math.Abs(mean) > 0.05 || math.Abs(std-1) > 0.05 {
+		t.Errorf("normal moments off: mean %.3f std %.3f", mean, std)
+	}
+}
