@@ -1,0 +1,27 @@
+# Developer workflow for the CHOCO reproduction.
+#
+#   make check   — what CI runs: vet + race-enabled tests
+#   make test    — tier-1 verify (build + tests, as in ROADMAP.md)
+#   make race    — race-enabled tests only
+#   make bench   — paper-table benchmark generators
+
+GO ?= go
+
+.PHONY: check build test race vet bench
+
+check: vet race
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -1,8 +1,15 @@
 // Command chocoserver runs the untrusted CHOCO offload server over
-// TCP: it holds the (synthetic) quantized model weights and waits for
-// clients to connect, ship their evaluation keys, and stream
-// client-aided inference sessions. The server never holds secret key
-// material; it sees only ciphertexts.
+// TCP: it holds the (synthetic) quantized model weights and serves
+// many concurrent clients streaming client-aided inference sessions.
+// The server never holds secret key material; it sees only ciphertexts
+// and public evaluation keys.
+//
+// Built on internal/serve, it runs a bounded worker pool with
+// admission control, caches evaluation keys per session ID so
+// reconnecting clients skip the key re-upload, enforces idle and
+// per-frame I/O deadlines, and exposes its accounting on an optional
+// HTTP stats endpoint (-stats-addr): /stats for the JSON snapshot,
+// /debug/vars for expvar.
 //
 // The demo model is the small LeNet-style network also used by the
 // examples. Clients only need the architecture (nn.DemoNetwork); the
@@ -10,66 +17,105 @@
 package main
 
 import (
+	"context"
+	"expvar"
 	"flag"
-	"fmt"
 	"log"
 	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"choco/internal/nn"
-	"choco/internal/protocol"
+	"choco/internal/serve"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7312", "listen address")
 	weightSeed := flag.Int("weight-seed", 7, "deterministic weight seed (server-only; clients never see weights)")
 	sessions := flag.Int("sessions", 0, "exit after this many sessions (0 = serve forever)")
+	maxSessions := flag.Int("max-sessions", 8, "max concurrent sessions (worker pool size)")
+	queueTimeout := flag.Duration("queue-timeout", 0, "how long a connection waits for a free worker slot before rejection (0 = reject immediately)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "max gap between a client's requests before the session is closed")
+	ioTimeout := flag.Duration("io-timeout", 30*time.Second, "per-frame read/write deadline during an exchange")
+	keyCache := flag.Int("key-cache", 64, "evaluation-key registry capacity (cached sessions for reconnects)")
+	statsAddr := flag.String("stats-addr", "", "serve accounting over HTTP on this address (/stats JSON, /debug/vars expvar); empty disables")
 	flag.Parse()
 
 	net0 := nn.DemoNetwork()
 	var seed [32]byte
 	seed[0] = byte(*weightSeed)
 	model := nn.SynthesizeWeights(net0, 4, seed)
-	server, err := nn.NewInferenceServer(model)
+	backend, err := nn.NewInferenceServer(model)
 	if err != nil {
 		log.Fatalf("compile model: %v", err)
 	}
+
+	srv := serve.New(backend, serve.Config{
+		MaxSessions:  *maxSessions,
+		QueueTimeout: *queueTimeout,
+		IdleTimeout:  *idleTimeout,
+		IOTimeout:    *ioTimeout,
+		KeyCacheCap:  *keyCache,
+		Logf:         log.Printf,
+	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	defer ln.Close()
-	log.Printf("chocoserver: serving %s (%d-layer model, %d MACs) on %s",
-		net0.Name, len(net0.Layers), net0.MACs(), *addr)
+	log.Printf("chocoserver: serving %s (%d-layer model, %d MACs) on %s, %d worker slot(s)",
+		net0.Name, len(net0.Layers), net0.MACs(), *addr, srv.MaxSessions())
 
-	served := 0
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			log.Printf("accept: %v", err)
-			continue
-		}
-		tr := protocol.NewConn(conn)
-		if err := server.AcceptSetup(tr); err != nil {
-			log.Printf("setup failed: %v", err)
-			conn.Close()
-			continue
-		}
-		log.Printf("client %s: evaluation keys installed", conn.RemoteAddr())
-		for {
-			ops, err := server.ServeOne(tr)
-			if err != nil {
-				log.Printf("client %s: session ended: %v", conn.RemoteAddr(), err)
-				break
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("chocoserver: shutdown requested, draining in-flight sessions")
+		cancel()
+	}()
+
+	if *statsAddr != "" {
+		expvar.Publish("choco_serve", expvar.Func(func() any { return srv.Stats() }))
+		mux := http.NewServeMux()
+		mux.Handle("/stats", srv.StatsHandler())
+		mux.Handle("/debug/vars", expvar.Handler())
+		go func() {
+			log.Printf("chocoserver: stats on http://%s/stats", *statsAddr)
+			if err := http.ListenAndServe(*statsAddr, mux); err != nil {
+				log.Printf("stats endpoint: %v", err)
 			}
-			log.Printf("client %s: inference served (%+v), traffic up %d B / down %d B",
-				conn.RemoteAddr(), ops, tr.ReceivedBytes(), tr.SentBytes())
-		}
-		conn.Close()
-		served++
-		if *sessions > 0 && served >= *sessions {
-			fmt.Println("session limit reached; exiting")
-			return
-		}
+		}()
 	}
+
+	if *sessions > 0 {
+		go func() {
+			tick := time.NewTicker(200 * time.Millisecond)
+			defer tick.Stop()
+			for range tick.C {
+				st := srv.Stats()
+				if st.SessionsTotal >= int64(*sessions) && st.SessionsActive == 0 {
+					log.Printf("chocoserver: session limit (%d) reached, exiting", *sessions)
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+
+	if err := srv.Serve(ctx, ln); err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+	st := srv.Stats()
+	log.Printf("chocoserver: done: %d session(s) (%d rejected), %d inference(s), %.1f MB up / %.1f MB down, key cache %d hit(s) / %d miss(es)",
+		st.SessionsTotal, st.SessionsRejected, st.Inferences,
+		float64(st.BytesUp)/(1<<20), float64(st.BytesDown)/(1<<20),
+		st.KeyCacheHits, st.KeyCacheMisses)
+	log.Printf("chocoserver: inference latency p50 %v p99 %v max %v over %d request(s)",
+		st.InferenceLatency.P50, st.InferenceLatency.P99, st.InferenceLatency.Max, st.InferenceLatency.Count)
 }

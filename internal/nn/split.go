@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"errors"
 	"fmt"
 
 	"choco/internal/bfv"
@@ -171,8 +172,50 @@ func NewInferenceClient(net *Network, seed [32]byte) (*InferenceClient, error) {
 }
 
 // Setup ships the evaluation keys to the server (once per session).
+// This is the legacy opener: the keys travel unconditionally. Prefer
+// SetupSession, which lets a server-side key registry skip the upload
+// on reconnect.
 func (c *InferenceClient) Setup(t protocol.Transport) error {
 	return t.Send(protocol.MarshalKeyBundle(c.bundle))
+}
+
+// ErrServerBusy is returned by SetupSession when the server rejects
+// the session at admission control (worker pool saturated).
+var ErrServerBusy = errors.New("nn: server busy, session rejected")
+
+// SetupSession opens a session under a client-chosen ID. If the server
+// still caches this ID's evaluation keys from an earlier connection,
+// the multi-megabyte key upload is skipped entirely (the §3.3 one-time
+// setup cost); otherwise the bundle is sent as in Setup. Returns
+// whether the cached path was taken.
+func (c *InferenceClient) SetupSession(t protocol.Transport, sessionID string) (cached bool, err error) {
+	hello, err := protocol.MarshalHello(sessionID)
+	if err != nil {
+		return false, err
+	}
+	if err := t.Send(hello); err != nil {
+		return false, fmt.Errorf("nn: send hello: %w", err)
+	}
+	raw, err := t.Recv()
+	if err != nil {
+		return false, fmt.Errorf("nn: receive hello ack: %w", err)
+	}
+	st, err := protocol.UnmarshalHelloAck(raw)
+	if err != nil {
+		return false, err
+	}
+	switch st {
+	case protocol.AckBusy:
+		return false, ErrServerBusy
+	case protocol.AckKeysCached:
+		return true, nil
+	case protocol.AckNeedKeys:
+		if err := t.Send(protocol.MarshalKeyBundle(c.bundle)); err != nil {
+			return false, fmt.Errorf("nn: send key bundle: %w", err)
+		}
+		return false, nil
+	}
+	return false, fmt.Errorf("nn: unexpected hello ack status %d", st)
 }
 
 // Infer classifies one image through the remote server.
@@ -266,14 +309,61 @@ func (c *InferenceClient) Infer(image [][]int64, t protocol.Transport) ([]int64,
 }
 
 // InferenceServer is the untrusted offload side holding the weights.
+//
+// Concurrency: everything compiled at construction (context, encoder,
+// layer operators, weights) is immutable afterwards, so one
+// InferenceServer may be shared by any number of concurrent sessions;
+// all per-client mutable state (the evaluator holding that client's
+// evaluation keys) lives in ServerSession. The legacy single-session
+// AcceptSetup/ServeOne entry points mutate the embedded default
+// session and are NOT safe for concurrent use — concurrent servers
+// (internal/serve) must go through NewSession.
 type InferenceServer struct {
 	Model *QuantizedModel
 
 	ctx   *bfv.Context
 	ecd   *bfv.Encoder
-	ev    *bfv.Evaluator
 	convs map[int]*core.Conv2D
 	fcs   map[int]*core.FC
+
+	// session backs the legacy AcceptSetup/ServeOne API.
+	session *ServerSession
+}
+
+// ServerSession binds one client's evaluation keys to the shared
+// compiled model. Sessions are cheap (one evaluator struct; the keys
+// dominate) and safe to use concurrently with other sessions of the
+// same InferenceServer. A single session may also serve several
+// connections over its lifetime — the eval-key registry in
+// internal/serve relies on exactly that for reconnects.
+type ServerSession struct {
+	s  *InferenceServer
+	ev *bfv.Evaluator
+}
+
+// NewSession installs a client's evaluation keys as a new session.
+func (s *InferenceServer) NewSession(kb *protocol.KeyBundle) *ServerSession {
+	return &ServerSession{s: s, ev: bfv.NewEvaluator(s.ctx, kb.Relin, kb.Galois)}
+}
+
+// NewSessionFromFrame decodes an already-received key-bundle frame
+// into a session, wrapping decode errors with frame context.
+func (s *InferenceServer) NewSessionFromFrame(raw []byte) (*ServerSession, error) {
+	kb, err := protocol.UnmarshalKeyBundle(s.ctx, raw)
+	if err != nil {
+		return nil, fmt.Errorf("nn: decode key bundle frame (%d B): %w", len(raw), err)
+	}
+	return s.NewSession(kb), nil
+}
+
+// ReadSession receives the client's key-bundle frame from the
+// transport and installs it as a new session.
+func (s *InferenceServer) ReadSession(t protocol.Transport) (*ServerSession, error) {
+	raw, err := t.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("nn: receive key bundle frame: %w", err)
+	}
+	return s.NewSessionFromFrame(raw)
 }
 
 // NewInferenceServer compiles the weighted model; evaluation keys
@@ -312,66 +402,74 @@ func NewInferenceServer(m *QuantizedModel) (*InferenceServer, error) {
 	return s, nil
 }
 
-// AcceptSetup receives the client's evaluation keys.
+// AcceptSetup receives the client's evaluation keys into the default
+// session (legacy single-session API; see the concurrency note on
+// InferenceServer).
 func (s *InferenceServer) AcceptSetup(t protocol.Transport) error {
-	raw, err := t.Recv()
+	sess, err := s.ReadSession(t)
 	if err != nil {
 		return err
 	}
-	kb, err := protocol.UnmarshalKeyBundle(s.ctx, raw)
-	if err != nil {
-		return err
-	}
-	s.ev = bfv.NewEvaluator(s.ctx, kb.Relin, kb.Galois)
+	s.session = sess
 	return nil
 }
 
-// ServeOne processes one inference session: for each linear layer it
-// receives the packed input ciphertext, evaluates, and returns the
-// output group ciphertexts. Returns the server-side operation counts.
+// ServeOne serves one inference on the default session installed by
+// AcceptSetup (legacy single-session API).
 func (s *InferenceServer) ServeOne(t protocol.Transport) (core.OpCounts, error) {
-	var ops core.OpCounts
-	if s.ev == nil {
-		return ops, fmt.Errorf("nn: server has no evaluation keys; call AcceptSetup first")
+	if s.session == nil {
+		return core.OpCounts{}, fmt.Errorf("nn: server has no evaluation keys; call AcceptSetup first")
 	}
+	return s.session.ServeOne(t)
+}
+
+// ServeOne processes one inference request on this session: for each
+// linear layer it receives the packed input ciphertext, evaluates, and
+// returns the output group ciphertexts. The first Recv is the start of
+// the request — a server may arm an idle timeout for it and a tighter
+// I/O timeout for the frames that follow. Returns the server-side
+// operation counts. Errors carry the failing layer and frame role.
+func (sess *ServerSession) ServeOne(t protocol.Transport) (core.OpCounts, error) {
+	var ops core.OpCounts
+	s := sess.s
 	slots := s.ctx.Params.Slots()
 	for i, l := range s.Model.Net.Layers {
 		switch l.Kind {
 		case Conv:
 			raw, err := t.Recv()
 			if err != nil {
-				return ops, err
+				return ops, fmt.Errorf("nn: layer %d (conv) recv input: %w", i, err)
 			}
 			ct, err := protocol.UnmarshalAnyBFV(s.ctx, raw)
 			if err != nil {
-				return ops, err
+				return ops, fmt.Errorf("nn: layer %d (conv) decode input (%d B): %w", i, len(raw), err)
 			}
-			outs, layerOps, err := s.convs[i].Apply(s.ev, s.ecd, ct, slots)
+			outs, layerOps, err := s.convs[i].Apply(sess.ev, s.ecd, ct, slots)
 			if err != nil {
-				return ops, err
+				return ops, fmt.Errorf("nn: layer %d (conv) evaluate: %w", i, err)
 			}
 			ops.Add(layerOps)
-			for _, o := range outs {
+			for g, o := range outs {
 				if err := t.Send(protocol.MarshalBFV(o)); err != nil {
-					return ops, err
+					return ops, fmt.Errorf("nn: layer %d (conv) send output group %d/%d: %w", i, g+1, len(outs), err)
 				}
 			}
 		case FC:
 			raw, err := t.Recv()
 			if err != nil {
-				return ops, err
+				return ops, fmt.Errorf("nn: layer %d (fc) recv input: %w", i, err)
 			}
 			ct, err := protocol.UnmarshalAnyBFV(s.ctx, raw)
 			if err != nil {
-				return ops, err
+				return ops, fmt.Errorf("nn: layer %d (fc) decode input (%d B): %w", i, len(raw), err)
 			}
-			out, layerOps, err := s.fcs[i].Apply(s.ev, s.ecd, ct, slots)
+			out, layerOps, err := s.fcs[i].Apply(sess.ev, s.ecd, ct, slots)
 			if err != nil {
-				return ops, err
+				return ops, fmt.Errorf("nn: layer %d (fc) evaluate: %w", i, err)
 			}
 			ops.Add(layerOps)
 			if err := t.Send(protocol.MarshalBFV(out)); err != nil {
-				return ops, err
+				return ops, fmt.Errorf("nn: layer %d (fc) send output: %w", i, err)
 			}
 		}
 	}

@@ -1,0 +1,131 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestRecvTimeoutHalfWrittenFrame is the stalled-peer case: the peer
+// announces a frame, writes part of it, then goes silent. Recv must
+// error out within the configured timeout instead of hanging the
+// worker forever.
+func TestRecvTimeoutHalfWrittenFrame(t *testing.T) {
+	peer, ours := net.Pipe()
+	defer peer.Close()
+	defer ours.Close()
+
+	go func() {
+		var lenBuf [4]byte
+		binary.LittleEndian.PutUint32(lenBuf[:], 100)
+		peer.Write(lenBuf[:])
+		peer.Write(make([]byte, 10)) // 10 of the promised 100 bytes
+		// ...and stall.
+	}()
+
+	tr := NewConn(ours)
+	tr.SetReadTimeout(100 * time.Millisecond)
+	start := time.Now()
+	_, err := tr.Recv()
+	if err == nil {
+		t.Fatal("Recv succeeded on a half-written frame")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("expected a timeout error, got %v", err)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("Recv took %v, deadline not enforced", waited)
+	}
+}
+
+// TestRecvTimeoutCoversLengthPrefix: a peer that connects and sends
+// nothing at all must also time out.
+func TestRecvTimeoutCoversLengthPrefix(t *testing.T) {
+	peer, ours := net.Pipe()
+	defer peer.Close()
+	defer ours.Close()
+
+	tr := NewConn(ours)
+	tr.SetReadTimeout(100 * time.Millisecond)
+	start := time.Now()
+	if _, err := tr.Recv(); err == nil {
+		t.Fatal("Recv succeeded with a silent peer")
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("Recv took %v", waited)
+	}
+}
+
+// TestSendTimeoutStalledReader: a peer that never drains its socket
+// must not wedge Send forever once a write timeout is set.
+func TestSendTimeoutStalledReader(t *testing.T) {
+	peer, ours := net.Pipe()
+	defer peer.Close()
+	defer ours.Close()
+
+	tr := NewConn(ours)
+	tr.SetWriteTimeout(100 * time.Millisecond)
+	start := time.Now()
+	if err := tr.Send(make([]byte, 1<<16)); err == nil {
+		t.Fatal("Send succeeded with a reader that never drains")
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("Send took %v", waited)
+	}
+}
+
+// TestTimeoutDisabledAndRearmed: timeouts only apply while configured;
+// clearing them restores blocking semantics for well-behaved frames.
+func TestTimeoutDisabledAndRearmed(t *testing.T) {
+	peer, ours := net.Pipe()
+	defer peer.Close()
+	defer ours.Close()
+
+	go func() {
+		ptr := NewConn(peer)
+		time.Sleep(50 * time.Millisecond)
+		ptr.Send([]byte("late but fine"))
+	}()
+
+	tr := NewConn(ours)
+	tr.SetReadTimeout(300 * time.Millisecond)
+	tr.SetReadTimeout(0) // disabled again; the late frame must land
+	msg, err := tr.Recv()
+	if err != nil {
+		t.Fatalf("Recv with disabled timeout: %v", err)
+	}
+	if string(msg) != "late but fine" {
+		t.Fatalf("payload %q", msg)
+	}
+}
+
+// TestInterruptUnblocksRecv: Interrupt tears down a blocked Recv and
+// poisons future calls.
+func TestInterruptUnblocksRecv(t *testing.T) {
+	peer, ours := net.Pipe()
+	defer peer.Close()
+	defer ours.Close()
+
+	tr := NewConn(ours)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := tr.Recv()
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	tr.Interrupt()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("Recv returned nil after Interrupt")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Interrupt did not unblock Recv")
+	}
+	if _, err := tr.Recv(); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("post-interrupt Recv: %v, want ErrInterrupted", err)
+	}
+}

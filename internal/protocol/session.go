@@ -1,0 +1,112 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Session handshake frames. A client opens a session by sending a
+// Hello frame carrying a client-chosen session ID before any key
+// material. The server answers with a HelloAck telling the client
+// whether its evaluation keys are already installed (a reconnect hit
+// in the server's key registry) or must be uploaded — the one-time
+// setup cost of §3.3/Table 3 that the registry amortizes across
+// reconnects. Legacy clients may still open with a raw key bundle;
+// servers sniff the first frame's magic to tell the two apart.
+
+const (
+	helloMagic    = uint32(0x4f4c4843) // "CHLO" on the wire (little-endian)
+	helloAckMagic = uint32(0x4b434148) // "HACK" on the wire (little-endian)
+)
+
+// HelloVersion is the current session-handshake version.
+const HelloVersion = 1
+
+// MaxSessionIDLen bounds client-chosen session identifiers.
+const MaxSessionIDLen = 128
+
+// HelloAckStatus is the server's admission decision for a session.
+type HelloAckStatus uint32
+
+const (
+	// AckNeedKeys: session admitted; the server has no cached keys for
+	// this ID, so the client must send its key bundle next.
+	AckNeedKeys HelloAckStatus = 0
+	// AckKeysCached: session admitted; evaluation keys are already
+	// installed, skip the upload and stream inference requests.
+	AckKeysCached HelloAckStatus = 1
+	// AckBusy: the server is saturated and rejected the session.
+	AckBusy HelloAckStatus = 2
+)
+
+// MarshalHello builds a session-open frame for the given session ID.
+func MarshalHello(sessionID string) ([]byte, error) {
+	if sessionID == "" {
+		return nil, fmt.Errorf("protocol: empty session ID")
+	}
+	if len(sessionID) > MaxSessionIDLen {
+		return nil, fmt.Errorf("protocol: session ID length %d exceeds %d", len(sessionID), MaxSessionIDLen)
+	}
+	buf := make([]byte, 16+len(sessionID))
+	binary.LittleEndian.PutUint32(buf[0:], helloMagic)
+	binary.LittleEndian.PutUint32(buf[4:], HelloVersion)
+	binary.LittleEndian.PutUint32(buf[8:], 0) // flags, reserved
+	binary.LittleEndian.PutUint32(buf[12:], uint32(len(sessionID)))
+	copy(buf[16:], sessionID)
+	return buf, nil
+}
+
+// IsHello reports whether a frame is a session-open Hello.
+func IsHello(data []byte) bool {
+	return len(data) >= 4 && binary.LittleEndian.Uint32(data) == helloMagic
+}
+
+// IsKeyBundle reports whether a frame is a serialized evaluation-key
+// bundle (the legacy session opener).
+func IsKeyBundle(data []byte) bool {
+	return len(data) >= 4 && binary.LittleEndian.Uint32(data) == keyBundleMagic
+}
+
+// UnmarshalHello decodes a Hello frame and returns the session ID.
+func UnmarshalHello(data []byte) (string, error) {
+	if len(data) < 16 {
+		return "", fmt.Errorf("protocol: truncated hello frame (%d B)", len(data))
+	}
+	if !IsHello(data) {
+		return "", fmt.Errorf("protocol: not a hello frame")
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != HelloVersion {
+		return "", fmt.Errorf("protocol: unsupported hello version %d", v)
+	}
+	n := int(binary.LittleEndian.Uint32(data[12:]))
+	if n == 0 || n > MaxSessionIDLen {
+		return "", fmt.Errorf("protocol: implausible session ID length %d", n)
+	}
+	if len(data) != 16+n {
+		return "", fmt.Errorf("protocol: hello frame length %d, want %d", len(data), 16+n)
+	}
+	return string(data[16 : 16+n]), nil
+}
+
+// MarshalHelloAck builds the server's handshake response.
+func MarshalHelloAck(st HelloAckStatus) []byte {
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint32(buf[0:], helloAckMagic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(st))
+	return buf
+}
+
+// UnmarshalHelloAck decodes the server's handshake response.
+func UnmarshalHelloAck(data []byte) (HelloAckStatus, error) {
+	if len(data) != 8 {
+		return 0, fmt.Errorf("protocol: hello ack frame length %d, want 8", len(data))
+	}
+	if binary.LittleEndian.Uint32(data) != helloAckMagic {
+		return 0, fmt.Errorf("protocol: not a hello ack frame")
+	}
+	st := HelloAckStatus(binary.LittleEndian.Uint32(data[4:]))
+	if st > AckBusy {
+		return 0, fmt.Errorf("protocol: unknown hello ack status %d", st)
+	}
+	return st, nil
+}

@@ -1,0 +1,84 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHelloRoundTrip(t *testing.T) {
+	frame, err := MarshalHello("client-42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsHello(frame) {
+		t.Fatal("IsHello rejected a hello frame")
+	}
+	if IsKeyBundle(frame) {
+		t.Fatal("hello frame sniffed as key bundle")
+	}
+	id, err := UnmarshalHello(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "client-42" {
+		t.Fatalf("session ID %q", id)
+	}
+}
+
+func TestHelloValidation(t *testing.T) {
+	if _, err := MarshalHello(""); err == nil {
+		t.Error("empty session ID accepted")
+	}
+	if _, err := MarshalHello(strings.Repeat("x", MaxSessionIDLen+1)); err == nil {
+		t.Error("oversized session ID accepted")
+	}
+	frame, _ := MarshalHello("ok")
+	if _, err := UnmarshalHello(frame[:10]); err == nil {
+		t.Error("truncated hello accepted")
+	}
+	if _, err := UnmarshalHello(append(frame, 'x')); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	bad := make([]byte, len(frame))
+	copy(bad, frame)
+	bad[0] ^= 0xFF
+	if _, err := UnmarshalHello(bad); err == nil {
+		t.Error("wrong magic accepted")
+	}
+}
+
+func TestHelloAckRoundTrip(t *testing.T) {
+	for _, st := range []HelloAckStatus{AckNeedKeys, AckKeysCached, AckBusy} {
+		back, err := UnmarshalHelloAck(MarshalHelloAck(st))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != st {
+			t.Fatalf("status %d round-tripped to %d", st, back)
+		}
+	}
+	if _, err := UnmarshalHelloAck([]byte{1, 2, 3}); err == nil {
+		t.Error("short ack accepted")
+	}
+	if _, err := UnmarshalHelloAck(MarshalHelloAck(HelloAckStatus(9))); err == nil {
+		t.Error("unknown status accepted")
+	}
+}
+
+// TestFirstFrameSniffing pins down the dispatch a server does on the
+// opening frame: hello, key bundle, and ciphertext tags are mutually
+// exclusive.
+func TestFirstFrameSniffing(t *testing.T) {
+	hello, _ := MarshalHello("s")
+	if IsKeyBundle(hello) || !IsHello(hello) {
+		t.Error("hello frame misclassified")
+	}
+	bundleHeader := appendUint32(nil, keyBundleMagic)
+	if !IsKeyBundle(bundleHeader) || IsHello(bundleHeader) {
+		t.Error("key bundle header misclassified")
+	}
+	ack := MarshalHelloAck(AckBusy)
+	if IsHello(ack) || IsKeyBundle(ack) {
+		t.Error("ack frame misclassified")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"math"
 	"net"
 	"sync"
+	"time"
 
 	"choco/internal/bfv"
 	"choco/internal/ckks"
@@ -298,18 +299,90 @@ func (p *Pipe) ReceivedBytes() int64 {
 
 // Conn is a length-prefix framed transport over a net.Conn (the real
 // client/server deployment in cmd/chocoserver and cmd/chococlient).
+// Optional per-frame timeouts bound how long a Send or Recv may take
+// end to end, so a stalled peer (for example one that wrote only half
+// a frame) errors out instead of hanging a server worker forever.
 type Conn struct {
 	c        net.Conn
 	mu       sync.Mutex
 	sent     int64
 	received int64
+
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+	interrupted  bool
 }
 
 // NewConn wraps a network connection.
 func NewConn(c net.Conn) *Conn { return &Conn{c: c} }
 
+// SetReadTimeout bounds each subsequent Recv: the entire frame (length
+// prefix and payload) must arrive within d of the Recv call. Zero
+// disables the bound. Safe to adjust between frames.
+func (t *Conn) SetReadTimeout(d time.Duration) {
+	t.mu.Lock()
+	t.readTimeout = d
+	t.mu.Unlock()
+	if d <= 0 {
+		t.c.SetReadDeadline(time.Time{})
+	}
+}
+
+// SetWriteTimeout bounds each subsequent Send the same way.
+func (t *Conn) SetWriteTimeout(d time.Duration) {
+	t.mu.Lock()
+	t.writeTimeout = d
+	t.mu.Unlock()
+	if d <= 0 {
+		t.c.SetWriteDeadline(time.Time{})
+	}
+}
+
+// Interrupt unblocks any Send or Recv in flight and fails all future
+// ones. Used to tear idle connections down during server shutdown.
+func (t *Conn) Interrupt() {
+	t.mu.Lock()
+	t.interrupted = true
+	t.mu.Unlock()
+	t.c.SetDeadline(time.Now())
+}
+
+// armRead applies the read deadline for one Recv; reports false when
+// the connection has been interrupted.
+func (t *Conn) armRead() bool {
+	t.mu.Lock()
+	d, stop := t.readTimeout, t.interrupted
+	t.mu.Unlock()
+	if stop {
+		return false
+	}
+	if d > 0 {
+		t.c.SetReadDeadline(time.Now().Add(d))
+	}
+	return true
+}
+
+func (t *Conn) armWrite() bool {
+	t.mu.Lock()
+	d, stop := t.writeTimeout, t.interrupted
+	t.mu.Unlock()
+	if stop {
+		return false
+	}
+	if d > 0 {
+		t.c.SetWriteDeadline(time.Now().Add(d))
+	}
+	return true
+}
+
+// ErrInterrupted reports a transport torn down via Interrupt.
+var ErrInterrupted = fmt.Errorf("protocol: connection interrupted")
+
 // Send writes a 4-byte length prefix followed by the message.
 func (t *Conn) Send(msg []byte) error {
+	if !t.armWrite() {
+		return ErrInterrupted
+	}
 	var lenBuf [4]byte
 	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(msg)))
 	if _, err := t.c.Write(lenBuf[:]); err != nil {
@@ -326,6 +399,9 @@ func (t *Conn) Send(msg []byte) error {
 
 // Recv reads one framed message.
 func (t *Conn) Recv() ([]byte, error) {
+	if !t.armRead() {
+		return nil, ErrInterrupted
+	}
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(t.c, lenBuf[:]); err != nil {
 		return nil, err

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"choco/internal/nn"
+)
+
+// registry caches installed evaluation-key sessions by client-chosen
+// session ID, so a reconnecting client skips re-uploading its key
+// bundle — the dominant one-time setup cost the paper calls out in
+// §3.3/Table 3 (tens of MB per client at realistic parameters).
+//
+// Capacity is bounded; the least-recently-used entry is evicted when
+// the cache is full. Evaluation keys are public material, so caching
+// them does not extend the server's trust assumptions; a client that
+// claims another's session ID can only waste server cycles producing
+// ciphertexts it cannot decrypt (see DESIGN.md §3).
+type registry struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*regEntry
+}
+
+type regEntry struct {
+	sess     *nn.ServerSession
+	keyBytes int64
+	lastUsed time.Time
+}
+
+func newRegistry(capacity int) *registry {
+	return &registry{cap: capacity, entries: make(map[string]*regEntry)}
+}
+
+// lookup returns the cached session for id, refreshing its LRU stamp.
+func (r *registry) lookup(id string) *nn.ServerSession {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[id]
+	if !ok {
+		return nil
+	}
+	e.lastUsed = time.Now()
+	return e.sess
+}
+
+// store caches a freshly installed session, evicting the
+// least-recently-used entry if the registry is full.
+func (r *registry) store(id string, sess *nn.ServerSession, keyBytes int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[id]; !ok && len(r.entries) >= r.cap {
+		var oldest string
+		var oldestAt time.Time
+		for k, e := range r.entries {
+			if oldest == "" || e.lastUsed.Before(oldestAt) {
+				oldest, oldestAt = k, e.lastUsed
+			}
+		}
+		delete(r.entries, oldest)
+	}
+	r.entries[id] = &regEntry{sess: sess, keyBytes: keyBytes, lastUsed: time.Now()}
+}
+
+func (r *registry) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}

@@ -1,0 +1,369 @@
+// Package serve is the concurrent multi-session offload server: the
+// deployment model of §1/Fig 1 — one untrusted server holding the
+// model weights, many resource-constrained clients streaming
+// client-aided inference sessions at it. It layers on the split
+// client/server API of internal/nn and adds what a real deployment
+// needs on top of a single blocking accept loop:
+//
+//   - a bounded worker pool with admission control: at most
+//     MaxSessions sessions run concurrently; excess connections wait
+//     up to QueueTimeout for a slot and are then rejected with a
+//     busy ack instead of silently queueing forever;
+//   - an evaluation-key registry: clients open sessions under a
+//     client-chosen ID (protocol.MarshalHello), and a reconnecting
+//     client whose keys are still cached skips the multi-megabyte
+//     key upload — the §3.3 one-time setup cost — entirely;
+//   - per-session and server-wide accounting: sessions, inferences,
+//     traffic, homomorphic op counts, and per-phase latency
+//     histograms, exposed as a Stats snapshot and a JSON handler;
+//   - lifecycle hygiene: per-frame read/write deadlines, an idle
+//     timeout between requests, and graceful shutdown that drains
+//     in-flight inferences while interrupting idle connections.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"choco/internal/nn"
+	"choco/internal/protocol"
+)
+
+// Config tunes the server. Zero values select the documented defaults.
+type Config struct {
+	// MaxSessions caps concurrently running sessions (the worker
+	// pool size). Default 8.
+	MaxSessions int
+	// QueueTimeout is how long an accepted connection waits for a
+	// free worker slot before being rejected with a busy ack.
+	// Default 0: reject immediately when saturated.
+	QueueTimeout time.Duration
+	// IdleTimeout bounds the gap between a client's requests within a
+	// session (and the wait for the opening hello). Default 2m.
+	IdleTimeout time.Duration
+	// IOTimeout bounds every other frame send/receive once an
+	// exchange is underway. Default 30s.
+	IOTimeout time.Duration
+	// KeyCacheCap bounds the evaluation-key registry (sessions whose
+	// keys stay installed for reconnects); least-recently-used
+	// entries are evicted beyond it. Default 64.
+	KeyCacheCap int
+	// Logf receives server diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 8
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.IOTimeout <= 0 {
+		c.IOTimeout = 30 * time.Second
+	}
+	if c.KeyCacheCap <= 0 {
+		c.KeyCacheCap = 64
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// ErrSaturated reports a session rejected because every worker slot
+// stayed busy for the whole QueueTimeout.
+var ErrSaturated = errors.New("serve: max concurrent sessions reached")
+
+// Server runs concurrent client-aided inference sessions against one
+// shared compiled model. All methods are safe for concurrent use.
+type Server struct {
+	backend *nn.InferenceServer
+	cfg     Config
+	reg     *registry
+	acct    accounting
+	slots   chan struct{}
+
+	mu    sync.Mutex
+	conns map[*sessionTransport]struct{}
+}
+
+// New builds a server around a compiled inference backend.
+func New(backend *nn.InferenceServer, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		backend: backend,
+		cfg:     cfg,
+		reg:     newRegistry(cfg.KeyCacheCap),
+		slots:   make(chan struct{}, cfg.MaxSessions),
+		conns:   map[*sessionTransport]struct{}{},
+	}
+}
+
+// MaxSessions reports the effective worker-pool size, after Config
+// defaults have been applied.
+func (s *Server) MaxSessions() int { return cap(s.slots) }
+
+// Serve accepts connections on ln until ctx is cancelled, then stops
+// accepting, interrupts idle connections, and drains sessions that are
+// mid-inference before returning.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			ln.Close()
+			s.interruptIdle()
+		case <-stop:
+		}
+	}()
+
+	var acceptErr error
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				break
+			}
+			acceptErr = err
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.serveConn(ctx, conn)
+		}()
+	}
+	close(stop)
+	wg.Wait()
+	return acceptErr
+}
+
+// serveConn runs one TCP connection: frames it, arms deadlines, and
+// hands it to the generic session loop.
+func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
+	defer conn.Close()
+	st := &sessionTransport{
+		Conn:        protocol.NewConn(conn),
+		idleTimeout: s.cfg.IdleTimeout,
+		ioTimeout:   s.cfg.IOTimeout,
+	}
+	st.Conn.SetWriteTimeout(s.cfg.IOTimeout)
+	st.awaitingRequest.Store(true)
+
+	s.mu.Lock()
+	s.conns[st] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, st)
+		s.mu.Unlock()
+	}()
+
+	remote := conn.RemoteAddr()
+	if err := s.ServeTransport(ctx, st); err != nil && !errors.Is(err, ErrSaturated) {
+		s.cfg.Logf("serve: client %s: %v", remote, err)
+	}
+}
+
+// interruptIdle tears down connections that are parked between
+// requests; connections mid-inference finish their current request and
+// then observe the cancelled context.
+func (s *Server) interruptIdle() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for st := range s.conns {
+		if st.awaitingRequest.Load() {
+			st.Conn.Interrupt()
+		}
+	}
+}
+
+// sessionTransport arms per-frame deadlines on a TCP-backed transport:
+// the first Recv of each request waits up to the idle timeout, every
+// later frame gets the tighter I/O timeout. It also marks whether the
+// worker is parked between requests, which shutdown uses to decide
+// whom to interrupt.
+type sessionTransport struct {
+	*protocol.Conn
+	idleTimeout, ioTimeout time.Duration
+	awaitingRequest        atomic.Bool
+}
+
+func (st *sessionTransport) Recv() ([]byte, error) {
+	if st.awaitingRequest.Load() {
+		st.Conn.SetReadTimeout(st.idleTimeout)
+	} else {
+		st.Conn.SetReadTimeout(st.ioTimeout)
+	}
+	data, err := st.Conn.Recv()
+	if err == nil {
+		st.awaitingRequest.Store(false)
+	}
+	return data, err
+}
+
+// requestMarker lets the session loop tell a transport that the next
+// Recv begins a new request (idle-timeout territory).
+type requestMarker interface {
+	markAwaitingRequest()
+	isAwaitingRequest() bool
+}
+
+func (st *sessionTransport) markAwaitingRequest() { st.awaitingRequest.Store(true) }
+func (st *sessionTransport) isAwaitingRequest() bool {
+	return st.awaitingRequest.Load()
+}
+
+// ServeTransport runs one complete session over any transport — the
+// in-memory protocol.Pipe in tests, a framed TCP connection in
+// production. It performs admission control, the session handshake
+// (hello + key install or cache hit, or a legacy raw key bundle), then
+// serves inference requests until the client disconnects, the idle
+// timeout fires, or ctx is cancelled (draining the in-flight request
+// first).
+func (s *Server) ServeTransport(ctx context.Context, t protocol.Transport) error {
+	if !s.acquireSlot(ctx) {
+		s.acct.sessionsRejected.Add(1)
+		// Best effort: tell a handshake-aware client why it is being
+		// dropped before closing.
+		t.Send(protocol.MarshalHelloAck(protocol.AckBusy))
+		return ErrSaturated
+	}
+	defer func() { <-s.slots }()
+
+	s.acct.sessionsTotal.Add(1)
+	s.acct.sessionsActive.Add(1)
+	start := time.Now()
+	var inferences int64
+	defer func() {
+		s.acct.sessionsActive.Add(-1)
+		s.acct.bytesUp.Add(t.ReceivedBytes())
+		s.acct.bytesDown.Add(t.SentBytes())
+		s.cfg.Logf("serve: session closed after %v: %d inference(s), %d B up / %d B down",
+			time.Since(start).Round(time.Millisecond), inferences, t.ReceivedBytes(), t.SentBytes())
+	}()
+
+	sess, err := s.handshake(t)
+	if err != nil {
+		return err
+	}
+	s.acct.setupLat.observe(time.Since(start))
+
+	for {
+		if m, ok := t.(requestMarker); ok {
+			m.markAwaitingRequest()
+		}
+		if ctx.Err() != nil {
+			return nil // graceful drain: stop between requests
+		}
+		reqStart := time.Now()
+		ops, err := sess.ServeOne(t)
+		if err != nil {
+			if s.sessionOver(t, err) {
+				return nil
+			}
+			return fmt.Errorf("inference %d failed: %w", inferences+1, err)
+		}
+		inferences++
+		s.acct.inferences.Add(1)
+		s.acct.addOps(ops)
+		s.acct.inferLat.observe(time.Since(reqStart))
+	}
+}
+
+// handshake admits the session: either the new hello exchange (with
+// the eval-key registry short-circuiting re-uploads) or a legacy raw
+// key bundle as the first frame.
+func (s *Server) handshake(t protocol.Transport) (*nn.ServerSession, error) {
+	raw, err := t.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("session open: recv first frame: %w", err)
+	}
+	switch {
+	case protocol.IsHello(raw):
+		id, err := protocol.UnmarshalHello(raw)
+		if err != nil {
+			return nil, fmt.Errorf("session open: %w", err)
+		}
+		if sess := s.reg.lookup(id); sess != nil {
+			s.acct.keyCacheHits.Add(1)
+			if err := t.Send(protocol.MarshalHelloAck(protocol.AckKeysCached)); err != nil {
+				return nil, fmt.Errorf("session %q: send cached ack: %w", id, err)
+			}
+			s.cfg.Logf("serve: session %q: evaluation keys cached, upload skipped", id)
+			return sess, nil
+		}
+		s.acct.keyCacheMisses.Add(1)
+		if err := t.Send(protocol.MarshalHelloAck(protocol.AckNeedKeys)); err != nil {
+			return nil, fmt.Errorf("session %q: send need-keys ack: %w", id, err)
+		}
+		kraw, err := t.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("session %q: recv key bundle frame: %w", id, err)
+		}
+		sess, err := s.backend.NewSessionFromFrame(kraw)
+		if err != nil {
+			return nil, fmt.Errorf("session %q: %w", id, err)
+		}
+		s.reg.store(id, sess, int64(len(kraw)))
+		s.cfg.Logf("serve: session %q: evaluation keys installed (%d B)", id, len(kraw))
+		return sess, nil
+	case protocol.IsKeyBundle(raw):
+		sess, err := s.backend.NewSessionFromFrame(raw)
+		if err != nil {
+			return nil, fmt.Errorf("legacy session open: %w", err)
+		}
+		s.cfg.Logf("serve: legacy session: evaluation keys installed (%d B, uncached)", len(raw))
+		return sess, nil
+	}
+	return nil, fmt.Errorf("session open: unrecognized first frame (%d B)", len(raw))
+}
+
+// sessionOver classifies a ServeOne error as a normal end of session:
+// the client disconnected, or the idle timeout expired while waiting
+// for the next request's first frame.
+func (s *Server) sessionOver(t protocol.Transport, err error) bool {
+	if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || errors.Is(err, protocol.ErrInterrupted) {
+		return true
+	}
+	m, ok := t.(requestMarker)
+	if !ok {
+		return false
+	}
+	var nerr net.Error
+	if m.isAwaitingRequest() && errors.As(err, &nerr) && nerr.Timeout() {
+		s.cfg.Logf("serve: idle timeout, closing session")
+		return true
+	}
+	return false
+}
+
+// acquireSlot claims a worker slot, waiting up to QueueTimeout.
+func (s *Server) acquireSlot(ctx context.Context) bool {
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	default:
+	}
+	if s.cfg.QueueTimeout <= 0 {
+		return false
+	}
+	timer := time.NewTimer(s.cfg.QueueTimeout)
+	defer timer.Stop()
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	case <-timer.C:
+		return false
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"encoding/json"
+	"math/bits"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"choco/internal/core"
+)
+
+// accounting is the server-wide counter set. Everything is atomic so
+// session workers never contend on a lock for bookkeeping.
+type accounting struct {
+	sessionsTotal    atomic.Int64
+	sessionsActive   atomic.Int64
+	sessionsRejected atomic.Int64
+	inferences       atomic.Int64
+
+	keyCacheHits   atomic.Int64
+	keyCacheMisses atomic.Int64
+
+	bytesUp   atomic.Int64 // client→server, as observed by the server transport
+	bytesDown atomic.Int64 // server→client
+
+	rotations  atomic.Int64
+	plainMults atomic.Int64
+	ctMults    atomic.Int64
+	adds       atomic.Int64
+
+	setupLat histogram
+	inferLat histogram
+}
+
+func (a *accounting) addOps(ops core.OpCounts) {
+	a.rotations.Add(int64(ops.Rotations))
+	a.plainMults.Add(int64(ops.PlainMults))
+	a.ctMults.Add(int64(ops.CtMults))
+	a.adds.Add(int64(ops.Adds))
+}
+
+// histogram is a lock-free log₂-bucketed latency histogram: bucket i
+// counts observations with ⌈log₂ µs⌉ = i, so quantiles come back
+// within a factor of two of the true value — plenty for operational
+// visibility at zero coordination cost.
+type histogram struct {
+	count   atomic.Int64
+	sumUs   atomic.Int64
+	maxUs   atomic.Int64
+	buckets [48]atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	h.count.Add(1)
+	h.sumUs.Add(us)
+	for {
+		old := h.maxUs.Load()
+		if us <= old || h.maxUs.CompareAndSwap(old, us) {
+			break
+		}
+	}
+	i := bits.Len64(uint64(us))
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i].Add(1)
+}
+
+// quantile returns the upper bound of the bucket containing quantile q.
+func (h *histogram) quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum > rank {
+			// The bucket's upper bound, clamped so a tail quantile
+			// never reads above the true observed maximum.
+			if up := int64(1) << uint(i); up < h.maxUs.Load() {
+				return time.Duration(up) * time.Microsecond
+			}
+			break
+		}
+	}
+	return time.Duration(h.maxUs.Load()) * time.Microsecond
+}
+
+func (h *histogram) summary() LatencySummary {
+	n := h.count.Load()
+	s := LatencySummary{Count: n}
+	if n == 0 {
+		return s
+	}
+	s.Mean = time.Duration(h.sumUs.Load()/n) * time.Microsecond
+	s.P50 = h.quantile(0.50)
+	s.P99 = h.quantile(0.99)
+	s.Max = time.Duration(h.maxUs.Load()) * time.Microsecond
+	return s
+}
+
+// LatencySummary condenses a phase histogram. P50/P99 are upper bounds
+// of log₂ buckets (within 2× of the true quantile).
+type LatencySummary struct {
+	Count int64
+	Mean  time.Duration
+	P50   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Stats is a point-in-time snapshot of the server's accounting.
+// Traffic totals for a session are folded in when the session ends.
+type Stats struct {
+	SessionsTotal    int64 // sessions admitted (including still-active ones)
+	SessionsActive   int64
+	SessionsRejected int64
+	Inferences       int64
+
+	KeyCacheHits    int64 // reconnects that skipped the key upload
+	KeyCacheMisses  int64
+	KeyCacheEntries int
+
+	BytesUp   int64
+	BytesDown int64
+
+	ServerOps core.OpCounts
+
+	SetupLatency     LatencySummary // hello + key install (or cache hit)
+	InferenceLatency LatencySummary // one full ServeOne exchange
+}
+
+// Stats returns a snapshot of the server-wide accounting.
+func (s *Server) Stats() Stats {
+	a := &s.acct
+	return Stats{
+		SessionsTotal:    a.sessionsTotal.Load(),
+		SessionsActive:   a.sessionsActive.Load(),
+		SessionsRejected: a.sessionsRejected.Load(),
+		Inferences:       a.inferences.Load(),
+		KeyCacheHits:     a.keyCacheHits.Load(),
+		KeyCacheMisses:   a.keyCacheMisses.Load(),
+		KeyCacheEntries:  s.reg.len(),
+		BytesUp:          a.bytesUp.Load(),
+		BytesDown:        a.bytesDown.Load(),
+		ServerOps: core.OpCounts{
+			Rotations:  int(a.rotations.Load()),
+			PlainMults: int(a.plainMults.Load()),
+			CtMults:    int(a.ctMults.Load()),
+			Adds:       int(a.adds.Load()),
+		},
+		SetupLatency:     a.setupLat.summary(),
+		InferenceLatency: a.inferLat.summary(),
+	}
+}
+
+// StatsHandler serves the snapshot as JSON (mount it on the -stats-addr
+// HTTP listener; pairs with expvar's /debug/vars).
+func (s *Server) StatsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.Stats())
+	})
+}
