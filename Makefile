@@ -1,15 +1,18 @@
 # Developer workflow for the CHOCO reproduction.
 #
-#   make check   — what CI runs: vet + race-enabled tests
+#   make check   — what CI runs: vet + chocolint + race/shuffled tests
+#                  (default and chocodebug-tagged builds)
 #   make test    — tier-1 verify (build + tests, as in ROADMAP.md)
-#   make race    — race-enabled tests only
+#   make lint    — chocolint static analyzers only (see internal/lint)
+#   make race    — race-enabled, shuffled tests only
+#   make debug   — tests with the chocodebug assertion layer compiled in
 #   make bench   — paper-table benchmark generators
 
 GO ?= go
 
-.PHONY: check build test race vet bench
+.PHONY: check build test lint race debug vet bench
 
-check: vet race
+check: vet lint race debug
 
 build:
 	$(GO) build ./...
@@ -17,11 +20,17 @@ build:
 test: build
 	$(GO) test ./...
 
+lint:
+	$(GO) run ./cmd/chocolint ./...
+
 vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
+
+debug:
+	$(GO) test -race -shuffle=on -tags chocodebug ./internal/ring ./internal/bfv
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -161,7 +161,7 @@ func runWorker(cfg workerConfig) (workerReport, error) {
 		t0 := time.Now()
 		cached, err := client.SetupSession(tr, cfg.sessionID)
 		if err != nil {
-			tr.Close()
+			_ = tr.Close() // the session-open failure is the error that matters
 			return nil, false, 0, fmt.Errorf("session open: %w", err)
 		}
 		return tr, cached, time.Since(t0), nil
@@ -218,19 +218,20 @@ func runWorker(cfg workerConfig) (workerReport, error) {
 
 	for i := 0; i < firstLeg; i++ {
 		if err := infer(i); err != nil {
-			tr.Close()
+			_ = tr.Close() // the inference failure is the error that matters
 			return rep, err
 		}
 	}
 	if firstLeg == cfg.requests {
-		tr.Close()
-		return rep, nil
+		return rep, tr.Close()
 	}
 
 	// Reconnect under the same session ID: with the server's key
 	// registry warm, SetupSession should come back cached and the
 	// transport's sent bytes stay tiny (hello frame only).
-	tr.Close()
+	if err := tr.Close(); err != nil {
+		return rep, fmt.Errorf("closing before reconnect: %w", err)
+	}
 	tr, cached, setupTime, err = dial()
 	if err != nil {
 		return rep, fmt.Errorf("reconnect: %w", err)
@@ -245,12 +246,11 @@ func runWorker(cfg workerConfig) (workerReport, error) {
 	}
 	for i := firstLeg; i < cfg.requests; i++ {
 		if err := infer(i); err != nil {
-			tr.Close()
+			_ = tr.Close() // the inference failure is the error that matters
 			return rep, err
 		}
 	}
-	tr.Close()
-	return rep, nil
+	return rep, tr.Close()
 }
 
 // pct indexes a sorted latency slice at quantile q.

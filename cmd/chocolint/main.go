@@ -1,0 +1,53 @@
+// Command chocolint runs the CHOCO-specific static analyzers over the
+// module and prints findings as file:line:col: analyzer: message, one
+// per line, exiting non-zero if any survive suppression. See
+// internal/lint for the analyzer catalogue and the
+// //lint:ignore-choco suppression convention.
+//
+// Usage:
+//
+//	chocolint [-list] [packages]
+//
+// Packages default to ./... relative to the current directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"choco/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: chocolint [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := lint.Run(".", patterns, lint.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chocolint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "chocolint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

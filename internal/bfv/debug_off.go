@@ -1,0 +1,9 @@
+//go:build !chocodebug
+
+package bfv
+
+// debugEnabled gates the chocodebug assertion layer (see
+// internal/ring/debug_on.go); compile-time false in the default build.
+const debugEnabled = false
+
+func (ctx *Context) debugCheckCt(op string, cts ...*Ciphertext) {}

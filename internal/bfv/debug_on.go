@@ -1,0 +1,52 @@
+//go:build chocodebug
+
+package bfv
+
+import "fmt"
+
+// debugEnabled turns on the chocodebug assertion layer: evaluator
+// entry points validate every ciphertext operand, so a corrupted or
+// mis-leveled ciphertext panics at the op that receives it instead of
+// decrypting to garbage.
+const debugEnabled = true
+
+// debugCheckCt validates the chocodebug ciphertext invariants:
+//
+//   - Drop lies in [0, MaxDrop];
+//   - every component polynomial has exactly the residue rows of the
+//     ring at that drop, each row of length N;
+//   - every residue lies in [0, q_i).
+func (ctx *Context) debugCheckCt(op string, cts ...*Ciphertext) {
+	for ci, ct := range cts {
+		if ct == nil {
+			panic(fmt.Sprintf("bfv: chocodebug: %s operand %d is nil", op, ci))
+		}
+		if ct.Drop < 0 || ct.Drop > ctx.MaxDrop() {
+			panic(fmt.Sprintf("bfv: chocodebug: %s operand %d has drop %d outside [0,%d]",
+				op, ci, ct.Drop, ctx.MaxDrop()))
+		}
+		r := ctx.RingAtDrop(ct.Drop)
+		for pi, p := range ct.Value {
+			if p == nil {
+				panic(fmt.Sprintf("bfv: chocodebug: %s operand %d component %d is nil", op, ci, pi))
+			}
+			if len(p.Coeffs) != len(r.Moduli) {
+				panic(fmt.Sprintf("bfv: chocodebug: %s operand %d component %d has %d residue rows, drop %d implies %d",
+					op, ci, pi, len(p.Coeffs), ct.Drop, len(r.Moduli)))
+			}
+			for i, row := range p.Coeffs {
+				if len(row) != r.N {
+					panic(fmt.Sprintf("bfv: chocodebug: %s operand %d component %d row %d has %d coefficients, want N=%d",
+						op, ci, pi, i, len(row), r.N))
+				}
+				q := r.Moduli[i].Value
+				for j, v := range row {
+					if v >= q {
+						panic(fmt.Sprintf("bfv: chocodebug: %s operand %d component %d residue [%d][%d] = %d out of range mod %d",
+							op, ci, pi, i, j, v, q))
+					}
+				}
+			}
+		}
+	}
+}

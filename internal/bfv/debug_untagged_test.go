@@ -1,0 +1,24 @@
+//go:build !chocodebug
+
+package bfv
+
+import "testing"
+
+// Twin of debug_tagged_test.go: the corruption that panics under
+// -tags chocodebug must not panic in the default build — the evaluator
+// computes a wrong result, but the assertion layer is strictly
+// additive.
+func TestCorruptCiphertextSilentWithoutChocodebug(t *testing.T) {
+	kit := newTestKit(t, PresetTest())
+	ct, err := kit.enc.EncryptUints([]uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct.Value[0].Coeffs[0][0] = kit.ctx.RingQ.Moduli[0].Value
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("untagged build panicked on corrupted ciphertext: %v", r)
+		}
+	}()
+	_ = kit.ev.Add(ct, ct)
+}

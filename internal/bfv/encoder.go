@@ -37,7 +37,7 @@ func (e *Encoder) EncodeUints(values []uint64) (*Plaintext, error) {
 		row[e.ctx.indexMap[i]] = t.Reduce(v)
 	}
 	// The slot values are evaluations; interpolate to coefficients.
-	pt.Poly.IsNTT = true
+	pt.Poly.DeclareNTT()
 	e.ctx.RingT.INTT(pt.Poly)
 	return pt, nil
 }

@@ -26,6 +26,9 @@ func NewEvaluator(ctx *Context, relin *RelinearizationKey, galois map[uint64]*Ga
 // Add returns a + b (ciphertext addition, small noise growth). The
 // operands must sit at the same modulus level.
 func (ev *Evaluator) Add(a, b *Ciphertext) *Ciphertext {
+	if debugEnabled {
+		ev.ctx.debugCheckCt("Add", a, b)
+	}
 	if a.Drop != b.Drop {
 		panic("bfv: adding ciphertexts at different modulus levels")
 	}
@@ -48,6 +51,9 @@ func (ev *Evaluator) Add(a, b *Ciphertext) *Ciphertext {
 
 // Sub returns a - b.
 func (ev *Evaluator) Sub(a, b *Ciphertext) *Ciphertext {
+	if debugEnabled {
+		ev.ctx.debugCheckCt("Sub", a, b)
+	}
 	r := ev.ctx.RingAtDrop(b.Drop)
 	neg := &Ciphertext{Value: make([]*ring.Poly, len(b.Value)), Drop: b.Drop}
 	for i, p := range b.Value {
@@ -59,6 +65,9 @@ func (ev *Evaluator) Sub(a, b *Ciphertext) *Ciphertext {
 
 // Neg returns -a.
 func (ev *Evaluator) Neg(a *Ciphertext) *Ciphertext {
+	if debugEnabled {
+		ev.ctx.debugCheckCt("Neg", a)
+	}
 	r := ev.ctx.RingAtDrop(a.Drop)
 	out := &Ciphertext{Value: make([]*ring.Poly, len(a.Value)), Drop: a.Drop}
 	for i, p := range a.Value {
@@ -70,6 +79,9 @@ func (ev *Evaluator) Neg(a *Ciphertext) *Ciphertext {
 
 // AddPlain returns ct + pt (plaintext addition: c0 += Δ·m).
 func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	if debugEnabled {
+		ev.ctx.debugCheckCt("AddPlain", ct)
+	}
 	if ct.Drop != 0 {
 		panic("bfv: plaintext operations require a full-modulus ciphertext")
 	}
@@ -82,6 +94,9 @@ func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
 
 // SubPlain returns ct - pt.
 func (ev *Evaluator) SubPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	if debugEnabled {
+		ev.ctx.debugCheckCt("SubPlain", ct)
+	}
 	if ct.Drop != 0 {
 		panic("bfv: plaintext operations require a full-modulus ciphertext")
 	}
@@ -96,6 +111,9 @@ func (ev *Evaluator) SubPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
 // cheaper than a full plaintext multiply (no NTT round trip) and with
 // scalar-sized noise growth.
 func (ev *Evaluator) MulScalar(ct *Ciphertext, c uint64) *Ciphertext {
+	if debugEnabled {
+		ev.ctx.debugCheckCt("MulScalar", ct)
+	}
 	r := ev.ctx.RingAtDrop(ct.Drop)
 	out := &Ciphertext{Value: make([]*ring.Poly, len(ct.Value)), Drop: ct.Drop}
 	cc := ev.ctx.T.Reduce(c)
@@ -143,6 +161,9 @@ func (ev *Evaluator) PrepareMul(pt *Plaintext) *PlaintextMul {
 // MulPlain returns ct ⊙ pt (slot-wise product with an unencrypted
 // vector; moderate noise growth, O(N log N · r) per Table 1).
 func (ev *Evaluator) MulPlain(ct *Ciphertext, pm *PlaintextMul) *Ciphertext {
+	if debugEnabled {
+		ev.ctx.debugCheckCt("MulPlain", ct)
+	}
 	if ct.Drop != 0 {
 		panic("bfv: plaintext operations require a full-modulus ciphertext")
 	}
@@ -163,6 +184,9 @@ func (ev *Evaluator) MulPlain(ct *Ciphertext, pm *PlaintextMul) *Ciphertext {
 // noise growth, O(N log N · r²) per Table 1). Call Relinearize to
 // return to degree 1.
 func (ev *Evaluator) Mul(a, b *Ciphertext) (*Ciphertext, error) {
+	if debugEnabled {
+		ev.ctx.debugCheckCt("Mul", a, b)
+	}
 	if len(a.Value) != 2 || len(b.Value) != 2 {
 		return nil, fmt.Errorf("bfv: Mul requires degree-1 inputs (got %d, %d)", a.Degree(), b.Degree())
 	}
@@ -220,6 +244,9 @@ func (ev *Evaluator) Mul(a, b *Ciphertext) (*Ciphertext, error) {
 // Relinearize reduces a degree-2 ciphertext to degree 1 using the
 // relinearization key.
 func (ev *Evaluator) Relinearize(ct *Ciphertext) (*Ciphertext, error) {
+	if debugEnabled {
+		ev.ctx.debugCheckCt("Relinearize", ct)
+	}
 	if len(ct.Value) != 3 {
 		return nil, fmt.Errorf("bfv: Relinearize requires a degree-2 ciphertext")
 	}
@@ -259,6 +286,9 @@ func (ev *Evaluator) RotateColumns(ct *Ciphertext) (*Ciphertext, error) {
 }
 
 func (ev *Evaluator) applyGalois(ct *Ciphertext, g uint64) (*Ciphertext, error) {
+	if debugEnabled {
+		ev.ctx.debugCheckCt("applyGalois", ct)
+	}
 	if len(ct.Value) != 2 {
 		return nil, fmt.Errorf("bfv: rotation requires a degree-1 ciphertext")
 	}
@@ -287,6 +317,9 @@ func (ev *Evaluator) applyGalois(ct *Ciphertext, g uint64) (*Ciphertext, error) 
 // at full modulus, switch down, send small. Dropped ciphertexts
 // support addition and decryption only.
 func (ev *Evaluator) ModSwitchDown(ct *Ciphertext) (*Ciphertext, error) {
+	if debugEnabled {
+		ev.ctx.debugCheckCt("ModSwitchDown", ct)
+	}
 	ctx := ev.ctx
 	if ct.Drop >= ctx.MaxDrop() {
 		return nil, fmt.Errorf("bfv: cannot modulus-switch below one residue")
@@ -367,8 +400,8 @@ func (ev *Evaluator) keySwitch(d *ring.Poly, swk *SwitchingKey) (*ring.Poly, *ri
 
 	acc0 := rQP.NewPoly()
 	acc1 := rQP.NewPoly()
-	acc0.IsNTT = true
-	acc1.IsNTT = true
+	acc0.DeclareNTT()
+	acc1.DeclareNTT()
 
 	di := rQP.NewPoly()
 	for i := 0; i < nData; i++ {
@@ -385,14 +418,14 @@ func (ev *Evaluator) keySwitch(d *ring.Poly, swk *SwitchingKey) (*ring.Poly, *ri
 				dst[k] = m.Reduce(src[k])
 			}
 		}
-		di.IsNTT = false
+		di.DeclareCoeff()
 		rQP.NTT(di)
 		rQP.MulCoeffsAdd(di, swk.B[i], acc0)
 		rQP.MulCoeffsAdd(di, swk.A[i], acc1)
-		di.IsNTT = false // reuse buffer next iteration
+		di.DeclareCoeff() // reuse buffer next iteration
 	}
-	acc0.IsNTT = true
-	acc1.IsNTT = true
+	acc0.DeclareNTT()
+	acc1.DeclareNTT()
 	rQP.INTT(acc0)
 	rQP.INTT(acc1)
 	return ev.modDownByP(acc0), ev.modDownByP(acc1)

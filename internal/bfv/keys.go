@@ -80,7 +80,7 @@ func (kg *KeyGenerator) GenPublicKey(sk *SecretKey) *PublicKey {
 	for i, m := range r.Moduli {
 		src.UniformMod(a.Coeffs[i], m.Value)
 	}
-	a.IsNTT = true // uniform in either domain; declare NTT
+	a.DeclareNTT() // uniform in either domain
 
 	e := r.NewPoly()
 	eSigned := make([]int64, ctx.Params.N())
@@ -113,7 +113,7 @@ func (kg *KeyGenerator) genSwitchingKey(sk *SecretKey, sPrime *ring.Poly, label 
 		for j, m := range rQP.Moduli {
 			src.UniformMod(a.Coeffs[j], m.Value)
 		}
-		a.IsNTT = true
+		a.DeclareNTT()
 
 		e := rQP.NewPoly()
 		src.GaussianSigned(eSigned, ctx.Params.Sigma)

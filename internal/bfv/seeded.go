@@ -55,7 +55,7 @@ func expandA(ctx *Context, seed [32]byte) *ring.Poly {
 	for i, m := range r.Moduli {
 		src.UniformMod(a.Coeffs[i], m.Value)
 	}
-	a.IsNTT = true
+	a.DeclareNTT()
 	return a
 }
 

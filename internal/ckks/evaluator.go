@@ -322,8 +322,8 @@ func (ev *Evaluator) keySwitch(d *ring.Poly, swk *SwitchingKey, level int) (*rin
 
 	acc0 := rQlP.NewPoly()
 	acc1 := rQlP.NewPoly()
-	acc0.IsNTT = true
-	acc1.IsNTT = true
+	acc0.DeclareNTT()
+	acc1.DeclareNTT()
 
 	di := rQlP.NewPoly()
 	for i := 0; i <= level; i++ {
@@ -338,7 +338,7 @@ func (ev *Evaluator) keySwitch(d *ring.Poly, swk *SwitchingKey, level int) (*rin
 				dst[k] = m.Reduce(src[k])
 			}
 		}
-		di.IsNTT = false
+		di.DeclareCoeff()
 		rQlP.NTT(di)
 		rQlP.MulCoeffsAdd(di, project(swk.B[i]), acc0)
 		rQlP.MulCoeffsAdd(di, project(swk.A[i]), acc1)

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PolyCopy flags two classes of ring.Poly misuse:
+//
+//  1. By-value copies. Poly is a header over shared [][]uint64 backing
+//     storage; copying the value aliases every residue row while
+//     forking the IsNTT flag, so one copy can silently change domain
+//     while the other mutates the shared coefficients. Polys move by
+//     pointer; deep copies go through Ring.CopyPoly / Ring.Copy.
+//  2. Aliased Automorphism calls. Ring.Automorphism permutes
+//     coefficients index-by-index and corrupts the result if out
+//     aliases the input, which the runtime cannot detect cheaply.
+var PolyCopy = &Analyzer{
+	Name: "polycopy",
+	Doc:  "flags by-value ring.Poly copies and aliased Automorphism calls",
+	Run:  runPolyCopy,
+}
+
+func runPolyCopy(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, rhs := range n.Rhs {
+					if !polyValueCopied(info, rhs) {
+						continue
+					}
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+					pass.Reportf(rhs.Pos(),
+						"ring.Poly copied by value; the copy aliases the coefficient storage — pass *ring.Poly or use Ring.CopyPoly")
+				}
+
+			case *ast.CallExpr:
+				name, isRing := calleeIsRingMethod(info, n)
+				if isRing && name == "Automorphism" && len(n.Args) >= 3 {
+					if aliasedExprs(info, n.Args[0], n.Args[2]) {
+						pass.Reportf(n.Pos(),
+							"Automorphism output aliases its input; the permutation corrupts coefficients in place — use a distinct out poly")
+					}
+					return true
+				}
+				// Passing a bare Poly value as an argument copies it too.
+				for _, arg := range n.Args {
+					if polyValueCopied(info, arg) {
+						pass.Reportf(arg.Pos(),
+							"ring.Poly passed by value; the callee's copy aliases the coefficient storage — pass *ring.Poly")
+					}
+				}
+
+			case *ast.RangeStmt:
+				// `for _, p := range []ring.Poly{...}` copies each element.
+				if n.Value != nil {
+					if t := info.TypeOf(n.Value); isRingPolyValue(t) {
+						if id, ok := n.Value.(*ast.Ident); !ok || id.Name != "_" {
+							pass.Reportf(n.Value.Pos(),
+								"range copies ring.Poly elements by value; iterate by index or store *ring.Poly")
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// polyValueCopied reports whether evaluating e as an rvalue copies a
+// bare ring.Poly value. Construction sites (composite literals, calls
+// that return a Poly value, dereferences feeding an explicit clone) are
+// not copies of an existing variable and stay legal only for literals.
+func polyValueCopied(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	t := info.TypeOf(e)
+	if !isRingPolyValue(t) {
+		return false
+	}
+	switch e.(type) {
+	case *ast.CompositeLit:
+		return false // construction, not a copy
+	case *ast.CallExpr:
+		return false // the callee made the value; binding it is fine
+	}
+	return true
+}
+
+// aliasedExprs conservatively reports whether two expressions certainly
+// denote the same poly: identical simple identifiers, or identical
+// selector/index chains over the same base. Textual comparison is
+// enough here because a report requires certainty, not suspicion.
+func aliasedExprs(info *types.Info, a, b ast.Expr) bool {
+	ida, idb := identOf(a), identOf(b)
+	if ida != nil && idb != nil {
+		oa, ob := objOf(info, ida), objOf(info, idb)
+		return oa != nil && oa == ob
+	}
+	return types.ExprString(ast.Unparen(a)) == types.ExprString(ast.Unparen(b))
+}

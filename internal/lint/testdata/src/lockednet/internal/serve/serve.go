@@ -1,0 +1,58 @@
+// Fixture for the lockednet analyzer: the package path ends in
+// internal/serve, so blocking wire operations under a held mutex are
+// flagged; snapshot-then-release and control methods stay silent.
+package serve
+
+import "sync"
+
+type conn interface {
+	Send([]byte) error
+	Recv() ([]byte, error)
+	Interrupt()
+}
+
+type server struct {
+	mu sync.Mutex
+	c  conn
+	ch chan []byte
+}
+
+func (s *server) sendUnderDefer(msg []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c.Send(msg) // want `Send called while s\.mu is locked`
+}
+
+func (s *server) recvBetweenLockUnlock() ([]byte, error) {
+	s.mu.Lock()
+	b, err := s.c.Recv() // want `Recv called while s\.mu is locked`
+	s.mu.Unlock()
+	return b, err
+}
+
+func (s *server) chanSendUnderLock(msg []byte) {
+	s.mu.Lock()
+	s.ch <- msg // want `channel send while s\.mu is locked`
+	s.mu.Unlock()
+}
+
+func (s *server) chanRecvUnderLock() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want `channel receive while s\.mu is locked`
+}
+
+// Snapshot under the lock, do the blocking work outside it.
+func (s *server) snapshotThenSend(msg []byte) error {
+	s.mu.Lock()
+	c := s.c
+	s.mu.Unlock()
+	return c.Send(msg)
+}
+
+// Interrupt is a cheap control method, explicitly safe under a lock.
+func (s *server) interruptUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.c.Interrupt()
+}

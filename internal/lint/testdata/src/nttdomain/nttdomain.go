@@ -1,0 +1,82 @@
+// Fixture for the nttdomain analyzer: each violation carries a
+// `// want` expectation; the corrected forms below them must stay
+// silent.
+package nttdomain
+
+import "choco/internal/ring"
+
+func directWrite(p *ring.Poly) {
+	p.IsNTT = true // want `direct write to ring\.Poly\.IsNTT outside internal/ring`
+	p.DeclareNTT() // the sanctioned escape hatch is fine
+}
+
+func mulCoeffsOnCoeff(r *ring.Ring) {
+	a := r.NewPoly()
+	b := r.NewPoly()
+	out := r.NewPoly()
+	r.NTT(b)
+	r.MulCoeffs(a, b, out) // want `MulCoeffs requires NTT-domain operands, but a is in the coefficient domain`
+}
+
+func mulCoeffsFixed(r *ring.Ring) {
+	a := r.NewPoly()
+	b := r.NewPoly()
+	out := r.NewPoly()
+	r.NTT(a)
+	r.NTT(b)
+	r.MulCoeffs(a, b, out)
+}
+
+func automorphismOnNTT(r *ring.Ring, g uint64) {
+	a := r.NewPoly()
+	out := r.NewPoly()
+	r.NTT(a)
+	r.Automorphism(a, g, out) // want `Automorphism requires a coefficient-domain input, but a is in the NTT domain`
+}
+
+func automorphismFixed(r *ring.Ring, g uint64) {
+	a := r.NewPoly()
+	out := r.NewPoly()
+	r.Automorphism(a, g, out)
+}
+
+func mixedAdd(r *ring.Ring) {
+	a := r.NewPoly()
+	b := r.NewPoly()
+	out := r.NewPoly()
+	r.NTT(a)
+	r.Add(a, b, out) // want `Add mixes domains: a is NTT but b is coefficient`
+}
+
+func afterINTT(r *ring.Ring, p *ring.Poly) {
+	out := r.NewPoly()
+	r.NTT(p)
+	r.MulCoeffs(p, p, out)
+	r.INTT(p)
+	r.MulCoeffs(p, p, out) // want `MulCoeffs requires NTT-domain operands, but p is in the coefficient domain`
+}
+
+// Parameters carry no domain evidence: the analyzer must stay quiet
+// rather than guess.
+func unknownOperands(r *ring.Ring, a, b, out *ring.Poly) {
+	r.MulCoeffs(a, b, out)
+	r.Add(a, b, out)
+}
+
+// A value escaping into an un-modelled call loses its evidence.
+func escapeInvalidates(r *ring.Ring, out *ring.Poly) {
+	a := r.NewPoly()
+	transform(a)
+	r.MulCoeffs(a, a, out)
+}
+
+// An explicit IsNTT test means both domains are handled.
+func branchInvalidates(r *ring.Ring, out *ring.Poly) {
+	a := r.NewPoly()
+	if !a.IsNTT {
+		r.NTT(a)
+	}
+	r.MulCoeffs(a, a, out)
+}
+
+func transform(p *ring.Poly) {}

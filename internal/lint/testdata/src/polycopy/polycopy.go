@@ -1,0 +1,42 @@
+// Fixture for the polycopy analyzer: by-value ring.Poly copies and
+// aliased Automorphism calls are flagged; pointer passing, CopyPoly,
+// and index-based iteration stay silent.
+package polycopy
+
+import "choco/internal/ring"
+
+func valueCopy(r *ring.Ring, p *ring.Poly) {
+	v := *p // want `ring\.Poly copied by value`
+	use(&v)
+	q := r.CopyPoly(p) // deep copy through the sanctioned API
+	use(q)
+}
+
+func fieldCopy(cts []ring.Poly) {
+	head := cts[0] // want `ring\.Poly copied by value`
+	use(&head)
+}
+
+func valueArg(p *ring.Poly) {
+	takeValue(*p) // want `ring\.Poly passed by value`
+	takePointer(p)
+}
+
+func aliased(r *ring.Ring, p *ring.Poly, g uint64) {
+	r.Automorphism(p, g, p) // want `Automorphism output aliases its input`
+	out := r.NewPoly()
+	r.Automorphism(p, g, out)
+}
+
+func rangeCopy(ps []ring.Poly) {
+	for _, p := range ps { // want `range copies ring\.Poly elements by value`
+		use(&p)
+	}
+	for i := range ps {
+		use(&ps[i])
+	}
+}
+
+func use(*ring.Poly)         {}
+func takeValue(ring.Poly)    {}
+func takePointer(*ring.Poly) {}

@@ -1,0 +1,25 @@
+// Fixture for the //lint:ignore-choco suppression convention, driven
+// through the uncheckederr analyzer.
+package suppress
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func suppressedTrailing(c closer) {
+	c.Close() //lint:ignore-choco uncheckederr fixture: close failure is irrelevant here
+}
+
+func suppressedPreceding(c closer) {
+	//lint:ignore-choco uncheckederr fixture: next-line form
+	c.Close()
+}
+
+func wrongAnalyzerDoesNotCover(c closer) {
+	//lint:ignore-choco nttdomain wrong analyzer name leaves the finding live
+	c.Close() // want `Close error dropped`
+}
+
+func unsuppressed(c closer) {
+	c.Close() // want `Close error dropped`
+}

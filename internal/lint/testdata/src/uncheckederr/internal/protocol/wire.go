@@ -1,0 +1,25 @@
+// Fixture for the uncheckederr analyzer: dropped protocol write and
+// Close errors are flagged; handled, explicitly discarded, and
+// deferred forms stay silent.
+package protocol
+
+type Conn struct{}
+
+func (c *Conn) Send(b []byte) error      { return nil }
+func (c *Conn) Close() error             { return nil }
+func WriteFrame(c *Conn, b []byte) error { return c.Send(b) }
+
+func dropped(c *Conn, b []byte) {
+	c.Send(b)        // want `Send error dropped`
+	WriteFrame(c, b) // want `WriteFrame error dropped`
+	c.Close()        // want `Close error dropped`
+}
+
+func handled(c *Conn, b []byte) error {
+	if err := c.Send(b); err != nil {
+		return err
+	}
+	_ = c.Send(b) // explicit discard is visible in review
+	defer c.Close()
+	return c.Close()
+}

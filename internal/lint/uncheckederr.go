@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// UncheckedErr flags silently dropped errors on the two call classes
+// where a swallowed failure corrupts an offload session rather than a
+// local computation:
+//
+//   - protocol frame writes (any error-returning function or method of
+//     internal/protocol, e.g. Conn.Send, WriteFrame, marshals feeding
+//     the wire), and
+//   - non-deferred Close calls on error-returning closers — a failed
+//     Close on a transport is the only notification that the final
+//     frames never reached the peer.
+//
+// Explicitly discarding with `_ = call()` is accepted: it is visible in
+// review and greppable. A bare expression statement is not.
+var UncheckedErr = &Analyzer{
+	Name: "uncheckederr",
+	Doc:  "flags dropped errors from protocol writes and non-deferred Close calls",
+	Run:  runUncheckedErr,
+}
+
+func runUncheckedErr(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok || !returnsError(info, call) {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil {
+				return true
+			}
+			switch {
+			case fn.Name() == "Close":
+				pass.Reportf(call.Pos(),
+					"Close error dropped; on a transport this hides lost final frames — handle it or discard explicitly with `_ =`")
+			case isProtocolCall(fn):
+				pass.Reportf(call.Pos(),
+					"%s error dropped; a failed frame write desynchronizes the session — handle it or discard explicitly with `_ =`", fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isProtocolCall reports whether fn belongs to internal/protocol.
+func isProtocolCall(fn *types.Func) bool {
+	return fn.Pkg() != nil && pkgPathHasSuffix(fn.Pkg().Path(), "internal/protocol")
+}

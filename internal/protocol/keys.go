@@ -91,7 +91,11 @@ func (r *reader) poly(alloc func() *ring.Poly) (*ring.Poly, error) {
 			row[j] = v
 		}
 	}
-	p.IsNTT = isNTT == 1
+	if isNTT == 1 {
+		p.DeclareNTT()
+	} else {
+		p.DeclareCoeff()
+	}
 	return p, nil
 }
 

@@ -169,6 +169,19 @@ type Poly struct {
 	IsNTT  bool
 }
 
+// DeclareNTT marks p as NTT-domain without transforming it. It is the
+// sanctioned escape hatch for constructions whose residue rows already
+// hold evaluation-domain values: uniform randomness (identically
+// distributed in either domain) and accumulator buffers about to be
+// overwritten. All other code must change domains through NTT/INTT;
+// the nttdomain analyzer in internal/lint flags direct IsNTT writes
+// outside this package.
+func (p *Poly) DeclareNTT() { p.IsNTT = true }
+
+// DeclareCoeff marks p as coefficient-domain without transforming it.
+// See DeclareNTT for when this is legitimate.
+func (p *Poly) DeclareCoeff() { p.IsNTT = false }
+
 // NewPoly allocates a zero polynomial for the ring.
 func (r *Ring) NewPoly() *Poly {
 	backing := make([]uint64, len(r.Moduli)*r.N)
@@ -226,6 +239,9 @@ func (r *Ring) Equal(a, b *Poly) bool {
 
 // NTT transforms p in place to the evaluation domain.
 func (r *Ring) NTT(p *Poly) {
+	if debugEnabled {
+		r.debugCheck("NTT", p)
+	}
 	if p.IsNTT {
 		panic("ring: NTT on a polynomial already in NTT domain")
 	}
@@ -237,6 +253,9 @@ func (r *Ring) NTT(p *Poly) {
 
 // INTT transforms p in place back to the coefficient domain.
 func (r *Ring) INTT(p *Poly) {
+	if debugEnabled {
+		r.debugCheck("INTT", p)
+	}
 	if !p.IsNTT {
 		panic("ring: INTT on a polynomial already in coefficient domain")
 	}
@@ -297,6 +316,9 @@ func nttInverse(tbl *nttTable, a []uint64) {
 
 // Add sets out = a + b.
 func (r *Ring) Add(a, b, out *Poly) {
+	if debugEnabled {
+		r.debugCheck("Add", a, b)
+	}
 	r.requireSameDomain(a, b)
 	for i := range out.Coeffs {
 		m := r.Moduli[i]
@@ -310,6 +332,9 @@ func (r *Ring) Add(a, b, out *Poly) {
 
 // Sub sets out = a - b.
 func (r *Ring) Sub(a, b, out *Poly) {
+	if debugEnabled {
+		r.debugCheck("Sub", a, b)
+	}
 	r.requireSameDomain(a, b)
 	for i := range out.Coeffs {
 		m := r.Moduli[i]
@@ -323,6 +348,9 @@ func (r *Ring) Sub(a, b, out *Poly) {
 
 // Neg sets out = -a.
 func (r *Ring) Neg(a, out *Poly) {
+	if debugEnabled {
+		r.debugCheck("Neg", a)
+	}
 	for i := range out.Coeffs {
 		m := r.Moduli[i]
 		ra, ro := a.Coeffs[i], out.Coeffs[i]
@@ -340,6 +368,9 @@ func (r *Ring) MulCoeffs(a, b, out *Poly) {
 	if !a.IsNTT || !b.IsNTT {
 		panic("ring: MulCoeffs requires NTT-domain operands")
 	}
+	if debugEnabled {
+		r.debugCheck("MulCoeffs", a, b)
+	}
 	for i := range out.Coeffs {
 		m := r.Moduli[i]
 		ra, rb, ro := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
@@ -355,6 +386,9 @@ func (r *Ring) MulCoeffsAdd(a, b, out *Poly) {
 	if !a.IsNTT || !b.IsNTT || !out.IsNTT {
 		panic("ring: MulCoeffsAdd requires NTT-domain operands")
 	}
+	if debugEnabled {
+		r.debugCheck("MulCoeffsAdd", a, b, out)
+	}
 	for i := range out.Coeffs {
 		m := r.Moduli[i]
 		ra, rb, ro := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
@@ -367,6 +401,9 @@ func (r *Ring) MulCoeffsAdd(a, b, out *Poly) {
 // MulScalar sets out = a * c for a scalar c (already reduced per
 // modulus by the caller or arbitrary; it is reduced here).
 func (r *Ring) MulScalar(a *Poly, c uint64, out *Poly) {
+	if debugEnabled {
+		r.debugCheck("MulScalar", a)
+	}
 	for i := range out.Coeffs {
 		m := r.Moduli[i]
 		cc := m.Reduce(c)
@@ -381,6 +418,9 @@ func (r *Ring) MulScalar(a *Poly, c uint64, out *Poly) {
 
 // MulScalarBig sets out = a * c for a big scalar, reduced per modulus.
 func (r *Ring) MulScalarBig(a *Poly, c *big.Int, out *Poly) {
+	if debugEnabled {
+		r.debugCheck("MulScalarBig", a)
+	}
 	tmp := new(big.Int)
 	for i := range out.Coeffs {
 		m := r.Moduli[i]
@@ -437,6 +477,9 @@ func (r *Ring) Automorphism(a *Poly, g uint64, out *Poly) {
 	if g&1 == 0 {
 		panic("ring: Galois element must be odd")
 	}
+	if debugEnabled {
+		r.debugCheck("Automorphism", a)
+	}
 	n := uint64(r.N)
 	mask := 2*n - 1
 	for lvl := range out.Coeffs {
@@ -463,6 +506,9 @@ func (r *Ring) Automorphism(a *Poly, g uint64, out *Poly) {
 func (r *Ring) PolyToBigintCentered(p *Poly, out []*big.Int) {
 	if p.IsNTT {
 		panic("ring: composition requires coefficient domain")
+	}
+	if debugEnabled {
+		r.debugCheck("PolyToBigintCentered", p)
 	}
 	tmp := new(big.Int)
 	for j := 0; j < r.N; j++ {

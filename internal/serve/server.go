@@ -119,7 +119,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	go func() {
 		select {
 		case <-ctx.Done():
-			ln.Close()
+			_ = ln.Close() // shutting down; Accept surfaces the close below
 			s.interruptIdle()
 		case <-stop:
 		}
@@ -234,7 +234,7 @@ func (s *Server) ServeTransport(ctx context.Context, t protocol.Transport) error
 		s.acct.sessionsRejected.Add(1)
 		// Best effort: tell a handshake-aware client why it is being
 		// dropped before closing.
-		t.Send(protocol.MarshalHelloAck(protocol.AckBusy))
+		_ = t.Send(protocol.MarshalHelloAck(protocol.AckBusy))
 		return ErrSaturated
 	}
 	defer func() { <-s.slots }()
