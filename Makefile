@@ -4,7 +4,9 @@
 #                  (default and chocodebug-tagged builds)
 #   make test    — tier-1 verify (build + tests, as in ROADMAP.md)
 #   make lint    — chocolint static analyzers only (see internal/lint)
-#   make race    — race-enabled, shuffled tests only
+#   make race    — race-enabled, shuffled tests; reruns the parallel
+#                  execution-layer packages with GOMAXPROCS=4 so the
+#                  par fan-out paths are exercised even on 1-core CI
 #   make debug   — tests with the chocodebug assertion layer compiled in
 #   make bench   — paper-table benchmark generators
 
@@ -28,6 +30,7 @@ vet:
 
 race:
 	$(GO) test -race -shuffle=on ./...
+	GOMAXPROCS=4 $(GO) test -race -shuffle=on ./internal/par ./internal/ring ./internal/core ./internal/apps/distance
 
 debug:
 	$(GO) test -race -shuffle=on -tags chocodebug ./internal/ring ./internal/bfv

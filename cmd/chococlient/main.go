@@ -52,10 +52,13 @@ func main() {
 	network := nn.DemoNetwork()
 	start := time.Now()
 	var (
-		mu        sync.Mutex
-		latencies []time.Duration
-		agg       workerReport
-		failures  int
+		mu             sync.Mutex
+		latencies      []time.Duration
+		agg            workerReport
+		failures       int
+		droppedSamples int
+		droppedUp      int64
+		droppedDown    int64
 	)
 	var wg sync.WaitGroup
 	for w := 0; w < *concurrency; w++ {
@@ -72,8 +75,15 @@ func main() {
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
+				// A failed worker's partial samples and traffic would
+				// silently skew p50/p99 and the MB totals; keep them out
+				// of the aggregate and account for them separately.
 				failures++
+				droppedSamples += len(rep.latencies)
+				droppedUp += rep.upBytes
+				droppedDown += rep.downBytes
 				log.Printf("worker %d: %v", w, err)
+				return
 			}
 			latencies = append(latencies, rep.latencies...)
 			agg.merge(rep)
@@ -91,6 +101,10 @@ func main() {
 
 	fmt.Printf("\n=== aggregate: %d session(s), %d inference(s), %d worker failure(s) ===\n",
 		*concurrency, len(latencies), failures)
+	if failures > 0 {
+		fmt.Printf("excluded from aggregate: %d partial sample(s) and %.1f MB up / %.1f MB down from %d failed worker(s)\n",
+			droppedSamples, float64(droppedUp)/(1<<20), float64(droppedDown)/(1<<20), failures)
+	}
 	fmt.Printf("wall time %v | throughput %.2f inf/s\n",
 		wall.Round(time.Millisecond), float64(len(latencies))/wall.Seconds())
 	if len(latencies) > 0 {

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"choco/internal/nn"
+	"choco/internal/par"
 	"choco/internal/serve"
 )
 
@@ -42,7 +43,12 @@ func main() {
 	ioTimeout := flag.Duration("io-timeout", 30*time.Second, "per-frame read/write deadline during an exchange")
 	keyCache := flag.Int("key-cache", 64, "evaluation-key registry capacity (cached sessions for reconnects)")
 	statsAddr := flag.String("stats-addr", "", "serve accounting over HTTP on this address (/stats JSON, /debug/vars expvar); empty disables")
+	parallelism := flag.Int("parallelism", 0, "width of the process-wide HE worker pool shared by all sessions (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
+
+	if *parallelism > 0 {
+		par.SetParallelism(*parallelism)
+	}
 
 	net0 := nn.DemoNetwork()
 	var seed [32]byte
@@ -66,8 +72,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	log.Printf("chocoserver: serving %s (%d-layer model, %d MACs) on %s, %d worker slot(s)",
-		net0.Name, len(net0.Layers), net0.MACs(), *addr, srv.MaxSessions())
+	log.Printf("chocoserver: serving %s (%d-layer model, %d MACs) on %s, %d worker slot(s), HE parallelism %d",
+		net0.Name, len(net0.Layers), net0.MACs(), *addr, srv.MaxSessions(), par.Parallelism())
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()

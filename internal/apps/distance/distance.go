@@ -14,6 +14,7 @@ import (
 
 	"choco/internal/ckks"
 	"choco/internal/core"
+	"choco/internal/par"
 	"choco/internal/protocol"
 )
 
@@ -266,9 +267,14 @@ func (k *Kernel) pointMajor(q []float64, upload, download hop, stats *core.Stats
 		return nil, err
 	}
 
+	// Server compute per group is transport-free and independent across
+	// groups — fan it out. Downloads stay serial in group order below so
+	// the wire protocol sees the same frame sequence as the serial code.
 	results := make([]float64, k.m)
-	var collapseAcc *ckks.Ciphertext
-	for g := 0; g < groups; g++ {
+	reds := make([]*ckks.Ciphertext, groups)
+	groupOps := make([]core.OpCounts, groups)
+	groupErrs := make([]error, groups)
+	par.For(groups, func(g int) {
 		pVec := make([]float64, slots)
 		for b := 0; b < perCt; b++ {
 			i := g*perCt + b
@@ -279,20 +285,27 @@ func (k *Kernel) pointMajor(q []float64, upload, download hop, stats *core.Stats
 		}
 		diff, err := k.subPlain(srvQ, pVec)
 		if err != nil {
-			return nil, err
+			groupErrs[g] = err
+			return
 		}
 		sq, err := k.ev.MulRelin(diff, diff)
 		if err != nil {
-			return nil, err
+			groupErrs[g] = err
+			return
 		}
-		stats.Server.CtMults++
-		red, err := k.reduceBlocks(sq, k.d, 1, &stats.Server)
-		if err != nil {
-			return nil, err
+		groupOps[g].CtMults++
+		reds[g], groupErrs[g] = k.reduceBlocks(sq, k.d, 1, &groupOps[g])
+	})
+	for g := 0; g < groups; g++ {
+		if groupErrs[g] != nil {
+			return nil, groupErrs[g]
 		}
+		stats.Server.Add(groupOps[g])
+	}
 
-		if !collapse {
-			cli, err := download(red)
+	if !collapse {
+		for g := 0; g < groups; g++ {
+			cli, err := download(reds[g])
 			if err != nil {
 				return nil, err
 			}
@@ -304,61 +317,100 @@ func (k *Kernel) pointMajor(q []float64, upload, download hop, stats *core.Stats
 				}
 				results[i] = decoded[b*k.d]
 			}
+		}
+		return results, nil
+	}
+
+	// Collapse: mask each block's distance slot and rotate it to its
+	// dense output position — extra masking multiplies and rotations on
+	// the server buy a single downloaded ciphertext. The (group, block)
+	// pairs are independent, so they fan out with per-worker partial
+	// accumulators; ciphertext addition is exact modular arithmetic, so
+	// the worker-order fold below is bit-identical to the serial sum.
+	type slot struct{ g, b, i int }
+	var cells []slot
+	for g := 0; g < groups; g++ {
+		for b := 0; b < perCt; b++ {
+			if i := g*perCt + b; i < k.m {
+				cells = append(cells, slot{g, b, i})
+			}
+		}
+	}
+	nw := par.MaxWorkers(len(cells))
+	accs := make([]*ckks.Ciphertext, nw)
+	wOps := make([]core.OpCounts, nw)
+	wErrs := make([]error, nw)
+	par.ForWorker(len(cells), func(w, ci int) {
+		if wErrs[w] != nil {
+			return
+		}
+		c := cells[ci]
+		red := reds[c.g]
+		mask := make([]float64, slots)
+		mask[c.b*k.d] = 1
+		mpt, err := k.ecd.EncodeFloats(mask, red.Level, k.maskScale)
+		if err != nil {
+			wErrs[w] = err
+			return
+		}
+		masked, err := k.ev.MulPlain(red, mpt)
+		if err != nil {
+			wErrs[w] = err
+			return
+		}
+		wOps[w].PlainMults++
+		steps := ((c.b*k.d-c.i)%slots + slots) % slots
+		pos := masked
+		if steps != 0 {
+			pos, err = k.ev.RotateLeft(masked, steps)
+			if err != nil {
+				wErrs[w] = err
+				return
+			}
+			wOps[w].Rotations++
+		}
+		if accs[w] == nil {
+			accs[w] = pos
+		} else {
+			accs[w], err = k.ev.Add(accs[w], pos)
+			if err != nil {
+				wErrs[w] = err
+				return
+			}
+			wOps[w].Adds++
+		}
+	})
+	var collapseAcc *ckks.Ciphertext
+	for w := 0; w < nw; w++ {
+		if wErrs[w] != nil {
+			return nil, wErrs[w]
+		}
+		stats.Server.Add(wOps[w])
+		if accs[w] == nil {
 			continue
 		}
-
-		// Collapse: mask each block's distance slot and rotate it to
-		// its dense output position — extra masking multiplies and
-		// rotations on the server buy a single downloaded ciphertext.
-		for b := 0; b < perCt; b++ {
-			i := g*perCt + b
-			if i >= k.m {
-				break
-			}
-			mask := make([]float64, slots)
-			mask[b*k.d] = 1
-			mpt, err := k.ecd.EncodeFloats(mask, red.Level, k.maskScale)
+		if collapseAcc == nil {
+			collapseAcc = accs[w]
+		} else {
+			var err error
+			collapseAcc, err = k.ev.Add(collapseAcc, accs[w])
 			if err != nil {
 				return nil, err
 			}
-			masked, err := k.ev.MulPlain(red, mpt)
-			if err != nil {
-				return nil, err
-			}
-			stats.Server.PlainMults++
-			steps := ((b*k.d-i)%slots + slots) % slots
-			pos := masked
-			if steps != 0 {
-				pos, err = k.ev.RotateLeft(masked, steps)
-				if err != nil {
-					return nil, err
-				}
-				stats.Server.Rotations++
-			}
-			if collapseAcc == nil {
-				collapseAcc = pos
-			} else {
-				collapseAcc, err = k.ev.Add(collapseAcc, pos)
-				if err != nil {
-					return nil, err
-				}
-				stats.Server.Adds++
-			}
+			stats.Server.Adds++
 		}
 	}
 
-	if collapse {
-		final, err := k.ev.Rescale(collapseAcc)
-		if err != nil {
-			return nil, err
-		}
-		cli, err := download(final)
-		if err != nil {
-			return nil, err
-		}
-		decoded := k.dec.DecryptFloats(cli)
-		copy(results, decoded[:k.m])
+	final, err := k.ev.Rescale(collapseAcc)
+	if err != nil {
+		return nil, err
 	}
+	cli, err := download(final)
+	if err != nil {
+		return nil, err
+	}
+	decoded := k.dec.DecryptFloats(cli)
+	copy(results, decoded[:k.m])
 	return results, nil
 }
 
@@ -366,7 +418,10 @@ func (k *Kernel) pointMajor(q []float64, upload, download hop, stats *core.Stats
 // replicated across point slots); stacked packs all dimensions as
 // M-strided blocks of a single ciphertext and reduces across blocks.
 // Both produce one dense result ciphertext ("dimension-major inputs
-// produce point-major outputs").
+// produce point-major outputs"). The per-dimension loop stays serial:
+// every iteration performs an upload hop, and the wire protocol's frame
+// order (and the client's matching send/recv sequence) must be
+// preserved — only transport-free compute may fan out.
 func (k *Kernel) dimensionMajor(q []float64, upload, download hop, stats *core.Stats, stacked bool) ([]float64, error) {
 	slots := k.ctx.Params.Slots()
 	bm := nextPow2(k.m)

@@ -204,7 +204,7 @@ func (ev *Evaluator) Mul(a, b *Ciphertext) (*Ciphertext, error) {
 	lift := func(p *ring.Poly) *ring.Poly {
 		vals := make([]*big.Int, n)
 		rQ.PolyToBigintCentered(p, vals)
-		out := rE.NewPoly()
+		out := rE.GetPoly()
 		rE.SetCoeffsBigint(vals, out)
 		rE.NTT(out)
 		return out
@@ -212,15 +212,20 @@ func (ev *Evaluator) Mul(a, b *Ciphertext) (*Ciphertext, error) {
 	a0, a1 := lift(a.Value[0]), lift(a.Value[1])
 	b0, b1 := lift(b.Value[0]), lift(b.Value[1])
 
-	t0 := rE.NewPoly()
-	t1 := rE.NewPoly()
-	t2 := rE.NewPoly()
+	t0 := rE.GetPoly()
+	t1 := rE.GetPoly()
+	t2 := rE.GetPoly()
 	rE.MulCoeffs(a0, b0, t0)
 	rE.MulCoeffs(a1, b1, t2)
 	rE.MulCoeffs(a0, b1, t1)
-	tmp := rE.NewPoly()
+	tmp := rE.GetPoly()
 	rE.MulCoeffs(a1, b0, tmp)
 	rE.Add(t1, tmp, t1)
+	rE.PutPoly(tmp)
+	rE.PutPoly(a0)
+	rE.PutPoly(a1)
+	rE.PutPoly(b0)
+	rE.PutPoly(b1)
 
 	// Scale each tensor component by t/Q with rounding, then reduce
 	// back into the data basis.
@@ -237,6 +242,7 @@ func (ev *Evaluator) Mul(a, b *Ciphertext) (*Ciphertext, error) {
 		}
 		out.Value[i] = rQ.NewPoly()
 		rQ.SetCoeffsBigint(vals, out.Value[i])
+		rE.PutPoly(tp)
 	}
 	return out, nil
 }
@@ -258,6 +264,8 @@ func (ev *Evaluator) Relinearize(ct *Ciphertext) (*Ciphertext, error) {
 	out := &Ciphertext{Value: []*ring.Poly{r.NewPoly(), r.NewPoly()}}
 	r.Add(ct.Value[0], d0, out.Value[0])
 	r.Add(ct.Value[1], d1, out.Value[1])
+	r.PutPoly(d0)
+	r.PutPoly(d1)
 	return out, nil
 }
 
@@ -300,13 +308,16 @@ func (ev *Evaluator) applyGalois(ct *Ciphertext, g uint64) (*Ciphertext, error) 
 		return nil, fmt.Errorf("bfv: missing Galois key for element %d", g)
 	}
 	r := ev.ctx.RingQ
-	c0 := r.NewPoly()
-	c1 := r.NewPoly()
+	c0 := r.GetPoly()
+	c1 := r.GetPoly()
 	r.Automorphism(ct.Value[0], g, c0)
 	r.Automorphism(ct.Value[1], g, c1)
 	d0, d1 := ev.keySwitch(c1, gk.Key)
 	out := &Ciphertext{Value: []*ring.Poly{r.NewPoly(), d1}}
 	r.Add(c0, d0, out.Value[0])
+	r.PutPoly(c0)
+	r.PutPoly(c1)
+	r.PutPoly(d0)
 	return out, nil
 }
 
@@ -398,12 +409,12 @@ func (ev *Evaluator) keySwitch(d *ring.Poly, swk *SwitchingKey) (*ring.Poly, *ri
 	rQ := ctx.RingQ
 	nData := len(rQ.Moduli)
 
-	acc0 := rQP.NewPoly()
-	acc1 := rQP.NewPoly()
+	acc0 := rQP.GetPoly()
+	acc1 := rQP.GetPoly()
 	acc0.DeclareNTT()
 	acc1.DeclareNTT()
 
-	di := rQP.NewPoly()
+	di := rQP.GetPoly()
 	for i := 0; i < nData; i++ {
 		// d_i: the i-th residue row treated as an integer vector in
 		// [0, q_i), embedded into every residue of QP.
@@ -424,11 +435,15 @@ func (ev *Evaluator) keySwitch(d *ring.Poly, swk *SwitchingKey) (*ring.Poly, *ri
 		rQP.MulCoeffsAdd(di, swk.A[i], acc1)
 		di.DeclareCoeff() // reuse buffer next iteration
 	}
+	rQP.PutPoly(di)
 	acc0.DeclareNTT()
 	acc1.DeclareNTT()
 	rQP.INTT(acc0)
 	rQP.INTT(acc1)
-	return ev.modDownByP(acc0), ev.modDownByP(acc1)
+	d0, d1 := ev.modDownByP(acc0), ev.modDownByP(acc1)
+	rQP.PutPoly(acc0)
+	rQP.PutPoly(acc1)
+	return d0, d1
 }
 
 // modDownByP maps x mod QP to round(x/P) mod Q (coefficient domain).
@@ -440,7 +455,7 @@ func (ev *Evaluator) modDownByP(x *ring.Poly) *ring.Poly {
 	p := pMod.Value
 	halfP := p >> 1
 
-	out := rQ.NewPoly()
+	out := rQ.GetPoly()
 	xp := x.Coeffs[nData]
 	for i, m := range rQ.Moduli {
 		pi := ctx.pInvQ[i]

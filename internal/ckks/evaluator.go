@@ -157,7 +157,8 @@ func (ev *Evaluator) Mul(a, b *Ciphertext) (*Ciphertext, error) {
 	}
 	r := ev.ctx.RingAtLevel(a.Level)
 	ntt := func(p *ring.Poly) *ring.Poly {
-		q := r.CopyPoly(p)
+		q := r.GetPoly()
+		r.Copy(q, p)
 		r.NTT(q)
 		return q
 	}
@@ -167,7 +168,7 @@ func (ev *Evaluator) Mul(a, b *Ciphertext) (*Ciphertext, error) {
 	t0 := r.NewPoly()
 	t1 := r.NewPoly()
 	t2 := r.NewPoly()
-	tmp := r.NewPoly()
+	tmp := r.GetPoly()
 	r.MulCoeffs(a0, b0, t0)
 	r.MulCoeffs(a0, b1, t1)
 	r.MulCoeffs(a1, b0, tmp)
@@ -176,6 +177,11 @@ func (ev *Evaluator) Mul(a, b *Ciphertext) (*Ciphertext, error) {
 	r.INTT(t0)
 	r.INTT(t1)
 	r.INTT(t2)
+	r.PutPoly(tmp)
+	r.PutPoly(a0)
+	r.PutPoly(a1)
+	r.PutPoly(b0)
+	r.PutPoly(b1)
 	return &Ciphertext{Value: []*ring.Poly{t0, t1, t2}, Level: a.Level, Scale: a.Scale * b.Scale}, nil
 }
 
@@ -196,6 +202,8 @@ func (ev *Evaluator) Relinearize(ct *Ciphertext) (*Ciphertext, error) {
 	}
 	r.Add(ct.Value[0], d0, out.Value[0])
 	r.Add(ct.Value[1], d1, out.Value[1])
+	r.PutPoly(d0)
+	r.PutPoly(d1)
 	return out, nil
 }
 
@@ -288,8 +296,8 @@ func (ev *Evaluator) applyGalois(ct *Ciphertext, g uint64) (*Ciphertext, error) 
 		return nil, fmt.Errorf("ckks: missing Galois key for element %d", g)
 	}
 	r := ev.ctx.RingAtLevel(ct.Level)
-	c0 := r.NewPoly()
-	c1 := r.NewPoly()
+	c0 := r.GetPoly()
+	c1 := r.GetPoly()
 	r.Automorphism(ct.Value[0], g, c0)
 	r.Automorphism(ct.Value[1], g, c1)
 	d0, d1 := ev.keySwitch(c1, gk.Key, ct.Level)
@@ -299,6 +307,9 @@ func (ev *Evaluator) applyGalois(ct *Ciphertext, g uint64) (*Ciphertext, error) 
 		Scale: ct.Scale,
 	}
 	r.Add(c0, d0, out.Value[0])
+	r.PutPoly(c0)
+	r.PutPoly(c1)
+	r.PutPoly(d0)
 	return out, nil
 }
 
@@ -320,12 +331,12 @@ func (ev *Evaluator) keySwitch(d *ring.Poly, swk *SwitchingKey, level int) (*rin
 		return &ring.Poly{Coeffs: rows, IsNTT: p.IsNTT}
 	}
 
-	acc0 := rQlP.NewPoly()
-	acc1 := rQlP.NewPoly()
+	acc0 := rQlP.GetPoly()
+	acc1 := rQlP.GetPoly()
 	acc0.DeclareNTT()
 	acc1.DeclareNTT()
 
-	di := rQlP.NewPoly()
+	di := rQlP.GetPoly()
 	for i := 0; i <= level; i++ {
 		src := d.Coeffs[i]
 		for j, m := range rQlP.Moduli {
@@ -343,6 +354,7 @@ func (ev *Evaluator) keySwitch(d *ring.Poly, swk *SwitchingKey, level int) (*rin
 		rQlP.MulCoeffsAdd(di, project(swk.B[i]), acc0)
 		rQlP.MulCoeffsAdd(di, project(swk.A[i]), acc1)
 	}
+	rQlP.PutPoly(di)
 	rQlP.INTT(acc0)
 	rQlP.INTT(acc1)
 
@@ -350,7 +362,7 @@ func (ev *Evaluator) keySwitch(d *ring.Poly, swk *SwitchingKey, level int) (*rin
 	modDown := func(x *ring.Poly) *ring.Poly {
 		p := rQlP.Moduli[level+1].Value
 		halfP := p >> 1
-		out := rQl.NewPoly()
+		out := rQl.GetPoly()
 		xp := x.Coeffs[level+1]
 		for i, m := range rQl.Moduli {
 			pi := ctx.pInvQ[i]
@@ -369,5 +381,8 @@ func (ev *Evaluator) keySwitch(d *ring.Poly, swk *SwitchingKey, level int) (*rin
 		}
 		return out
 	}
-	return modDown(acc0), modDown(acc1)
+	d0, d1 := modDown(acc0), modDown(acc1)
+	rQlP.PutPoly(acc0)
+	rQlP.PutPoly(acc1)
+	return d0, d1
 }

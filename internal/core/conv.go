@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"choco/internal/bfv"
+	"choco/internal/par"
 	"choco/internal/rotred"
 )
 
@@ -178,29 +179,48 @@ func (c *Conv2D) Apply(ev *bfv.Evaluator, ecd *bfv.Encoder, ct *bfv.Ciphertext, 
 	offsets := c.kernelOffsets()
 	l := c.Layout
 
-	// Shared rotations: one per (block shift d, kernel offset k).
+	// Shared rotations: one per distinct rotation amount. Block-shift ×
+	// kernel-offset pairs whose steps alias modulo the row size share a
+	// single rotated ciphertext, and the independent rotations fan out
+	// across the worker pool.
 	type rotKey struct{ d, k int }
-	rots := make(map[rotKey]*bfv.Ciphertext)
+	stepOf := make(map[rotKey]int)
+	seen := make(map[int]bool)
+	var uniq []int
 	for d := 0; d < c.Cb; d++ {
 		for ki, delta := range offsets {
 			steps := d*l.Stride + delta
 			steps = ((steps % c.rowSize) + c.rowSize) % c.rowSize
-			if steps == 0 {
-				rots[rotKey{d, ki}] = ct
-				continue
+			stepOf[rotKey{d, ki}] = steps
+			if steps != 0 && !seen[steps] {
+				seen[steps] = true
+				uniq = append(uniq, steps)
 			}
-			r, err := ev.RotateRows(ct, steps)
-			if err != nil {
-				return nil, ops, err
-			}
-			ops.Rotations++
-			rots[rotKey{d, ki}] = r
 		}
 	}
+	rotCts := make([]*bfv.Ciphertext, len(uniq))
+	rotErrs := make([]error, len(uniq))
+	par.For(len(uniq), func(i int) {
+		rotCts[i], rotErrs[i] = ev.RotateRows(ct, uniq[i])
+	})
+	rotByStep := make(map[int]*bfv.Ciphertext, len(uniq)+1)
+	rotByStep[0] = ct
+	for i, s := range uniq {
+		if rotErrs[i] != nil {
+			return nil, ops, rotErrs[i]
+		}
+		ops.Rotations++
+		rotByStep[s] = rotCts[i]
+	}
 
+	// Output groups are independent: each accumulates its own diagonal
+	// terms in the same (d, ki) order as the serial loop, so per-group
+	// results are bit-identical regardless of how groups are scheduled.
 	groups := c.Groups()
 	outs := make([]*bfv.Ciphertext, groups)
-	for g := 0; g < groups; g++ {
+	groupOps := make([]OpCounts, groups)
+	groupErrs := make([]error, groups)
+	par.For(groups, func(g int) {
 		var acc *bfv.Ciphertext
 		for d := 0; d < c.Cb; d++ {
 			for ki := range offsets {
@@ -210,22 +230,30 @@ func (c *Conv2D) Apply(ev *bfv.Evaluator, ecd *bfv.Encoder, ct *bfv.Ciphertext, 
 				}
 				pt, err := ecd.EncodeInts(diag)
 				if err != nil {
-					return nil, ops, err
+					groupErrs[g] = err
+					return
 				}
-				term := ev.MulPlain(rots[rotKey{d, ki}], ev.PrepareMul(pt))
-				ops.PlainMults++
+				term := ev.MulPlain(rotByStep[stepOf[rotKey{d, ki}]], ev.PrepareMul(pt))
+				groupOps[g].PlainMults++
 				if acc == nil {
 					acc = term
 				} else {
 					acc = ev.Add(acc, term)
-					ops.Adds++
+					groupOps[g].Adds++
 				}
 			}
 		}
 		if acc == nil {
-			return nil, ops, fmt.Errorf("core: group %d has no contributing weights", g)
+			groupErrs[g] = fmt.Errorf("core: group %d has no contributing weights", g)
+			return
 		}
 		outs[g] = acc
+	})
+	for g := 0; g < groups; g++ {
+		if groupErrs[g] != nil {
+			return nil, ops, groupErrs[g]
+		}
+		ops.Add(groupOps[g])
 	}
 	return outs, ops, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"choco/internal/bfv"
+	"choco/internal/par"
 )
 
 // FC is an encrypted fully-connected layer evaluated with the
@@ -142,19 +143,29 @@ func (f *FC) Apply(ev *bfv.Evaluator, ecd *bfv.Encoder, ct *bfv.Ciphertext, slot
 		return nil, ops, fmt.Errorf("core: Apply on a spec-only FC layer (no weights)")
 	}
 
+	// Baby rotations are independent of one another; fan them out.
 	babies := make([]*bfv.Ciphertext, f.B)
 	babies[0] = ct
+	babyErrs := make([]error, f.B)
+	par.For(f.B-1, func(k int) {
+		j := k + 1
+		babies[j], babyErrs[j] = ev.RotateRows(ct, j)
+	})
 	for j := 1; j < f.B; j++ {
-		r, err := ev.RotateRows(ct, j)
-		if err != nil {
-			return nil, ops, err
+		if babyErrs[j] != nil {
+			return nil, ops, babyErrs[j]
 		}
 		ops.Rotations++
-		babies[j] = r
 	}
 
-	var total *bfv.Ciphertext
-	for i := 0; i < f.G; i++ {
+	// Giant steps are independent too: each accumulates its own inner
+	// sum in the serial j order and applies its own outer rotation; the
+	// final fold over i runs serially in index order, so the result is
+	// bit-identical to the serial schedule.
+	inners := make([]*bfv.Ciphertext, f.G)
+	innerOps := make([]OpCounts, f.G)
+	innerErrs := make([]error, f.G)
+	par.For(f.G, func(i int) {
 		var inner *bfv.Ciphertext
 		for j := 0; j < f.B; j++ {
 			d := i*f.B + j
@@ -167,32 +178,46 @@ func (f *FC) Apply(ev *bfv.Evaluator, ecd *bfv.Encoder, ct *bfv.Ciphertext, slot
 			shifted := f.rotatePlain(diag, -i*f.B)
 			pt, err := ecd.EncodeInts(shifted)
 			if err != nil {
-				return nil, ops, err
+				innerErrs[i] = err
+				return
 			}
 			term := ev.MulPlain(babies[j], ev.PrepareMul(pt))
-			ops.PlainMults++
+			innerOps[i].PlainMults++
 			if inner == nil {
 				inner = term
 			} else {
 				inner = ev.Add(inner, term)
-				ops.Adds++
+				innerOps[i].Adds++
 			}
 		}
 		if inner == nil {
-			continue
+			return
 		}
 		if i > 0 {
 			r, err := ev.RotateRows(inner, i*f.B)
 			if err != nil {
-				return nil, ops, err
+				innerErrs[i] = err
+				return
 			}
-			ops.Rotations++
+			innerOps[i].Rotations++
 			inner = r
 		}
+		inners[i] = inner
+	})
+
+	var total *bfv.Ciphertext
+	for i := 0; i < f.G; i++ {
+		if innerErrs[i] != nil {
+			return nil, ops, innerErrs[i]
+		}
+		ops.Add(innerOps[i])
+		if inners[i] == nil {
+			continue
+		}
 		if total == nil {
-			total = inner
+			total = inners[i]
 		} else {
-			total = ev.Add(total, inner)
+			total = ev.Add(total, inners[i])
 			ops.Adds++
 		}
 	}
@@ -212,31 +237,60 @@ func (f *FC) ApplyNaive(ev *bfv.Evaluator, ecd *bfv.Encoder, ct *bfv.Ciphertext,
 	if f.Weights == nil {
 		return nil, ops, fmt.Errorf("core: Apply on a spec-only FC layer (no weights)")
 	}
-	var total *bfv.Ciphertext
-	for d := 0; d < f.P; d++ {
+	// Each worker accumulates a private partial sum; the partials are
+	// folded in worker order afterwards. Ciphertext addition is exact
+	// residue-wise modular arithmetic — associative and commutative — so
+	// any grouping of the same terms produces bit-identical polynomials,
+	// and the total Add count stays (terms - 1) regardless of partition.
+	nw := par.MaxWorkers(f.P)
+	accs := make([]*bfv.Ciphertext, nw)
+	wOps := make([]OpCounts, nw)
+	wErrs := make([]error, nw)
+	par.ForWorker(f.P, func(w, d int) {
+		if wErrs[w] != nil {
+			return
+		}
 		diag := f.diag(d, slots)
 		if diag == nil {
-			continue
+			return
 		}
 		x := ct
 		if d != 0 {
 			r, err := ev.RotateRows(ct, d)
 			if err != nil {
-				return nil, ops, err
+				wErrs[w] = err
+				return
 			}
-			ops.Rotations++
+			wOps[w].Rotations++
 			x = r
 		}
 		pt, err := ecd.EncodeInts(diag)
 		if err != nil {
-			return nil, ops, err
+			wErrs[w] = err
+			return
 		}
 		term := ev.MulPlain(x, ev.PrepareMul(pt))
-		ops.PlainMults++
-		if total == nil {
-			total = term
+		wOps[w].PlainMults++
+		if accs[w] == nil {
+			accs[w] = term
 		} else {
-			total = ev.Add(total, term)
+			accs[w] = ev.Add(accs[w], term)
+			wOps[w].Adds++
+		}
+	})
+	var total *bfv.Ciphertext
+	for w := 0; w < nw; w++ {
+		if wErrs[w] != nil {
+			return nil, ops, wErrs[w]
+		}
+		ops.Add(wOps[w])
+		if accs[w] == nil {
+			continue
+		}
+		if total == nil {
+			total = accs[w]
+		} else {
+			total = ev.Add(total, accs[w])
 			ops.Adds++
 		}
 	}

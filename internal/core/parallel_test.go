@@ -1,0 +1,157 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"choco/internal/bfv"
+	"choco/internal/par"
+	"choco/internal/protocol"
+	"choco/internal/ring"
+	"choco/internal/sampling"
+)
+
+// TestParallelPipelineDeterminism guards the per-worker-accumulator
+// reduction order: an encrypt→conv→rotate→decrypt round trip must
+// produce byte-identical ciphertexts and identical noise-budget
+// readings whether the kernels run serially or fanned out across the
+// worker pool (with the ring-level thresholds forced low so the
+// residue fan-out is exercised too).
+func TestParallelPipelineDeterminism(t *testing.T) {
+	spec := ConvSpec{InH: 8, InW: 8, InC: 2, KH: 3, KW: 3, OutC: 3}
+	src := sampling.NewSource([32]byte{9}, "par-determinism")
+	weights := synthConvWeights(src, spec.OutC, spec.InC, 9, 3)
+	image := synthImage(src, spec.InC, spec.InH*spec.InW, 7)
+
+	ctxProbe, err := bfv.NewContext(bfv.PresetTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowSize := ctxProbe.Params.N() / 2
+	conv, err := NewConv2D(spec, weights, rowSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rotStep = 5
+	steps := append(conv.RotationSteps(), rotStep)
+	k := newKit(t, steps)
+
+	packed, err := conv.PackInput(image, k.ctx.Params.Slots())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Encrypt once; the server-side pipeline below is what must be
+	// schedule-independent.
+	ct, err := k.enc.EncryptInts(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pipeline := func() ([][]byte, []int, [][]int64) {
+		outs, _, err := conv.Apply(k.ev, k.ecd, ct, k.ctx.Params.Slots())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var blobs [][]byte
+		var budgets []int
+		var plains [][]int64
+		for _, o := range outs {
+			r, err := k.ev.RotateRows(o, rotStep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blobs = append(blobs, protocol.MarshalBFV(r))
+			budgets = append(budgets, bfv.NoiseBudget(k.ctx, k.sk, r))
+			plains = append(plains, k.ecd.DecodeInts(k.dec.Decrypt(r)))
+		}
+		return blobs, budgets, plains
+	}
+
+	oldP := par.Parallelism()
+	t.Cleanup(func() { par.SetParallelism(oldP) })
+
+	par.SetParallelism(1)
+	serialBlobs, serialBudgets, serialPlains := pipeline()
+
+	par.SetParallelism(8)
+	ring.SetParallelThresholds(1, 1, 1)
+	t.Cleanup(func() { ring.SetParallelThresholds(8<<10, 16<<10, 32<<10) })
+	parBlobs, parBudgets, parPlains := pipeline()
+
+	if len(serialBlobs) != len(parBlobs) {
+		t.Fatalf("group count changed: %d vs %d", len(serialBlobs), len(parBlobs))
+	}
+	for g := range serialBlobs {
+		if !bytes.Equal(serialBlobs[g], parBlobs[g]) {
+			t.Errorf("group %d: parallel ciphertext is not byte-identical to serial", g)
+		}
+		if serialBudgets[g] != parBudgets[g] {
+			t.Errorf("group %d: noise budget %d (serial) vs %d (parallel)", g, serialBudgets[g], parBudgets[g])
+		}
+		for i := range serialPlains[g] {
+			if serialPlains[g][i] != parPlains[g][i] {
+				t.Errorf("group %d slot %d: decrypted value diverged", g, i)
+				break
+			}
+		}
+	}
+}
+
+// TestFCApplyNaiveParallelDeterminism pins the per-worker partial-sum
+// fold in ApplyNaive: modular ciphertext addition is exact, so any
+// partition of the diagonal terms must reproduce the serial result
+// bit-for-bit, including the operation counts.
+func TestFCApplyNaiveParallelDeterminism(t *testing.T) {
+	in, out := 32, 24
+	src := sampling.NewSource([32]byte{10}, "fc-par")
+	weights := make([][]int64, out)
+	for o := range weights {
+		weights[o] = make([]int64, in)
+		for i := range weights[o] {
+			weights[o][i] = int64(src.Intn(15)) - 7
+		}
+	}
+	ctxProbe, err := bfv.NewContext(bfv.PresetTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := NewFC(in, out, weights, ctxProbe.Params.N()/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := newKit(t, fc.NaiveRotationSteps())
+
+	x := make([]int64, in)
+	for i := range x {
+		x[i] = int64(src.Intn(9)) - 4
+	}
+	packed, err := fc.PackInput(x, k.ctx.Params.Slots())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := k.enc.EncryptInts(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	oldP := par.Parallelism()
+	t.Cleanup(func() { par.SetParallelism(oldP) })
+
+	par.SetParallelism(1)
+	serialCt, serialOps, err := fc.ApplyNaive(k.ev, k.ecd, ct, k.ctx.Params.Slots())
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.SetParallelism(4)
+	parCt, parOps, err := fc.ApplyNaive(k.ev, k.ecd, ct, k.ctx.Params.Slots())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(protocol.MarshalBFV(serialCt), protocol.MarshalBFV(parCt)) {
+		t.Error("ApplyNaive parallel result is not byte-identical to serial")
+	}
+	if serialOps != parOps {
+		t.Errorf("op counts diverged: serial %+v parallel %+v", serialOps, parOps)
+	}
+}

@@ -3,7 +3,11 @@
 // flagged; snapshot-then-release and control methods stay silent.
 package serve
 
-import "sync"
+import (
+	"sync"
+
+	"choco/internal/par"
+)
 
 type conn interface {
 	Send([]byte) error
@@ -55,4 +59,15 @@ func (s *server) interruptUnderLock() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.c.Interrupt()
+}
+
+// A par.For body that does pure computation performs no wire I/O, so
+// fanning out compute while holding a lock stays silent even though the
+// loop body is a closure created in the locked region.
+func (s *server) parForUnderLock(sums []int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	par.For(len(sums), func(i int) {
+		sums[i] *= 2
+	})
 }

@@ -13,9 +13,57 @@ import (
 	"fmt"
 	"math/big"
 	"math/bits"
+	"sync"
 
 	"choco/internal/nt"
+	"choco/internal/par"
 )
+
+// Residue-level parallelism thresholds: an operation fans its residue
+// rows out across the par worker pool only when level × N (the total
+// coefficient count it touches) reaches the threshold for its cost
+// class. Measured on amd64: one pool handoff costs ~1-2 µs per helper,
+// an NTT row at N=4096 runs ~150 µs while an Add row runs ~4 µs — so
+// transforms pay off from ~8k coefficients, cheap coefficient-wise
+// loops only from ~32k. Override with SetParallelThresholds for
+// benchmarking or to force the parallel paths in tests.
+var (
+	parMinTransform  = 8 << 10  // NTT, INTT, Automorphism
+	parMinCoeffwise  = 16 << 10 // MulCoeffs, MulCoeffsAdd, MulScalar(Big)
+	parMinElementary = 32 << 10 // Add, Sub, Neg
+)
+
+// SetParallelThresholds overrides the level×N coefficient counts above
+// which ring operations fan out across the par pool: transform covers
+// NTT/INTT/Automorphism, mul the coefficient-wise products, elementary
+// the additive ops. Values <= 0 leave the corresponding threshold
+// unchanged. Intended for benchmarks and tests (a tiny test ring never
+// crosses the production thresholds).
+func SetParallelThresholds(transform, mul, elementary int) {
+	if transform > 0 {
+		parMinTransform = transform
+	}
+	if mul > 0 {
+		parMinCoeffwise = mul
+	}
+	if elementary > 0 {
+		parMinElementary = elementary
+	}
+}
+
+// parRows runs fn(i) for each residue row i in [0, rows), fanning out
+// across the worker pool when the total coefficient count clears the
+// threshold. Rows are fully independent in every RNS operation, so
+// parallel and serial execution are bit-identical by construction.
+func (r *Ring) parRows(rows, threshold int, fn func(i int)) {
+	if rows > 1 && rows*r.N >= threshold {
+		par.For(rows, fn)
+		return
+	}
+	for i := 0; i < rows; i++ {
+		fn(i)
+	}
+}
 
 // Ring describes R_q for a fixed degree N and RNS modulus chain.
 type Ring struct {
@@ -30,6 +78,11 @@ type Ring struct {
 	halfQ    *big.Int   // floor(Q/2), for centered representatives
 	qiHat    []*big.Int // Q / q_i
 	qiHatInv []uint64   // (Q/q_i)^-1 mod q_i
+
+	// pool recycles scratch polynomials of this ring's shape; see
+	// GetPoly/PutPoly. Per-ring (not global) because a Poly's shape is
+	// the ring's level × N.
+	pool sync.Pool
 }
 
 // nttTable holds per-modulus NTT precomputations.
@@ -192,6 +245,44 @@ func (r *Ring) NewPoly() *Poly {
 	return &Poly{Coeffs: coeffs}
 }
 
+// GetPoly returns a zeroed coefficient-domain polynomial from the
+// ring's scratch pool, falling back to a fresh allocation when the pool
+// is empty. It exists because evaluator hot paths (key switching,
+// rotation, tensor products) otherwise allocate multi-megabyte
+// temporaries per call, and allocation pressure caps the speedup of the
+// parallel execution layer. A poly obtained here and never returned is
+// simply garbage-collected.
+func (r *Ring) GetPoly() *Poly {
+	if v := r.pool.Get(); v != nil {
+		p := v.(*Poly)
+		for i := range p.Coeffs {
+			row := p.Coeffs[i]
+			for j := range row {
+				row[j] = 0
+			}
+		}
+		p.IsNTT = false
+		return p
+	}
+	return r.NewPoly()
+}
+
+// PutPoly recycles a scratch polynomial obtained from GetPoly. The
+// caller must not retain any reference to p afterwards. Polys whose
+// shape does not match the ring (e.g. built against a truncated
+// AtLevel ring) are dropped rather than poisoning the pool.
+func (r *Ring) PutPoly(p *Poly) {
+	if p == nil || len(p.Coeffs) != len(r.Moduli) {
+		return
+	}
+	for i := range p.Coeffs {
+		if len(p.Coeffs[i]) != r.N {
+			return
+		}
+	}
+	r.pool.Put(p)
+}
+
 // CopyPoly returns a deep copy of p.
 func (r *Ring) CopyPoly(p *Poly) *Poly {
 	q := r.NewPoly()
@@ -245,9 +336,9 @@ func (r *Ring) NTT(p *Poly) {
 	if p.IsNTT {
 		panic("ring: NTT on a polynomial already in NTT domain")
 	}
-	for i, tbl := range r.tables[:len(p.Coeffs)] {
-		nttForward(tbl, p.Coeffs[i])
-	}
+	r.parRows(len(p.Coeffs), parMinTransform, func(i int) {
+		nttForward(r.tables[i], p.Coeffs[i])
+	})
 	p.IsNTT = true
 }
 
@@ -259,9 +350,9 @@ func (r *Ring) INTT(p *Poly) {
 	if !p.IsNTT {
 		panic("ring: INTT on a polynomial already in coefficient domain")
 	}
-	for i, tbl := range r.tables[:len(p.Coeffs)] {
-		nttInverse(tbl, p.Coeffs[i])
-	}
+	r.parRows(len(p.Coeffs), parMinTransform, func(i int) {
+		nttInverse(r.tables[i], p.Coeffs[i])
+	})
 	p.IsNTT = false
 }
 
@@ -320,13 +411,13 @@ func (r *Ring) Add(a, b, out *Poly) {
 		r.debugCheck("Add", a, b)
 	}
 	r.requireSameDomain(a, b)
-	for i := range out.Coeffs {
+	r.parRows(len(out.Coeffs), parMinElementary, func(i int) {
 		m := r.Moduli[i]
 		ra, rb, ro := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
 		for j := range ro {
 			ro[j] = m.Add(ra[j], rb[j])
 		}
-	}
+	})
 	out.IsNTT = a.IsNTT
 }
 
@@ -336,13 +427,13 @@ func (r *Ring) Sub(a, b, out *Poly) {
 		r.debugCheck("Sub", a, b)
 	}
 	r.requireSameDomain(a, b)
-	for i := range out.Coeffs {
+	r.parRows(len(out.Coeffs), parMinElementary, func(i int) {
 		m := r.Moduli[i]
 		ra, rb, ro := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
 		for j := range ro {
 			ro[j] = m.Sub(ra[j], rb[j])
 		}
-	}
+	})
 	out.IsNTT = a.IsNTT
 }
 
@@ -351,13 +442,13 @@ func (r *Ring) Neg(a, out *Poly) {
 	if debugEnabled {
 		r.debugCheck("Neg", a)
 	}
-	for i := range out.Coeffs {
+	r.parRows(len(out.Coeffs), parMinElementary, func(i int) {
 		m := r.Moduli[i]
 		ra, ro := a.Coeffs[i], out.Coeffs[i]
 		for j := range ro {
 			ro[j] = m.Neg(ra[j])
 		}
-	}
+	})
 	out.IsNTT = a.IsNTT
 }
 
@@ -371,13 +462,13 @@ func (r *Ring) MulCoeffs(a, b, out *Poly) {
 	if debugEnabled {
 		r.debugCheck("MulCoeffs", a, b)
 	}
-	for i := range out.Coeffs {
+	r.parRows(len(out.Coeffs), parMinCoeffwise, func(i int) {
 		m := r.Moduli[i]
 		ra, rb, ro := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
 		for j := range ro {
 			ro[j] = m.Mul(ra[j], rb[j])
 		}
-	}
+	})
 	out.IsNTT = true
 }
 
@@ -389,13 +480,13 @@ func (r *Ring) MulCoeffsAdd(a, b, out *Poly) {
 	if debugEnabled {
 		r.debugCheck("MulCoeffsAdd", a, b, out)
 	}
-	for i := range out.Coeffs {
+	r.parRows(len(out.Coeffs), parMinCoeffwise, func(i int) {
 		m := r.Moduli[i]
 		ra, rb, ro := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
 		for j := range ro {
 			ro[j] = m.Add(ro[j], m.Mul(ra[j], rb[j]))
 		}
-	}
+	})
 }
 
 // MulScalar sets out = a * c for a scalar c (already reduced per
@@ -404,7 +495,7 @@ func (r *Ring) MulScalar(a *Poly, c uint64, out *Poly) {
 	if debugEnabled {
 		r.debugCheck("MulScalar", a)
 	}
-	for i := range out.Coeffs {
+	r.parRows(len(out.Coeffs), parMinCoeffwise, func(i int) {
 		m := r.Moduli[i]
 		cc := m.Reduce(c)
 		cs := m.ShoupPrecomp(cc)
@@ -412,7 +503,7 @@ func (r *Ring) MulScalar(a *Poly, c uint64, out *Poly) {
 		for j := range ro {
 			ro[j] = m.MulShoup(ra[j], cc, cs)
 		}
-	}
+	})
 	out.IsNTT = a.IsNTT
 }
 
@@ -421,16 +512,15 @@ func (r *Ring) MulScalarBig(a *Poly, c *big.Int, out *Poly) {
 	if debugEnabled {
 		r.debugCheck("MulScalarBig", a)
 	}
-	tmp := new(big.Int)
-	for i := range out.Coeffs {
+	r.parRows(len(out.Coeffs), parMinCoeffwise, func(i int) {
 		m := r.Moduli[i]
-		cc := tmp.Mod(c, new(big.Int).SetUint64(m.Value)).Uint64()
+		cc := new(big.Int).Mod(c, new(big.Int).SetUint64(m.Value)).Uint64()
 		cs := m.ShoupPrecomp(cc)
 		ra, ro := a.Coeffs[i], out.Coeffs[i]
 		for j := range ro {
 			ro[j] = m.MulShoup(ra[j], cc, cs)
 		}
-	}
+	})
 	out.IsNTT = a.IsNTT
 }
 
@@ -482,7 +572,7 @@ func (r *Ring) Automorphism(a *Poly, g uint64, out *Poly) {
 	}
 	n := uint64(r.N)
 	mask := 2*n - 1
-	for lvl := range out.Coeffs {
+	r.parRows(len(out.Coeffs), parMinTransform, func(lvl int) {
 		m := r.Moduli[lvl]
 		ra, ro := a.Coeffs[lvl], out.Coeffs[lvl]
 		idx := uint64(0)
@@ -496,7 +586,7 @@ func (r *Ring) Automorphism(a *Poly, g uint64, out *Poly) {
 			}
 			idx = (idx + g) & mask
 		}
-	}
+	})
 	out.IsNTT = false
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"choco/internal/core"
+	"choco/internal/par"
 )
 
 // accounting is the server-wide counter set. Everything is atomic so
@@ -64,7 +65,13 @@ func (h *histogram) observe(d time.Duration) {
 			break
 		}
 	}
-	i := bits.Len64(uint64(us))
+	// Bucket index is ⌈log₂ µs⌉ = bits.Len64(us-1) for us ≥ 1; 0 and 1 µs
+	// both land in bucket 0 (2^0 = 1 µs upper bound). bits.Len64(us)
+	// would file the exact powers of two one bucket too high.
+	var i int
+	if us > 1 {
+		i = bits.Len64(uint64(us - 1))
+	}
 	if i >= len(h.buckets) {
 		i = len(h.buckets) - 1
 	}
@@ -134,6 +141,11 @@ type Stats struct {
 	BytesUp   int64
 	BytesDown int64
 
+	// Parallelism is the width of the process-wide par worker pool the
+	// HE hot paths fan out over (shared by all sessions; see
+	// internal/par).
+	Parallelism int
+
 	ServerOps core.OpCounts
 
 	SetupLatency     LatencySummary // hello + key install (or cache hit)
@@ -153,6 +165,7 @@ func (s *Server) Stats() Stats {
 		KeyCacheEntries:  s.reg.len(),
 		BytesUp:          a.bytesUp.Load(),
 		BytesDown:        a.bytesDown.Load(),
+		Parallelism:      par.Parallelism(),
 		ServerOps: core.OpCounts{
 			Rotations:  int(a.rotations.Load()),
 			PlainMults: int(a.plainMults.Load()),

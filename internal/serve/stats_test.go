@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketBoundaries pins the observe/quantile round trip at
+// the log₂ bucket edges: bucket i holds observations with ⌈log₂ µs⌉ = i,
+// so its quantile upper bound 2^i must cover exactly the values filed
+// into it. A 1 µs observation is ⌈log₂ 1⌉ = 0 and must come back as
+// 1 µs, not 2 µs.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		us     int64
+		bucket int
+		want   time.Duration
+	}{
+		{0, 0, 0},                          // clamp; max is 0 so quantile reads 0
+		{1, 0, 1 * time.Microsecond},       // exact power: ⌈log₂ 1⌉ = 0
+		{2, 1, 2 * time.Microsecond},       // exact power: ⌈log₂ 2⌉ = 1
+		{3, 2, 4 * time.Microsecond},       // ⌈log₂ 3⌉ = 2, upper bound 4 clamped to max 3
+		{1 << 47, 47, time.Duration(1<<47) * time.Microsecond},
+	}
+	for _, c := range cases {
+		var h histogram
+		h.observe(time.Duration(c.us) * time.Microsecond)
+		if got := h.buckets[c.bucket].Load(); got != 1 {
+			for i := range h.buckets {
+				if h.buckets[i].Load() != 0 {
+					t.Errorf("%dµs filed into bucket %d, want %d", c.us, i, c.bucket)
+				}
+			}
+			continue
+		}
+		// quantile reports min(2^bucket, observed max).
+		want := c.want
+		if maxD := time.Duration(c.us) * time.Microsecond; want > maxD {
+			want = maxD
+		}
+		if got := h.quantile(0.5); got != want {
+			t.Errorf("%dµs: quantile(0.5) = %v, want %v", c.us, got, want)
+		}
+	}
+}
+
+// TestHistogramOverflowBucket checks that observations past the last
+// bucket's range still land in the final bucket; the quantile then
+// reads that bucket's 2^47 µs upper bound (the histogram's resolution
+// limit) while Max preserves the true value.
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h histogram
+	us := int64(1) << 50
+	h.observe(time.Duration(us) * time.Microsecond)
+	if got := h.buckets[47].Load(); got != 1 {
+		t.Fatalf("overflow observation not in last bucket")
+	}
+	if got := h.quantile(0.99); got != time.Duration(1<<47)*time.Microsecond {
+		t.Fatalf("quantile = %v, want last bucket bound 2^47µs", got)
+	}
+	if got := h.summary().Max; got != time.Duration(us)*time.Microsecond {
+		t.Fatalf("Max = %v, want true observed maximum", got)
+	}
+}
+
+// TestHistogramQuantileOrdering sanity-checks a mixed population: p50
+// of {1µs ×60, 1024µs ×40} must sit at the low bucket's bound and p99
+// at the high one's.
+func TestHistogramQuantileOrdering(t *testing.T) {
+	var h histogram
+	for i := 0; i < 60; i++ {
+		h.observe(1 * time.Microsecond)
+	}
+	for i := 0; i < 40; i++ {
+		h.observe(1024 * time.Microsecond)
+	}
+	if p50 := h.quantile(0.50); p50 != 1*time.Microsecond {
+		t.Errorf("p50 = %v, want 1µs", p50)
+	}
+	if p99 := h.quantile(0.99); p99 != 1024*time.Microsecond {
+		t.Errorf("p99 = %v, want 1024µs", p99)
+	}
+}
