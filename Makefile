@@ -5,10 +5,14 @@
 #   make test    — tier-1 verify (build + tests, as in ROADMAP.md)
 #   make lint    — chocolint static analyzers only (see internal/lint)
 #   make race    — race-enabled, shuffled tests; reruns the parallel
-#                  execution-layer packages with GOMAXPROCS=4 so the
+#                  execution-layer packages (including the bfv/ckks
+#                  hoisted-rotation fan-outs) with GOMAXPROCS=4 so the
 #                  par fan-out paths are exercised even on 1-core CI
 #   make debug   — tests with the chocodebug assertion layer compiled in
-#   make bench   — paper-table benchmark generators
+#   make bench   — paper-table benchmark generators; also regenerates
+#                  the machine-readable rotation perf trajectory in
+#                  BENCH_rotations.json (serial = before hoisting,
+#                  hoisted = after)
 
 GO ?= go
 
@@ -30,10 +34,11 @@ vet:
 
 race:
 	$(GO) test -race -shuffle=on ./...
-	GOMAXPROCS=4 $(GO) test -race -shuffle=on ./internal/par ./internal/ring ./internal/core ./internal/apps/distance
+	GOMAXPROCS=4 $(GO) test -race -shuffle=on ./internal/par ./internal/ring ./internal/bfv ./internal/ckks ./internal/core ./internal/apps/distance
 
 debug:
 	$(GO) test -race -shuffle=on -tags chocodebug ./internal/ring ./internal/bfv
 
 bench:
+	$(GO) run ./cmd/chocobench -json BENCH_rotations.json rotations
 	$(GO) test -bench=. -benchmem ./...

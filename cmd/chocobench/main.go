@@ -23,8 +23,17 @@ type experiment struct {
 	run  func() (string, error)
 }
 
+// rotationRecords holds the machine-readable side of the rotations
+// experiment for the -json flag.
+var rotationRecords []bench.RotationBench
+
 func experiments() []experiment {
 	return []experiment{
+		{"rotations", "serial vs hoisted rotation batches (perf trajectory)", func() (string, error) {
+			out, recs, err := bench.Rotations()
+			rotationRecords = recs
+			return out, err
+		}},
 		{"table1", "HE operation complexity (measured)", bench.Table1},
 		{"table3", "parameter presets and ciphertext sizes", bench.Table3},
 		{"table4", "noise budgets: rotate vs masked permute", func() (string, error) {
@@ -70,6 +79,7 @@ func experiments() []experiment {
 
 func main() {
 	list := flag.Bool("list", false, "list experiment names and exit")
+	jsonPath := flag.String("json", "", "write the rotations experiment's records to this path as JSON")
 	flag.Parse()
 
 	exps := experiments()
@@ -101,5 +111,21 @@ func main() {
 	if !ranAny {
 		fmt.Fprintf(os.Stderr, "no matching experiments; use -list\n")
 		os.Exit(1)
+	}
+	if *jsonPath != "" {
+		if rotationRecords == nil {
+			fmt.Fprintf(os.Stderr, "-json set but the rotations experiment did not run\n")
+			os.Exit(1)
+		}
+		body, err := bench.RotationsJSON(rotationRecords)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rendering %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, body, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d records)\n", *jsonPath, len(rotationRecords))
 	}
 }

@@ -224,7 +224,13 @@ func (k *Kernel) subPlain(ct *ckks.Ciphertext, values []float64) (*ckks.Cipherte
 
 // reduceBlocks sums groups of `span` adjacent slots via rotate-and-add;
 // slot b·span of each block ends up holding its block's sum. stride is
-// the rotation unit (1 for contiguous, block size for dim blocks).
+// the rotation unit (1 for contiguous, block size for dim blocks). The
+// tree stays serial on purpose: every rotation acts on the freshly
+// accumulated sum, so there is never more than one rotation per operand
+// to hoist — and flattening to span-1 hoisted rotations of the input
+// loses to the log₂(span)-deep tree for every realistic span.
+// RotateLeft itself is the k=1 case of the hoisted path, so the tree
+// still benefits from the cached automorphism tables.
 func (k *Kernel) reduceBlocks(ct *ckks.Ciphertext, span, stride int, ops *core.OpCounts) (*ckks.Ciphertext, error) {
 	acc := ct
 	for s := span / 2; s >= 1; s /= 2 {
@@ -321,79 +327,100 @@ func (k *Kernel) pointMajor(q []float64, upload, download hop, stats *core.Stats
 		return results, nil
 	}
 
-	// Collapse: mask each block's distance slot and rotate it to its
-	// dense output position — extra masking multiplies and rotations on
-	// the server buy a single downloaded ciphertext. The (group, block)
-	// pairs are independent, so they fan out with per-worker partial
-	// accumulators; ciphertext addition is exact modular arithmetic, so
-	// the worker-order fold below is bit-identical to the serial sum.
-	type slot struct{ g, b, i int }
-	var cells []slot
+	// Collapse: reposition each block's distance slot into the dense
+	// output ciphertext — extra masking multiplies and rotations on the
+	// server buy a single downloaded ciphertext. Rotation commutes with
+	// masking (φ_g(mask ⊙ x) = φ_g(mask) ⊙ φ_g(x), and a one-hot mask
+	// encodes identically at either slot position), so the server
+	// rotates first: every repositioning rotation of group g then acts
+	// on the same reduced ciphertext reds[g], and the group's whole
+	// rotation set shares one hoisted decomposition. Groups fan out
+	// across the worker pool; the final fold runs serially in group
+	// order (ciphertext addition is exact modular arithmetic, so any
+	// schedule of the same adds is bit-identical).
+	type cell struct{ b, i, steps int }
+	cellsByGroup := make([][]cell, groups)
 	for g := 0; g < groups; g++ {
 		for b := 0; b < perCt; b++ {
-			if i := g*perCt + b; i < k.m {
-				cells = append(cells, slot{g, b, i})
+			i := g*perCt + b
+			if i >= k.m {
+				break
 			}
+			steps := ((b*k.d-i)%slots + slots) % slots
+			cellsByGroup[g] = append(cellsByGroup[g], cell{b, i, steps})
 		}
 	}
-	nw := par.MaxWorkers(len(cells))
-	accs := make([]*ckks.Ciphertext, nw)
-	wOps := make([]core.OpCounts, nw)
-	wErrs := make([]error, nw)
-	par.ForWorker(len(cells), func(w, ci int) {
-		if wErrs[w] != nil {
+	gAccs := make([]*ckks.Ciphertext, groups)
+	gOps := make([]core.OpCounts, groups)
+	gErrs := make([]error, groups)
+	par.For(groups, func(g int) {
+		cs := cellsByGroup[g]
+		if len(cs) == 0 {
 			return
 		}
-		c := cells[ci]
-		red := reds[c.g]
-		mask := make([]float64, slots)
-		mask[c.b*k.d] = 1
-		mpt, err := k.ecd.EncodeFloats(mask, red.Level, k.maskScale)
+		red := reds[g]
+		seen := map[int]bool{0: true}
+		var uniq []int
+		for _, c := range cs {
+			if !seen[c.steps] {
+				seen[c.steps] = true
+				uniq = append(uniq, c.steps)
+			}
+		}
+		rots, err := k.ev.RotateLeftHoisted(red, uniq)
 		if err != nil {
-			wErrs[w] = err
+			gErrs[g] = err
 			return
 		}
-		masked, err := k.ev.MulPlain(red, mpt)
-		if err != nil {
-			wErrs[w] = err
-			return
+		gOps[g].Rotations += len(uniq)
+		rotByStep := make(map[int]*ckks.Ciphertext, len(uniq)+1)
+		rotByStep[0] = red
+		for ui, s := range uniq {
+			rotByStep[s] = rots[ui]
 		}
-		wOps[w].PlainMults++
-		steps := ((c.b*k.d-c.i)%slots + slots) % slots
-		pos := masked
-		if steps != 0 {
-			pos, err = k.ev.RotateLeft(masked, steps)
+		var acc *ckks.Ciphertext
+		for _, c := range cs {
+			pos := rotByStep[c.steps]
+			mask := make([]float64, slots)
+			mask[c.i] = 1
+			mpt, err := k.ecd.EncodeFloats(mask, pos.Level, k.maskScale)
 			if err != nil {
-				wErrs[w] = err
+				gErrs[g] = err
 				return
 			}
-			wOps[w].Rotations++
-		}
-		if accs[w] == nil {
-			accs[w] = pos
-		} else {
-			accs[w], err = k.ev.Add(accs[w], pos)
+			masked, err := k.ev.MulPlain(pos, mpt)
 			if err != nil {
-				wErrs[w] = err
+				gErrs[g] = err
 				return
 			}
-			wOps[w].Adds++
+			gOps[g].PlainMults++
+			if acc == nil {
+				acc = masked
+			} else {
+				acc, err = k.ev.Add(acc, masked)
+				if err != nil {
+					gErrs[g] = err
+					return
+				}
+				gOps[g].Adds++
+			}
 		}
+		gAccs[g] = acc
 	})
 	var collapseAcc *ckks.Ciphertext
-	for w := 0; w < nw; w++ {
-		if wErrs[w] != nil {
-			return nil, wErrs[w]
+	for g := 0; g < groups; g++ {
+		if gErrs[g] != nil {
+			return nil, gErrs[g]
 		}
-		stats.Server.Add(wOps[w])
-		if accs[w] == nil {
+		stats.Server.Add(gOps[g])
+		if gAccs[g] == nil {
 			continue
 		}
 		if collapseAcc == nil {
-			collapseAcc = accs[w]
+			collapseAcc = gAccs[g]
 		} else {
 			var err error
-			collapseAcc, err = k.ev.Add(collapseAcc, accs[w])
+			collapseAcc, err = k.ev.Add(collapseAcc, gAccs[g])
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,222 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"choco/internal/bfv"
+	"choco/internal/ckks"
+)
+
+// RotationBench is one machine-readable benchmark record for the
+// rotation perf trajectory (BENCH_rotations.json): the serial entries
+// are the unhoisted "before", the hoisted entries the "after", so a
+// single file carries the comparison the hoisting work is judged by.
+type RotationBench struct {
+	Op          string `json:"op"`
+	Preset      string `json:"preset"`
+	Batch       int    `json:"batch"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+// rotationBatch is the ≥8-rotation batch the hoisting acceptance
+// numbers are measured on, matching batchSteps in the package
+// benchmarks: 8 distinct rotations of one ciphertext.
+func rotationBatch() []int { return []int{1, 2, 3, 4, 5, 6, 7, 8} }
+
+// Rotations measures the rotation paths at the benchmark presets —
+// single serial rotation, the 8-rotation serial loop, the hoisted
+// 8-rotation batch, and the shared decomposition on its own — and
+// returns a text report plus the records for BENCH_rotations.json.
+func Rotations() (string, []RotationBench, error) {
+	var recs []RotationBench
+	measure := func(op, preset string, batch int, fn func(b *testing.B)) RotationBench {
+		r := testing.Benchmark(fn)
+		rec := RotationBench{
+			Op:          op,
+			Preset:      preset,
+			Batch:       batch,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		recs = append(recs, rec)
+		return rec
+	}
+
+	// BFV at PresetB (LogN=12, the preset the acceptance criterion names).
+	{
+		params := bfv.PresetB()
+		ctx, err := bfv.NewContext(params)
+		if err != nil {
+			return "", nil, err
+		}
+		kg := bfv.NewKeyGenerator(ctx, [32]byte{21})
+		sk := kg.GenSecretKey()
+		pk := kg.GenPublicKey(sk)
+		galois := kg.GenRotationKeys(sk, rotationBatch()...)
+		enc := bfv.NewEncryptor(ctx, pk, [32]byte{22})
+		ecd := bfv.NewEncoder(ctx)
+		ev := bfv.NewEvaluator(ctx, nil, galois)
+
+		vals := make([]uint64, ctx.Params.N())
+		for i := range vals {
+			vals[i] = uint64(i) % ctx.T.Value
+		}
+		pt, err := ecd.EncodeUints(vals)
+		if err != nil {
+			return "", nil, err
+		}
+		ct := enc.Encrypt(pt)
+
+		// Warm the per-key Shoup companions and the ring scratch pools
+		// so every measured op sees steady-state costs.
+		for _, s := range rotationBatch() {
+			if _, err := ev.RotateRows(ct, s); err != nil {
+				return "", nil, err
+			}
+		}
+		if _, err := ev.RotateRowsHoisted(ct, rotationBatch()); err != nil {
+			return "", nil, err
+		}
+
+		measure("rotate-serial", "bfv-B", 1, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ev.RotateRows(ct, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		measure("rotate-batch8-serial", "bfv-B", len(rotationBatch()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, s := range rotationBatch() {
+					if _, err := ev.RotateRows(ct, s); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		measure("rotate-batch8-hoisted", "bfv-B", len(rotationBatch()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ev.RotateRowsHoisted(ct, rotationBatch()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		measure("decompose", "bfv-B", 1, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dc, err := ev.Decompose(ct)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dc.Release()
+			}
+		})
+	}
+
+	// CKKS at PresetTest (LogN=11): same batch, approximate scheme.
+	{
+		params := ckks.PresetTest()
+		ctx, err := ckks.NewContext(params)
+		if err != nil {
+			return "", nil, err
+		}
+		kg := ckks.NewKeyGenerator(ctx, [32]byte{23})
+		sk := kg.GenSecretKey()
+		pk := kg.GenPublicKey(sk)
+		galois := kg.GenRotationKeys(sk, rotationBatch()...)
+		enc := ckks.NewEncryptor(ctx, pk, [32]byte{24})
+		ev := ckks.NewEvaluator(ctx, nil, galois)
+
+		vals := make([]float64, ctx.Params.Slots())
+		for i := range vals {
+			vals[i] = float64(i%100)/25 - 2
+		}
+		ct, err := enc.EncryptFloats(vals)
+		if err != nil {
+			return "", nil, err
+		}
+
+		for _, s := range rotationBatch() {
+			if _, err := ev.RotateLeft(ct, s); err != nil {
+				return "", nil, err
+			}
+		}
+		if _, err := ev.RotateLeftHoisted(ct, rotationBatch()); err != nil {
+			return "", nil, err
+		}
+
+		measure("rotate-serial", "ckks-Test", 1, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ev.RotateLeft(ct, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		measure("rotate-batch8-serial", "ckks-Test", len(rotationBatch()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, s := range rotationBatch() {
+					if _, err := ev.RotateLeft(ct, s); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		measure("rotate-batch8-hoisted", "ckks-Test", len(rotationBatch()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ev.RotateLeftHoisted(ct, rotationBatch()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		measure("decompose", "ckks-Test", 1, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dc, err := ev.Decompose(ct)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dc.Release()
+			}
+		})
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Rotation throughput: serial (per-rotation decomposition) vs hoisted (shared)\n")
+	fmt.Fprintf(&b, "%-22s %-10s %6s %14s %12s\n", "op", "preset", "batch", "ns/op", "allocs/op")
+	perPreset := map[string]map[string]RotationBench{}
+	for _, r := range recs {
+		fmt.Fprintf(&b, "%-22s %-10s %6d %14d %12d\n", r.Op, r.Preset, r.Batch, r.NsPerOp, r.AllocsPerOp)
+		if perPreset[r.Preset] == nil {
+			perPreset[r.Preset] = map[string]RotationBench{}
+		}
+		perPreset[r.Preset][r.Op] = r
+	}
+	for _, preset := range []string{"bfv-B", "ckks-Test"} {
+		ops := perPreset[preset]
+		serial, hoisted := ops["rotate-batch8-serial"], ops["rotate-batch8-hoisted"]
+		if serial.NsPerOp > 0 && hoisted.NsPerOp > 0 {
+			fmt.Fprintf(&b, "%s batch-8 speedup (serial/hoisted): %.2fx\n",
+				preset, float64(serial.NsPerOp)/float64(hoisted.NsPerOp))
+		}
+	}
+	return b.String(), recs, nil
+}
+
+// RotationsJSON renders the records as the BENCH_rotations.json body.
+func RotationsJSON(recs []RotationBench) ([]byte, error) {
+	out, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

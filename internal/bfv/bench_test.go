@@ -87,3 +87,49 @@ func BenchmarkNoiseBudgetMeter(b *testing.B) {
 		NoiseBudget(kit.ctx, kit.sk, ct)
 	}
 }
+
+// batchSteps is the ≥8-rotation batch the hoisting acceptance numbers
+// are measured on: 8 distinct rotations of one ciphertext.
+func batchSteps() []int { return []int{1, 2, 3, 4, 5, 6, 7, 8} }
+
+// BenchmarkRotateBatch8SerialPresetB is the unhoisted baseline: each
+// rotation pays its own RNS decomposition (RotateRows is the k=1 case
+// of the hoisted path, so only the decomposition sharing differs).
+func BenchmarkRotateBatch8SerialPresetB(b *testing.B) {
+	kit := newTestKit(b, PresetB(), batchSteps()...)
+	ct, _ := kit.enc.EncryptUints(benchVec(kit.ctx.Params.N(), kit.ctx.T.Value))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range batchSteps() {
+			if _, err := kit.ev.RotateRows(ct, s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkRotateBatch8HoistedPresetB shares one decomposition across
+// the batch; the acceptance criterion is ≥1.5× over the serial loop.
+func BenchmarkRotateBatch8HoistedPresetB(b *testing.B) {
+	kit := newTestKit(b, PresetB(), batchSteps()...)
+	ct, _ := kit.enc.EncryptUints(benchVec(kit.ctx.Params.N(), kit.ctx.T.Value))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kit.ev.RotateRowsHoisted(ct, batchSteps()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecomposePresetB(b *testing.B) {
+	kit := newTestKit(b, PresetB(), 1)
+	ct, _ := kit.enc.EncryptUints(benchVec(kit.ctx.Params.N(), kit.ctx.T.Value))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dc, err := kit.ev.Decompose(ct)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dc.Release()
+	}
+}

@@ -293,32 +293,21 @@ func (ev *Evaluator) RotateColumns(ct *Ciphertext) (*Ciphertext, error) {
 	return ev.applyGalois(ct, ev.ctx.RingQ.GaloisElementRowSwap())
 }
 
+// applyGalois is the single-element rotation path, built on the same
+// hoisted machinery as the batch API (a decomposition used exactly
+// once). Routing both through applyGaloisDecomposed is what makes a
+// serial RotateRows loop and a hoisted batch byte-identical by
+// construction.
 func (ev *Evaluator) applyGalois(ct *Ciphertext, g uint64) (*Ciphertext, error) {
 	if debugEnabled {
 		ev.ctx.debugCheckCt("applyGalois", ct)
 	}
-	if len(ct.Value) != 2 {
-		return nil, fmt.Errorf("bfv: rotation requires a degree-1 ciphertext")
+	dc, err := ev.Decompose(ct)
+	if err != nil {
+		return nil, err
 	}
-	if ct.Drop != 0 {
-		return nil, fmt.Errorf("bfv: rotation requires a full-modulus ciphertext")
-	}
-	gk, ok := ev.galois[g]
-	if !ok {
-		return nil, fmt.Errorf("bfv: missing Galois key for element %d", g)
-	}
-	r := ev.ctx.RingQ
-	c0 := r.GetPoly()
-	c1 := r.GetPoly()
-	r.Automorphism(ct.Value[0], g, c0)
-	r.Automorphism(ct.Value[1], g, c1)
-	d0, d1 := ev.keySwitch(c1, gk.Key)
-	out := &Ciphertext{Value: []*ring.Poly{r.NewPoly(), d1}}
-	r.Add(c0, d0, out.Value[0])
-	r.PutPoly(c0)
-	r.PutPoly(c1)
-	r.PutPoly(d0)
-	return out, nil
+	defer dc.Release()
+	return ev.applyGaloisDecomposed(dc, g)
 }
 
 // ModSwitchDown divides the ciphertext by its last data prime with
@@ -415,24 +404,14 @@ func (ev *Evaluator) keySwitch(d *ring.Poly, swk *SwitchingKey) (*ring.Poly, *ri
 	acc1.DeclareNTT()
 
 	di := rQP.GetPoly()
+	bShoup, aShoup := swk.shoup(rQP)
 	for i := 0; i < nData; i++ {
 		// d_i: the i-th residue row treated as an integer vector in
 		// [0, q_i), embedded into every residue of QP.
-		src := d.Coeffs[i]
-		for j, m := range rQP.Moduli {
-			dst := di.Coeffs[j]
-			if m.Value == rQ.Moduli[i].Value {
-				copy(dst, src)
-				continue
-			}
-			for k := range dst {
-				dst[k] = m.Reduce(src[k])
-			}
-		}
+		ev.embedDigit(d.Coeffs[i], i, di)
 		di.DeclareCoeff()
 		rQP.NTT(di)
-		rQP.MulCoeffsAdd(di, swk.B[i], acc0)
-		rQP.MulCoeffsAdd(di, swk.A[i], acc1)
+		rQP.MulCoeffsShoupAdd2(di, swk.B[i], bShoup[i], acc0, swk.A[i], aShoup[i], acc1)
 		di.DeclareCoeff() // reuse buffer next iteration
 	}
 	rQP.PutPoly(di)
@@ -460,15 +439,18 @@ func (ev *Evaluator) modDownByP(x *ring.Poly) *ring.Poly {
 	for i, m := range rQ.Moduli {
 		pi := ctx.pInvQ[i]
 		pis := m.ShoupPrecomp(pi)
-		src := x.Coeffs[i]
+		pModQ := m.Reduce(p)
 		dst := out.Coeffs[i]
+		src := x.Coeffs[i][:len(dst)]
+		xr := xp[:len(dst)]
 		for k := range dst {
-			// Centered representative of x mod P, reduced mod q_i.
-			var c uint64
-			if xp[k] <= halfP {
-				c = m.Reduce(xp[k])
-			} else {
-				c = m.Neg(m.Reduce(p - xp[k]))
+			// Centered representative of x mod P, reduced mod q_i:
+			// values above P/2 stand for t − P ≡ Reduce(t) − Reduce(P),
+			// which shares the canonical-form Reduce with the small case.
+			t := xr[k]
+			c := m.Reduce(t)
+			if t > halfP {
+				c = m.Sub(c, pModQ)
 			}
 			dst[k] = m.MulShoup(m.Sub(src[k], c), pi, pis)
 		}

@@ -1,6 +1,8 @@
 package bfv
 
 import (
+	"sync"
+
 	"choco/internal/ring"
 	"choco/internal/sampling"
 )
@@ -29,6 +31,28 @@ type PublicKey struct {
 type SwitchingKey struct {
 	B []*ring.Poly
 	A []*ring.Poly
+
+	// Lazily-built Shoup companions of B and A for the key-switching
+	// inner product, where the key polynomials are the fixed operands.
+	// Computed on first use so keys built by any path (keygen,
+	// deserialization, tests) pick them up transparently.
+	shoupOnce sync.Once
+	bShoup    [][][]uint64
+	aShoup    [][][]uint64
+}
+
+// shoup returns the per-digit Shoup companions of the key polynomials,
+// computing them once against the key ring r.
+func (swk *SwitchingKey) shoup(r *ring.Ring) (b, a [][][]uint64) {
+	swk.shoupOnce.Do(func() {
+		swk.bShoup = make([][][]uint64, len(swk.B))
+		swk.aShoup = make([][][]uint64, len(swk.A))
+		for i := range swk.B {
+			swk.bShoup[i] = r.ShoupPolyPrecomp(swk.B[i])
+			swk.aShoup[i] = r.ShoupPolyPrecomp(swk.A[i])
+		}
+	})
+	return swk.bShoup, swk.aShoup
 }
 
 // RelinearizationKey switches s² → s after ciphertext multiplication.

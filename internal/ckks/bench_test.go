@@ -65,3 +65,34 @@ func BenchmarkRotatePresetTest(b *testing.B) {
 		}
 	}
 }
+
+func ckksBatchSteps() []int { return []int{1, 2, 3, 4, 5, 6, 7, 8} }
+
+// BenchmarkRotateBatch8SerialPresetTest is the unhoisted baseline for
+// the hoisting before/after comparison: each rotation pays its own RNS
+// decomposition.
+func BenchmarkRotateBatch8SerialPresetTest(b *testing.B) {
+	kit := newTestKit(b, PresetTest(), ckksBatchSteps()...)
+	ct, _ := kit.enc.EncryptFloats(benchFloats(kit.ctx.Params.Slots()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range ckksBatchSteps() {
+			if _, err := kit.ev.RotateLeft(ct, s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkRotateBatch8HoistedPresetTest shares one decomposition
+// across the batch.
+func BenchmarkRotateBatch8HoistedPresetTest(b *testing.B) {
+	kit := newTestKit(b, PresetTest(), ckksBatchSteps()...)
+	ct, _ := kit.enc.EncryptFloats(benchFloats(kit.ctx.Params.Slots()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kit.ev.RotateLeftHoisted(ct, ckksBatchSteps()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -287,30 +287,17 @@ func (ev *Evaluator) Conjugate(ct *Ciphertext) (*Ciphertext, error) {
 	return ev.applyGalois(ct, ev.ctx.GaloisElementConjugate())
 }
 
+// applyGalois is the single-element rotation path, built on the same
+// hoisted machinery as the batch API (a decomposition used exactly
+// once), so a serial RotateLeft loop and a hoisted batch are
+// byte-identical by construction.
 func (ev *Evaluator) applyGalois(ct *Ciphertext, g uint64) (*Ciphertext, error) {
-	if len(ct.Value) != 2 {
-		return nil, fmt.Errorf("ckks: rotation requires degree 1")
+	dc, err := ev.Decompose(ct)
+	if err != nil {
+		return nil, err
 	}
-	gk, ok := ev.galois[g]
-	if !ok {
-		return nil, fmt.Errorf("ckks: missing Galois key for element %d", g)
-	}
-	r := ev.ctx.RingAtLevel(ct.Level)
-	c0 := r.GetPoly()
-	c1 := r.GetPoly()
-	r.Automorphism(ct.Value[0], g, c0)
-	r.Automorphism(ct.Value[1], g, c1)
-	d0, d1 := ev.keySwitch(c1, gk.Key, ct.Level)
-	out := &Ciphertext{
-		Value: []*ring.Poly{r.NewPoly(), d1},
-		Level: ct.Level,
-		Scale: ct.Scale,
-	}
-	r.Add(c0, d0, out.Value[0])
-	r.PutPoly(c0)
-	r.PutPoly(c1)
-	r.PutPoly(d0)
-	return out, nil
+	defer dc.Release()
+	return ev.applyGaloisDecomposed(dc, g)
 }
 
 // keySwitch re-keys polynomial d (coefficient domain at the given
@@ -319,7 +306,6 @@ func (ev *Evaluator) applyGalois(ct *Ciphertext, g uint64) (*Ciphertext, error) 
 func (ev *Evaluator) keySwitch(d *ring.Poly, swk *SwitchingKey, level int) (*ring.Poly, *ring.Poly) {
 	ctx := ev.ctx
 	rQlP := ctx.ringQlP[level]
-	rQl := ctx.RingAtLevel(level)
 	nData := len(ctx.RingQ.Moduli)
 
 	// Project a full-QP polynomial onto the level's key ring by
@@ -330,6 +316,12 @@ func (ev *Evaluator) keySwitch(d *ring.Poly, swk *SwitchingKey, level int) (*rin
 		rows = append(rows, p.Coeffs[nData])
 		return &ring.Poly{Coeffs: rows, IsNTT: p.IsNTT}
 	}
+	projectShoup := func(s [][]uint64) [][]uint64 {
+		rows := make([][]uint64, 0, level+2)
+		rows = append(rows, s[:level+1]...)
+		rows = append(rows, s[nData])
+		return rows
+	}
 
 	acc0 := rQlP.GetPoly()
 	acc1 := rQlP.GetPoly()
@@ -337,51 +329,17 @@ func (ev *Evaluator) keySwitch(d *ring.Poly, swk *SwitchingKey, level int) (*rin
 	acc1.DeclareNTT()
 
 	di := rQlP.GetPoly()
+	bShoup, aShoup := swk.shoup(ctx.RingQP)
 	for i := 0; i <= level; i++ {
-		src := d.Coeffs[i]
-		for j, m := range rQlP.Moduli {
-			dst := di.Coeffs[j]
-			if j == i {
-				copy(dst, src)
-				continue
-			}
-			for k := range dst {
-				dst[k] = m.Reduce(src[k])
-			}
-		}
+		ev.embedDigit(d.Coeffs[i], i, level, di)
 		di.DeclareCoeff()
 		rQlP.NTT(di)
-		rQlP.MulCoeffsAdd(di, project(swk.B[i]), acc0)
-		rQlP.MulCoeffsAdd(di, project(swk.A[i]), acc1)
+		rQlP.MulCoeffsShoupAdd2(di, project(swk.B[i]), projectShoup(bShoup[i]), acc0, project(swk.A[i]), projectShoup(aShoup[i]), acc1)
 	}
 	rQlP.PutPoly(di)
 	rQlP.INTT(acc0)
 	rQlP.INTT(acc1)
-
-	// Divide by the special prime with rounding.
-	modDown := func(x *ring.Poly) *ring.Poly {
-		p := rQlP.Moduli[level+1].Value
-		halfP := p >> 1
-		out := rQl.GetPoly()
-		xp := x.Coeffs[level+1]
-		for i, m := range rQl.Moduli {
-			pi := ctx.pInvQ[i]
-			pis := m.ShoupPrecomp(pi)
-			src := x.Coeffs[i]
-			dst := out.Coeffs[i]
-			for k := range dst {
-				var c uint64
-				if xp[k] <= halfP {
-					c = m.Reduce(xp[k])
-				} else {
-					c = m.Neg(m.Reduce(p - xp[k]))
-				}
-				dst[k] = m.MulShoup(m.Sub(src[k], c), pi, pis)
-			}
-		}
-		return out
-	}
-	d0, d1 := modDown(acc0), modDown(acc1)
+	d0, d1 := ev.modDownByP(acc0, level), ev.modDownByP(acc1, level)
 	rQlP.PutPoly(acc0)
 	rQlP.PutPoly(acc1)
 	return d0, d1

@@ -1,6 +1,8 @@
 package ckks
 
 import (
+	"sync"
+
 	"choco/internal/ring"
 	"choco/internal/sampling"
 )
@@ -24,6 +26,28 @@ type PublicKey struct {
 type SwitchingKey struct {
 	B []*ring.Poly
 	A []*ring.Poly
+
+	// Lazily-built Shoup companions of B and A for the key-switching
+	// inner product (the key polynomials are the fixed operands).
+	// Row-aligned with the full-QP polynomials, so level projection can
+	// select companion rows exactly as it selects key rows.
+	shoupOnce sync.Once
+	bShoup    [][][]uint64
+	aShoup    [][][]uint64
+}
+
+// shoup returns the per-digit Shoup companions of the key polynomials,
+// computing them once against the full key ring r.
+func (swk *SwitchingKey) shoup(r *ring.Ring) (b, a [][][]uint64) {
+	swk.shoupOnce.Do(func() {
+		swk.bShoup = make([][][]uint64, len(swk.B))
+		swk.aShoup = make([][][]uint64, len(swk.A))
+		for i := range swk.B {
+			swk.bShoup[i] = r.ShoupPolyPrecomp(swk.B[i])
+			swk.aShoup[i] = r.ShoupPolyPrecomp(swk.A[i])
+		}
+	})
+	return swk.bShoup, swk.aShoup
 }
 
 // RelinearizationKey switches s² → s.

@@ -198,17 +198,17 @@ func (c *Conv2D) Apply(ev *bfv.Evaluator, ecd *bfv.Encoder, ct *bfv.Ciphertext, 
 			}
 		}
 	}
-	rotCts := make([]*bfv.Ciphertext, len(uniq))
-	rotErrs := make([]error, len(uniq))
-	par.For(len(uniq), func(i int) {
-		rotCts[i], rotErrs[i] = ev.RotateRows(ct, uniq[i])
-	})
+	// All unique rotations share one hoisted decomposition of ct: the
+	// per-residue embed + forward NTTs are paid once, each element then
+	// costs only its NTT-domain digit permutation and key inner product
+	// (the batch still fans out across the worker pool internally).
+	rotCts, err := ev.RotateRowsHoisted(ct, uniq)
+	if err != nil {
+		return nil, ops, err
+	}
 	rotByStep := make(map[int]*bfv.Ciphertext, len(uniq)+1)
 	rotByStep[0] = ct
 	for i, s := range uniq {
-		if rotErrs[i] != nil {
-			return nil, ops, rotErrs[i]
-		}
 		ops.Rotations++
 		rotByStep[s] = rotCts[i]
 	}

@@ -143,19 +143,22 @@ func (f *FC) Apply(ev *bfv.Evaluator, ecd *bfv.Encoder, ct *bfv.Ciphertext, slot
 		return nil, ops, fmt.Errorf("core: Apply on a spec-only FC layer (no weights)")
 	}
 
-	// Baby rotations are independent of one another; fan them out.
+	// Baby rotations all act on the same input ciphertext, so they
+	// share one hoisted decomposition: B-1 rotations for the price of
+	// one embed + forward-NTT pass (the batch fans out internally).
 	babies := make([]*bfv.Ciphertext, f.B)
 	babies[0] = ct
-	babyErrs := make([]error, f.B)
-	par.For(f.B-1, func(k int) {
-		j := k + 1
-		babies[j], babyErrs[j] = ev.RotateRows(ct, j)
-	})
-	for j := 1; j < f.B; j++ {
-		if babyErrs[j] != nil {
-			return nil, ops, babyErrs[j]
+	if f.B > 1 {
+		steps := make([]int, f.B-1)
+		for j := 1; j < f.B; j++ {
+			steps[j-1] = j
 		}
-		ops.Rotations++
+		rots, err := ev.RotateRowsHoisted(ct, steps)
+		if err != nil {
+			return nil, ops, err
+		}
+		copy(babies[1:], rots)
+		ops.Rotations += f.B - 1
 	}
 
 	// Giant steps are independent too: each accumulates its own inner
@@ -194,6 +197,10 @@ func (f *FC) Apply(ev *bfv.Evaluator, ecd *bfv.Encoder, ct *bfv.Ciphertext, slot
 			return
 		}
 		if i > 0 {
+			// Each giant step rotates its own partial sum — distinct
+			// operands, one Galois element apiece — so there is no
+			// shared decomposition to hoist here (RotateRows itself is
+			// the k=1 case of the hoisted path).
 			r, err := ev.RotateRows(inner, i*f.B)
 			if err != nil {
 				innerErrs[i] = err
@@ -237,6 +244,14 @@ func (f *FC) ApplyNaive(ev *bfv.Evaluator, ecd *bfv.Encoder, ct *bfv.Ciphertext,
 	if f.Weights == nil {
 		return nil, ops, fmt.Errorf("core: Apply on a spec-only FC layer (no weights)")
 	}
+	// Every diagonal term rotates the same input ciphertext, so all
+	// P-1 rotations share one hoisted decomposition, read concurrently
+	// by the workers (the digits are immutable once built).
+	dc, err := ev.Decompose(ct)
+	if err != nil {
+		return nil, ops, err
+	}
+	defer dc.Release()
 	// Each worker accumulates a private partial sum; the partials are
 	// folded in worker order afterwards. Ciphertext addition is exact
 	// residue-wise modular arithmetic — associative and commutative — so
@@ -256,7 +271,7 @@ func (f *FC) ApplyNaive(ev *bfv.Evaluator, ecd *bfv.Encoder, ct *bfv.Ciphertext,
 		}
 		x := ct
 		if d != 0 {
-			r, err := ev.RotateRows(ct, d)
+			r, err := ev.RotateRowsDecomposed(dc, d)
 			if err != nil {
 				wErrs[w] = err
 				return

@@ -97,6 +97,55 @@ func TestParallelPipelineDeterminism(t *testing.T) {
 	}
 }
 
+// TestHoistedBatchParallelDeterminism pins the hoisted rotation batch
+// the same way TestParallelPipelineDeterminism pins the kernels: the
+// shared decomposition is read-only and each Galois element's key
+// switch is scratch-local, so fanning the batch across the worker pool
+// (with the ring-level fan-out thresholds forced low) must reproduce
+// the serial schedule's ciphertext bytes exactly.
+func TestHoistedBatchParallelDeterminism(t *testing.T) {
+	steps := []int{1, 2, 3, 5, 7, -1, -3, -6}
+	k := newKit(t, steps)
+	src := sampling.NewSource([32]byte{11}, "hoist-par")
+	vals := make([]int64, k.ctx.Params.Slots())
+	for i := range vals {
+		vals[i] = int64(src.Intn(64)) - 32
+	}
+	ct, err := k.enc.EncryptInts(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batch := func() [][]byte {
+		outs, err := k.ev.RotateRowsHoisted(ct, steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs := make([][]byte, len(outs))
+		for i, o := range outs {
+			blobs[i] = protocol.MarshalBFV(o)
+		}
+		return blobs
+	}
+
+	oldP := par.Parallelism()
+	t.Cleanup(func() { par.SetParallelism(oldP) })
+
+	par.SetParallelism(1)
+	serial := batch()
+
+	par.SetParallelism(8)
+	ring.SetParallelThresholds(1, 1, 1)
+	t.Cleanup(func() { ring.SetParallelThresholds(8<<10, 16<<10, 32<<10) })
+	parallel := batch()
+
+	for i := range serial {
+		if !bytes.Equal(serial[i], parallel[i]) {
+			t.Errorf("steps=%d: parallel hoisted ciphertext is not byte-identical to serial", steps[i])
+		}
+	}
+}
+
 // TestFCApplyNaiveParallelDeterminism pins the per-worker partial-sum
 // fold in ApplyNaive: modular ciphertext addition is exact, so any
 // partition of the diagonal terms must reproduce the serial result

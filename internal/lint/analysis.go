@@ -10,6 +10,7 @@
 //   - nttdomain:    ring.Poly domain (IsNTT) discipline
 //   - insecurerand: math/rand banned from crypto packages
 //   - polycopy:     by-value ring.Poly copies and illegal aliasing
+//   - polypool:     GetPoly scratch returned with PutPoly on every exit
 //   - lockednet:    mutexes held across network I/O or channel ops
 //   - uncheckederr: dropped protocol frame-write and Close errors
 //
@@ -79,6 +80,7 @@ func All() []*Analyzer {
 		NTTDomain,
 		InsecureRand,
 		PolyCopy,
+		PolyPool,
 		LockedNet,
 		UncheckedErr,
 	}

@@ -88,6 +88,7 @@ func TestInsecureRandFixture(t *testing.T) {
 	runFixture(t, InsecureRand, "insecurerand/internal/sampling")
 }
 func TestPolyCopyFixture(t *testing.T)  { runFixture(t, PolyCopy, "polycopy") }
+func TestPolyPoolFixture(t *testing.T)  { runFixture(t, PolyPool, "polypool/internal/bfv") }
 func TestLockedNetFixture(t *testing.T) { runFixture(t, LockedNet, "lockednet/internal/serve") }
 func TestUncheckedErrFixture(t *testing.T) {
 	runFixture(t, UncheckedErr, "uncheckederr/internal/protocol")

@@ -13,8 +13,10 @@ import (
 //  2. Within a function, calls to NTT-domain-only ops (MulCoeffs,
 //     MulCoeffsAdd) must not receive a value whose last known domain is
 //     the coefficient domain (freshly NewPoly'd, just INTT'd, or just
-//     set from integer coefficients), and Automorphism must not receive
-//     a value that was just NTT'd. Add/Sub must not mix domains.
+//     set from integer coefficients), Automorphism must not receive a
+//     value that was just NTT'd, and AutomorphismNTT must not receive
+//     one still in the coefficient domain. Add/Sub must not mix
+//     domains.
 //
 // The domain tracking is deliberately conservative: it follows simple
 // local variables in source order and forgets everything it cannot
@@ -182,6 +184,12 @@ func trackDomains(pass *Pass, body *ast.BlockStmt) {
 						"Automorphism requires a coefficient-domain input, but %s is in the NTT domain here", exprName(arg(0)))
 				}
 				set(arg(2), domCoeff)
+			case "AutomorphismNTT":
+				if get(arg(0)) == domCoeff {
+					pass.Reportf(n.Pos(),
+						"AutomorphismNTT requires an NTT-domain input, but %s is in the coefficient domain here", exprName(arg(0)))
+				}
+				set(arg(2), domNTT)
 			case "PolyToBigintCentered", "InfNormBig":
 				if get(arg(0)) == domNTT {
 					pass.Reportf(n.Pos(),

@@ -1,0 +1,271 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// poolPackages are the package-path suffixes whose ring scratch-pool
+// discipline polypool enforces. These are the packages sitting on the
+// HE hot paths, where a leaked pool poly silently degrades the
+// GetPoly/PutPoly cache into per-call allocation.
+var poolPackages = []string{
+	"internal/bfv",
+	"internal/ckks",
+	"internal/core",
+}
+
+// PolyPool flags ring scratch polys taken with GetPoly that are not
+// returned with PutPoly on every exit path of the acquiring function.
+//
+// A GetPoly result has exactly two legal fates:
+//
+//  1. it is handed back with PutPoly (directly or via defer) before —
+//     in source order, on every path — the function can exit, or
+//  2. it escapes: it is returned, stored into a field/slice/map,
+//     captured by a closure, or passed to a non-ring function, any of
+//     which transfers ownership to code the analyzer cannot see
+//     (Release methods, output ciphertexts, and the like).
+//
+// A poly that does neither is a pool leak; a poly whose PutPoly is
+// skipped by an early return is the subtler variant the exit-path
+// check exists for. The analysis is lexical (no CFG): a put covers an
+// exit when it precedes it inside a block that also encloses the exit,
+// which matches the structured straight-line scratch usage of the hot
+// paths and never misfires on code that frees before any return.
+var PolyPool = &Analyzer{
+	Name: "polypool",
+	Doc:  "flags GetPoly scratch not PutPoly'd on every exit path in the HE hot-path packages",
+	Run:  runPolyPool,
+}
+
+func runPolyPool(pass *Pass) error {
+	inScope := false
+	for _, suffix := range poolPackages {
+		if pkgPathHasSuffix(pass.Pkg.Path(), suffix) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			// Each function body — declarations and literals alike — is
+			// its own analysis unit: a closure owns the polys it gets.
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					analyzePoolUnit(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				analyzePoolUnit(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// poolGet tracks one v := r.GetPoly() acquisition inside a unit.
+type poolGet struct {
+	obj      types.Object
+	name     string
+	pos      token.Pos
+	end      token.Pos
+	topLevel bool // acquired directly in the unit's body block
+	escaped  bool
+	puts     []poolPut
+}
+
+// poolPut is one r.PutPoly(v) (possibly deferred) for a tracked poly.
+type poolPut struct {
+	end   token.Pos
+	block *ast.BlockStmt
+}
+
+func analyzePoolUnit(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	gets := map[types.Object]*poolGet{}
+
+	// Pass 1: collect acquisitions (nested function literals are their
+	// own units and are skipped here).
+	var collect func(n ast.Node, blk *ast.BlockStmt)
+	collect = func(n ast.Node, blk *ast.BlockStmt) {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return
+		case *ast.BlockStmt:
+			for _, s := range n.List {
+				collect(s, n)
+			}
+			return
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, rhs := range n.Rhs {
+					call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					if name, isRing := calleeIsRingMethod(info, call); !isRing || name != "GetPoly" {
+						continue
+					}
+					id, ok := n.Lhs[i].(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					if obj := objOf(info, id); obj != nil {
+						gets[obj] = &poolGet{
+							obj:      obj,
+							name:     id.Name,
+							pos:      id.Pos(),
+							end:      n.End(),
+							topLevel: blk == body,
+						}
+					}
+				}
+			}
+		}
+		walkChildren(n, func(c ast.Node) { collect(c, blk) })
+	}
+	collect(body, body)
+	if len(gets) == 0 {
+		return
+	}
+
+	// usesTracked reports whether any tracked poly is referenced inside
+	// the subtree, marking each one found.
+	markEscapes := func(n ast.Node) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			if id, ok := c.(*ast.Ident); ok {
+				if g := gets[objOf(info, id)]; g != nil && id.Pos() > g.end {
+					g.escaped = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: classify uses — PutPoly calls, escapes, and exits.
+	var exits []token.Pos
+	var classify func(n ast.Node, blk *ast.BlockStmt)
+	classify = func(n ast.Node, blk *ast.BlockStmt) {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// The closure may run later or not at all; a tracked poly
+			// it references escapes the acquiring unit's discipline.
+			markEscapes(n.Body)
+			return
+		case *ast.BlockStmt:
+			for _, s := range n.List {
+				classify(s, n)
+			}
+			return
+		case *ast.ReturnStmt:
+			exits = append(exits, n.Pos())
+			for _, res := range n.Results {
+				markEscapes(res)
+			}
+			return
+		case *ast.CallExpr:
+			name, isRing := calleeIsRingMethod(info, n)
+			if isRing && name == "PutPoly" && len(n.Args) == 1 {
+				if g := gets[objOf(info, identOf(n.Args[0]))]; g != nil {
+					g.puts = append(g.puts, poolPut{end: n.End(), block: blk})
+					return
+				}
+			}
+			if isRing {
+				// Other ring operations (NTT, MulCoeffs*, Automorphism,
+				// Poly methods, …) borrow the poly without retaining it.
+				break
+			}
+			// Unknown callee: assume it may retain its poly arguments.
+			for _, arg := range n.Args {
+				markEscapes(arg)
+			}
+		case *ast.AssignStmt:
+			// Storing a tracked poly anywhere (slice element, field,
+			// fresh alias) transfers ownership. The acquisition itself
+			// is immune: markEscapes ignores uses at or before it.
+			for _, rhs := range n.Rhs {
+				markEscapes(rhs)
+			}
+		case *ast.CompositeLit:
+			// Membership in an aggregate ([]*ring.Poly{t0, t1}, a struct
+			// literal, …) hands the poly to whoever owns the aggregate —
+			// often a range loop that puts each element back under
+			// another name, which the per-object tracking cannot follow.
+			markEscapes(n)
+			return
+		case *ast.SendStmt:
+			markEscapes(n.Value)
+		}
+		walkChildren(n, func(c ast.Node) { classify(c, blk) })
+	}
+	classify(body, body)
+
+	// A unit whose body does not end in a return can fall off the end:
+	// that is one more exit every top-level acquisition must cover.
+	canFallOff := len(body.List) == 0
+	if !canFallOff {
+		_, isReturn := body.List[len(body.List)-1].(*ast.ReturnStmt)
+		canFallOff = !isReturn
+	}
+	if canFallOff {
+		exits = append(exits, body.End())
+	}
+
+	for _, g := range gets {
+		if g.escaped {
+			continue
+		}
+		if len(g.puts) == 0 {
+			pass.Reportf(g.pos,
+				"%s is taken from the poly pool but never returned with PutPoly (and never escapes)", g.name)
+			continue
+		}
+		if !g.topLevel {
+			// Conditional acquisitions get the weak check only: some
+			// put exists, which the lexical exit model can't refine.
+			continue
+		}
+		for _, exit := range exits {
+			if exit <= g.end {
+				continue
+			}
+			covered := false
+			for _, p := range g.puts {
+				if p.end < exit && p.block.Pos() <= exit && exit <= p.block.End() {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				pass.Reportf(g.pos,
+					"%s is not returned with PutPoly on every exit path (leaky exit at line %d)",
+					g.name, pass.Fset.Position(exit).Line)
+				break
+			}
+		}
+	}
+}
+
+// walkChildren applies fn to every immediate child node of n, using
+// ast.Inspect's traversal with a depth guard.
+func walkChildren(n ast.Node, fn func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c == nil {
+			return false
+		}
+		fn(c)
+		return false
+	})
+}

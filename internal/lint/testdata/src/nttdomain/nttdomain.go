@@ -40,6 +40,22 @@ func automorphismFixed(r *ring.Ring, g uint64) {
 	r.Automorphism(a, g, out)
 }
 
+func automorphismNTTOnCoeff(r *ring.Ring, g uint64) {
+	a := r.NewPoly()
+	out := r.NewPoly()
+	r.AutomorphismNTT(a, g, out) // want `AutomorphismNTT requires an NTT-domain input, but a is in the coefficient domain`
+}
+
+// The hoisted key-switch shape: permute NTT-domain digits, then feed
+// the NTT-domain outputs straight into the key inner product.
+func automorphismNTTFixed(r *ring.Ring, g uint64, out *ring.Poly) {
+	a := r.NewPoly()
+	dig := r.NewPoly()
+	r.NTT(a)
+	r.AutomorphismNTT(a, g, dig)
+	r.MulCoeffs(dig, dig, out)
+}
+
 func mixedAdd(r *ring.Ring) {
 	a := r.NewPoly()
 	b := r.NewPoly()

@@ -1,0 +1,93 @@
+// Fixture for the polypool analyzer: ring pool scratch (GetPoly) must
+// be handed back with PutPoly on every exit path or escape to an owner
+// the analyzer can't see. The corrected forms double as silence proofs.
+package bfv
+
+import (
+	"errors"
+
+	"choco/internal/ring"
+)
+
+// Leak: taken from the pool, used, never returned, never escapes.
+func neverReturned(r *ring.Ring, a *ring.Poly) {
+	p := r.GetPoly() // want `never returned with PutPoly`
+	r.Add(a, a, p)
+}
+
+// Leak on one path: the early error return skips the PutPoly.
+func earlyReturnSkipsPut(r *ring.Ring, a *ring.Poly, fail bool) error {
+	p := r.GetPoly() // want `not returned with PutPoly on every exit path`
+	r.Add(a, a, p)
+	if fail {
+		return errors.New("bail")
+	}
+	r.PutPoly(p)
+	return nil
+}
+
+// Leak: the put is conditional, so falling off the end can skip it.
+func conditionalPut(r *ring.Ring, a *ring.Poly, ok bool) {
+	p := r.GetPoly() // want `not returned with PutPoly on every exit path`
+	r.Add(a, a, p)
+	if ok {
+		r.PutPoly(p)
+	}
+}
+
+// Straight-line put before the only exit is fine.
+func straightLine(r *ring.Ring, a *ring.Poly) {
+	p := r.GetPoly()
+	r.Add(a, a, p)
+	r.PutPoly(p)
+}
+
+// A deferred put covers every later exit, early returns included.
+func deferredPut(r *ring.Ring, a *ring.Poly, fail bool) error {
+	p := r.GetPoly()
+	defer r.PutPoly(p)
+	r.Add(a, a, p)
+	if fail {
+		return errors.New("bail")
+	}
+	return nil
+}
+
+// Escape by return: ownership moves to the caller.
+func escapesByReturn(r *ring.Ring, a *ring.Poly) *ring.Poly {
+	p := r.GetPoly()
+	r.Add(a, a, p)
+	return p
+}
+
+// Escape by storage: a Release-style owner will put it later.
+func escapesIntoSlice(r *ring.Ring, digits []*ring.Poly) {
+	p := r.GetPoly()
+	r.NTT(p)
+	digits[0] = p
+}
+
+// Escape into a composite literal: the aggregate owns the polys now,
+// and the range loop puts each one back under another name.
+func escapesIntoLiteral(r *ring.Ring) {
+	t0 := r.GetPoly()
+	t1 := r.GetPoly()
+	for _, tp := range []*ring.Poly{t0, t1} {
+		r.NTT(tp)
+		r.PutPoly(tp)
+	}
+}
+
+// Escape into an unknown callee, which may retain the poly.
+func escapesIntoCall(r *ring.Ring) {
+	p := r.GetPoly()
+	consume(p)
+}
+
+// Escape by closure capture: the literal may run after the function.
+func escapesIntoClosure(r *ring.Ring) func() {
+	p := r.GetPoly()
+	return func() { r.PutPoly(p) }
+}
+
+func consume(*ring.Poly) {}

@@ -176,3 +176,14 @@ func (m Modulus) MulShoup(a, w, wShoup uint64) uint64 {
 	}
 	return r
 }
+
+// MulShoupLazy is MulShoup without the final conditional subtraction:
+// the result is congruent to a·w mod q and lies in [0, 2q). The input
+// a may be any value below 2^62 (not just a reduced residue) — the
+// quotient estimate is off by at most one regardless, so lazily
+// accumulated butterfly operands stay exact. Hot inverse-NTT loops use
+// this to defer reduction to the transform's final stage.
+func (m Modulus) MulShoupLazy(a, w, wShoup uint64) uint64 {
+	qhat, _ := bits.Mul64(a, wShoup)
+	return a*w - qhat*m.Value
+}

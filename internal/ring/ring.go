@@ -83,6 +83,82 @@ type Ring struct {
 	// GetPoly/PutPoly. Per-ring (not global) because a Poly's shape is
 	// the ring's level × N.
 	pool sync.Pool
+
+	// autos caches the per-Galois-element permutation tables used by
+	// Automorphism and AutomorphismNTT. Shared (by pointer) with every
+	// AtLevel sub-ring: the tables depend only on N, not on the modulus
+	// chain.
+	autos *autoCache
+}
+
+// autoCache memoizes automorphism permutation tables keyed by Galois
+// element. A handful of elements recur thousands of times per kernel
+// (each rotation step of each layer), so the exponent walk is paid once
+// per element instead of once per call.
+type autoCache struct {
+	mu     sync.RWMutex
+	tables map[uint64]*autoTable
+}
+
+// autoTable holds the two precomputed views of X -> X^g.
+type autoTable struct {
+	// coeff is the coefficient-domain permutation packed as
+	// dst | sign<<63: source coefficient i lands at position dst,
+	// negated when the exponent i*g wrapped past N (X^N = -1).
+	coeff []uint64
+	// ntt is the evaluation-domain gather: out[i] = in[ntt[i]]. In the
+	// NTT domain the automorphism is a pure slot permutation (each
+	// output slot evaluates the input at another 2N-th root), so no
+	// signs appear.
+	ntt []uint64
+}
+
+const autoSignBit = uint64(1) << 63
+
+// automorphismTable returns (building and caching on first use) the
+// permutation tables for Galois element g.
+func (r *Ring) automorphismTable(g uint64) *autoTable {
+	if g&1 == 0 {
+		panic("ring: Galois element must be odd")
+	}
+	c := r.autos
+	c.mu.RLock()
+	tbl := c.tables[g]
+	c.mu.RUnlock()
+	if tbl != nil {
+		return tbl
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if tbl = c.tables[g]; tbl != nil {
+		return tbl
+	}
+	n := uint64(r.N)
+	mask := 2*n - 1
+	tbl = &autoTable{
+		coeff: make([]uint64, n),
+		ntt:   make([]uint64, n),
+	}
+	idx := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		if idx >= n {
+			tbl.coeff[i] = (idx - n) | autoSignBit
+		} else {
+			tbl.coeff[i] = idx
+		}
+		idx = (idx + g) & mask
+	}
+	// Our forward NTT stores a(psi^{2·br(i)+1}) at position i (br =
+	// bit-reversal over LogN bits). Evaluating phi_g(a)(X) = a(X^g) at
+	// that root gives a(psi^e) with e = g·(2·br(i)+1) mod 2N, which the
+	// input holds at position bitrev((e-1)/2).
+	logN := uint(r.LogN)
+	for i := uint64(0); i < n; i++ {
+		e := (g * (2*(bits.Reverse64(i)>>(64-logN)) + 1)) & mask
+		tbl.ntt[i] = bits.Reverse64((e-1)>>1) >> (64 - logN)
+	}
+	c.tables[g] = tbl
+	return tbl
 }
 
 // nttTable holds per-modulus NTT precomputations.
@@ -96,6 +172,11 @@ type nttTable struct {
 	psiInvRevShoup []uint64
 	nInv           uint64
 	nInvShoup      uint64
+	// nInvPsi = nInv·psiInvRev[1]: the inverse transform's last-stage
+	// twiddle with the 1/N scaling folded in, so the final butterfly
+	// pass doubles as the scaling pass.
+	nInvPsi      uint64
+	nInvPsiShoup uint64
 }
 
 // NewRing constructs the ring of degree 2^logN with the given moduli.
@@ -131,6 +212,7 @@ func NewRing(logN int, moduli []uint64) (*Ring, error) {
 		r.tables = append(r.tables, tbl)
 	}
 	r.precomputeCRT()
+	r.autos = &autoCache{tables: map[uint64]*autoTable{}}
 	return r, nil
 }
 
@@ -187,6 +269,8 @@ func newNTTTable(m nt.Modulus, logN int) (*nttTable, error) {
 	}
 	t.nInv = nInv
 	t.nInvShoup = m.ShoupPrecomp(nInv)
+	t.nInvPsi = m.Mul(nInv, t.psiInvRev[1])
+	t.nInvPsiShoup = m.ShoupPrecomp(t.nInvPsi)
 	return t, nil
 }
 
@@ -210,6 +294,7 @@ func (r *Ring) AtLevel(level int) *Ring {
 		LogN:   r.LogN,
 		Moduli: r.Moduli[:level+1],
 		tables: r.tables[:level+1],
+		autos:  r.autos,
 	}
 	sub.precomputeCRT()
 	return sub
@@ -369,39 +454,75 @@ func nttForward(tbl *nttTable, a []uint64) {
 			j1 := 2 * i * t
 			w := tbl.psiRev[m+i]
 			ws := tbl.psiRevShoup[m+i]
-			for j := j1; j < j1+t; j++ {
-				u := a[j]
-				v := mod.MulShoup(a[j+t], w, ws)
-				a[j] = mod.Add(u, v)
-				a[j+t] = mod.Sub(u, v)
+			// Split the butterfly's two lanes into equal-length slices
+			// so the compiler can prove both indexings in range and
+			// drop the per-iteration bounds checks.
+			x := a[j1 : j1+t : j1+t]
+			y := a[j1+t : j1+2*t]
+			y = y[:len(x)]
+			for k := range x {
+				u := x[k]
+				v := mod.MulShoup(y[k], w, ws)
+				x[k] = mod.Add(u, v)
+				y[k] = mod.Sub(u, v)
 			}
 		}
 	}
 }
 
-// nttInverse is the in-place Gentleman-Sande inverse transform.
+// nttInverse is the in-place Gentleman-Sande inverse transform with
+// two exact accelerations:
+//
+//   - Lazy reduction (Harvey): intermediate lanes live in [0, 2q)
+//     instead of [0, q), so each butterfly drops two conditional
+//     corrections — the sum lane reduces against 2q and the twiddle
+//     lane uses MulShoupLazy on u−v+2q ∈ [0, 4q), which stays exact
+//     for q < 2^62.
+//   - Folded 1/N scaling (Longa-Naehrig): the final stage has a single
+//     twiddle, so scaling its two output lanes by nInv and
+//     nInv·psiInvRev[1] (precomputed) replaces the separate scaling
+//     sweep. The final stage's full MulShoup also restores canonical
+//     [0, q) residues, so the transform's output is bit-identical to
+//     the eager implementation.
 func nttInverse(tbl *nttTable, a []uint64) {
 	mod := tbl.mod
+	twoQ := mod.Value << 1
 	n := len(a)
 	t := 1
-	for m := n; m > 1; m >>= 1 {
+	for m := n; m > 2; m >>= 1 {
 		j1 := 0
 		h := m >> 1
 		for i := 0; i < h; i++ {
 			w := tbl.psiInvRev[h+i]
 			ws := tbl.psiInvRevShoup[h+i]
-			for j := j1; j < j1+t; j++ {
-				u := a[j]
-				v := a[j+t]
-				a[j] = mod.Add(u, v)
-				a[j+t] = mod.MulShoup(mod.Sub(u, v), w, ws)
+			// Equal-length lane slices let the compiler drop the
+			// per-iteration bounds checks.
+			x := a[j1 : j1+t : j1+t]
+			y := a[j1+t : j1+2*t]
+			y = y[:len(x)]
+			for k := range x {
+				u := x[k]
+				v := y[k]
+				s := u + v
+				if s >= twoQ {
+					s -= twoQ
+				}
+				x[k] = s
+				y[k] = mod.MulShoupLazy(u+twoQ-v, w, ws)
 			}
 			j1 += 2 * t
 		}
 		t <<= 1
 	}
-	for j := range a {
-		a[j] = mod.MulShoup(a[j], tbl.nInv, tbl.nInvShoup)
+	half := n >> 1
+	x := a[:half:half]
+	y := a[half:]
+	y = y[:len(x)]
+	for k := range x {
+		u := x[k]
+		v := y[k]
+		x[k] = mod.MulShoup(u+v, tbl.nInv, tbl.nInvShoup)
+		y[k] = mod.MulShoup(u+twoQ-v, tbl.nInvPsi, tbl.nInvPsiShoup)
 	}
 }
 
@@ -489,6 +610,77 @@ func (r *Ring) MulCoeffsAdd(a, b, out *Poly) {
 	})
 }
 
+// ShoupPolyPrecomp returns per-coefficient MulShoup companions for a
+// fixed operand polynomial (one row per residue). Intended for
+// operands that are multiplied many times against varying inputs —
+// key-switching key polynomials above all — where the precomputation
+// turns every inner-product multiply from a full Barrett reduction
+// into a Shoup one.
+func (r *Ring) ShoupPolyPrecomp(p *Poly) [][]uint64 {
+	out := make([][]uint64, len(p.Coeffs))
+	r.parRows(len(p.Coeffs), parMinCoeffwise, func(i int) {
+		m := r.Moduli[i]
+		row := make([]uint64, len(p.Coeffs[i]))
+		for j, w := range p.Coeffs[i] {
+			row[j] = m.ShoupPrecomp(w)
+		}
+		out[i] = row
+	})
+	return out
+}
+
+// MulCoeffsShoupAdd sets out += a ⊙ b, all in NTT domain, where bShoup
+// holds b's companions from ShoupPolyPrecomp. Bit-identical to
+// MulCoeffsAdd (Shoup multiplication is exact), but roughly halves the
+// per-coefficient cost for the fixed operand b.
+func (r *Ring) MulCoeffsShoupAdd(a, b *Poly, bShoup [][]uint64, out *Poly) {
+	if !a.IsNTT || !b.IsNTT || !out.IsNTT {
+		panic("ring: MulCoeffsShoupAdd requires NTT-domain operands")
+	}
+	if debugEnabled {
+		r.debugCheck("MulCoeffsShoupAdd", a, b, out)
+	}
+	r.parRows(len(out.Coeffs), parMinCoeffwise, func(i int) {
+		m := r.Moduli[i]
+		ro := out.Coeffs[i]
+		ra := a.Coeffs[i][:len(ro)]
+		rb := b.Coeffs[i][:len(ro)]
+		rs := bShoup[i][:len(ro)]
+		for j := range ro {
+			ro[j] = m.Add(ro[j], m.MulShoup(ra[j], rb[j], rs[j]))
+		}
+	})
+}
+
+// MulCoeffsShoupAdd2 fuses two accumulations that share the left
+// operand — out0 += a ⊙ b0, out1 += a ⊙ b1 — into one sweep, loading
+// each coefficient of a once. This is the key-switching inner-product
+// shape: one digit multiplied against both halves (B, A) of a
+// switching key. Bit-identical to two MulCoeffsShoupAdd calls.
+func (r *Ring) MulCoeffsShoupAdd2(a, b0 *Poly, b0Shoup [][]uint64, out0 *Poly, b1 *Poly, b1Shoup [][]uint64, out1 *Poly) {
+	if !a.IsNTT || !b0.IsNTT || !b1.IsNTT || !out0.IsNTT || !out1.IsNTT {
+		panic("ring: MulCoeffsShoupAdd2 requires NTT-domain operands")
+	}
+	if debugEnabled {
+		r.debugCheck("MulCoeffsShoupAdd2", a, b0, b1, out0, out1)
+	}
+	r.parRows(len(out0.Coeffs), parMinCoeffwise, func(i int) {
+		m := r.Moduli[i]
+		ro0 := out0.Coeffs[i]
+		ro1 := out1.Coeffs[i][:len(ro0)]
+		ra := a.Coeffs[i][:len(ro0)]
+		rb0 := b0.Coeffs[i][:len(ro0)]
+		rs0 := b0Shoup[i][:len(ro0)]
+		rb1 := b1.Coeffs[i][:len(ro0)]
+		rs1 := b1Shoup[i][:len(ro0)]
+		for j := range ro0 {
+			x := ra[j]
+			ro0[j] = m.Add(ro0[j], m.MulShoup(x, rb0[j], rs0[j]))
+			ro1[j] = m.Add(ro1[j], m.MulShoup(x, rb1[j], rs1[j]))
+		}
+	})
+}
+
 // MulScalar sets out = a * c for a scalar c (already reduced per
 // modulus by the caller or arbitrary; it is reduced here).
 func (r *Ring) MulScalar(a *Poly, c uint64, out *Poly) {
@@ -559,35 +751,52 @@ func (r *Ring) GaloisElementRowSwap() uint64 { return uint64(2*r.N - 1) }
 
 // Automorphism applies X -> X^g to a coefficient-domain polynomial:
 // out[i*g mod 2N] = ±a[i] with sign flip when the exponent wraps past N.
-// g must be odd. a and out must not alias.
+// g must be odd. a and out must not alias. The index/sign permutation is
+// cached per Galois element.
 func (r *Ring) Automorphism(a *Poly, g uint64, out *Poly) {
 	if a.IsNTT {
 		panic("ring: Automorphism requires coefficient domain")
 	}
-	if g&1 == 0 {
-		panic("ring: Galois element must be odd")
-	}
 	if debugEnabled {
 		r.debugCheck("Automorphism", a)
 	}
-	n := uint64(r.N)
-	mask := 2*n - 1
+	tbl := r.automorphismTable(g)
+	perm := tbl.coeff
 	r.parRows(len(out.Coeffs), parMinTransform, func(lvl int) {
 		m := r.Moduli[lvl]
 		ra, ro := a.Coeffs[lvl], out.Coeffs[lvl]
-		idx := uint64(0)
-		for i := uint64(0); i < n; i++ {
-			j := idx
-			v := ra[i]
-			if j >= n {
-				ro[j-n] = m.Neg(v)
+		for i, e := range perm {
+			if e&autoSignBit != 0 {
+				ro[e&^autoSignBit] = m.Neg(ra[i])
 			} else {
-				ro[j] = v
+				ro[e] = ra[i]
 			}
-			idx = (idx + g) & mask
 		}
 	})
 	out.IsNTT = false
+}
+
+// AutomorphismNTT applies X -> X^g to an NTT-domain polynomial by
+// permuting evaluation slots directly: no transform, no sign fixups,
+// one gather per residue row. This is what makes hoisted rotation pay
+// off — the decomposed digits stay in the evaluation domain across the
+// whole rotation batch. g must be odd. a and out must not alias.
+func (r *Ring) AutomorphismNTT(a *Poly, g uint64, out *Poly) {
+	if !a.IsNTT {
+		panic("ring: AutomorphismNTT requires NTT domain")
+	}
+	if debugEnabled {
+		r.debugCheck("AutomorphismNTT", a)
+	}
+	tbl := r.automorphismTable(g)
+	perm := tbl.ntt
+	r.parRows(len(out.Coeffs), parMinTransform, func(lvl int) {
+		ra, ro := a.Coeffs[lvl], out.Coeffs[lvl]
+		for i, src := range perm {
+			ro[i] = ra[src]
+		}
+	})
+	out.IsNTT = true
 }
 
 // PolyToBigintCentered writes the centered CRT composition of each

@@ -362,3 +362,66 @@ func TestRingBoundaryDegrees(t *testing.T) {
 		t.Error("expected error for logN beyond support")
 	}
 }
+
+// TestAutomorphismNTTMatchesCoeff pins the evaluation-domain
+// automorphism against the coefficient-domain reference: for every
+// Galois element, NTT(Automorphism(a)) must equal
+// AutomorphismNTT(NTT(a)) slot for slot. This is the identity the
+// hoisted key-switching path relies on when it permutes decomposed
+// digits without leaving the NTT domain.
+func TestAutomorphismNTTMatchesCoeff(t *testing.T) {
+	for _, logN := range []int{4, 8, 11} {
+		r := testRing(t, logN, []int{30, 31})
+		gs := []uint64{3, 9, 5, r.GaloisElementRowSwap()}
+		for s := 1; s < 5; s++ {
+			gs = append(gs, r.GaloisElementForRotation(s), r.GaloisElementForRotation(-s))
+		}
+		for _, g := range gs {
+			a := randomPoly(r, byte(logN))
+
+			viaCoeff := r.NewPoly()
+			r.Automorphism(a, g, viaCoeff)
+			r.NTT(viaCoeff)
+
+			r.NTT(a)
+			out := r.NewPoly()
+			r.AutomorphismNTT(a, g, out)
+
+			if !r.Equal(viaCoeff, out) {
+				t.Fatalf("logN=%d g=%d: AutomorphismNTT disagrees with NTT-of-Automorphism", logN, g)
+			}
+		}
+	}
+}
+
+// TestAutomorphismTableCache checks that repeated automorphisms through
+// the cached tables stay self-consistent and that AtLevel sub-rings see
+// the same cache (the tables depend only on N).
+func TestAutomorphismTableCache(t *testing.T) {
+	r := testRing(t, 8, []int{30, 31, 32})
+	sub := r.AtLevel(1)
+	if sub.autos != r.autos {
+		t.Fatal("AtLevel sub-ring does not share the automorphism cache")
+	}
+	g := r.GaloisElementForRotation(3)
+	a := randomPoly(r, 77)
+	first := r.NewPoly()
+	r.Automorphism(a, g, first)
+	second := r.NewPoly()
+	r.Automorphism(a, g, second) // cached-table path
+	if !r.Equal(first, second) {
+		t.Fatal("cached automorphism table diverges from first computation")
+	}
+}
+
+// TestAutomorphismNTTRejectsCoeffDomain pins the domain guard.
+func TestAutomorphismNTTRejectsCoeffDomain(t *testing.T) {
+	r := testRing(t, 4, []int{30})
+	a := randomPoly(r, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for coefficient-domain input")
+		}
+	}()
+	r.AutomorphismNTT(a, 3, r.NewPoly())
+}

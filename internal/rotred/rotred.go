@@ -119,22 +119,40 @@ func (l Layout) WindowedRotate(ev *bfv.Evaluator, ct *bfv.Ciphertext, steps int)
 	return ev.RotateRows(ct, steps)
 }
 
+// WindowedRotateBatch performs the windowed rotation of every channel
+// by each requested step, sharing one hoisted decomposition of ct
+// across the whole set (the fast path's cost for k rotations is one
+// RNS decomposition plus k cheap key switches). Every |step| must be
+// within the layout's Pad. Outputs are in step order and byte-identical
+// to calling WindowedRotate once per step.
+func (l Layout) WindowedRotateBatch(ev *bfv.Evaluator, ct *bfv.Ciphertext, steps []int) ([]*bfv.Ciphertext, error) {
+	for _, s := range steps {
+		if s > l.Pad || -s > l.Pad {
+			return nil, fmt.Errorf("rotred: rotation %d exceeds redundancy %d", s, l.Pad)
+		}
+	}
+	return ev.RotateRowsHoisted(ct, steps)
+}
+
 // MaskedWindowedRotate performs the same windowed rotation using the
 // arbitrary-permutation baseline (Fig 4A): two full rotations, two
 // masking multiplies, and an addition. It needs no redundancy but
 // consumes dramatically more noise budget (Table 4). The layout's Pad
-// may be zero for this path.
+// may be zero for this path. The two rotations act on the same input,
+// so they share one hoisted decomposition.
 func (l Layout) MaskedWindowedRotate(ev *bfv.Evaluator, ecd *bfv.Encoder, ct *bfv.Ciphertext, steps int, slots int) (*bfv.Ciphertext, error) {
 	w := l.Window
 	steps = ((steps % w) + w) % w
 	if steps == 0 {
 		return ct, nil
 	}
-	// Part A: elements that stay inside the window after shifting.
-	rotA, err := ev.RotateRows(ct, steps)
+	// Part A rotates the in-window elements into place; part B brings
+	// the wrap-around elements. Both rotate the input ciphertext.
+	rots, err := ev.RotateRowsHoisted(ct, []int{steps, steps - w})
 	if err != nil {
 		return nil, err
 	}
+	rotA, rotB := rots[0], rots[1]
 	maskA := make([]uint64, slots)
 	maskB := make([]uint64, slots)
 	for c := 0; c < l.Channels; c++ {
@@ -152,11 +170,6 @@ func (l Layout) MaskedWindowedRotate(ev *bfv.Evaluator, ecd *bfv.Encoder, ct *bf
 	}
 	partA := ev.MulPlain(rotA, ev.PrepareMul(ptA))
 
-	// Part B: wrap-around elements.
-	rotB, err := ev.RotateRows(ct, steps-w)
-	if err != nil {
-		return nil, err
-	}
 	ptB, err := ecd.EncodeUints(maskB)
 	if err != nil {
 		return nil, err
