@@ -10,9 +10,12 @@
 #                  par fan-out paths are exercised even on 1-core CI
 #   make debug   — tests with the chocodebug assertion layer compiled in
 #   make bench   — paper-table benchmark generators; also regenerates
-#                  the machine-readable rotation perf trajectory in
+#                  the machine-readable perf trajectories: rotations in
 #                  BENCH_rotations.json (serial = before hoisting,
-#                  hoisted = after)
+#                  hoisted = after) and the client encrypt/decrypt
+#                  kernels in BENCH_client.json (decrypt-bigint = the
+#                  seed's big.Int scaling, decrypt-rns = the RNS-native
+#                  rewrite)
 
 GO ?= go
 
@@ -41,4 +44,5 @@ debug:
 
 bench:
 	$(GO) run ./cmd/chocobench -json BENCH_rotations.json rotations
+	$(GO) run ./cmd/chocobench -json BENCH_client.json client
 	$(GO) test -bench=. -benchmem ./...

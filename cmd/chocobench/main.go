@@ -23,15 +23,32 @@ type experiment struct {
 	run  func() (string, error)
 }
 
-// rotationRecords holds the machine-readable side of the rotations
-// experiment for the -json flag.
-var rotationRecords []bench.RotationBench
+// jsonBodies collects the machine-readable side of experiments that
+// produce one (keyed by experiment name) for the -json flag.
+var jsonBodies = map[string][]byte{}
 
 func experiments() []experiment {
 	return []experiment{
 		{"rotations", "serial vs hoisted rotation batches (perf trajectory)", func() (string, error) {
 			out, recs, err := bench.Rotations()
-			rotationRecords = recs
+			if err == nil {
+				body, jerr := bench.RotationsJSON(recs)
+				if jerr != nil {
+					return "", jerr
+				}
+				jsonBodies["rotations"] = body
+			}
+			return out, err
+		}},
+		{"client", "client encrypt/decrypt kernels: RNS-native vs big.Int oracle", func() (string, error) {
+			out, recs, err := bench.Client()
+			if err == nil {
+				body, jerr := bench.ClientJSON(recs)
+				if jerr != nil {
+					return "", jerr
+				}
+				jsonBodies["client"] = body
+			}
 			return out, err
 		}},
 		{"table1", "HE operation complexity (measured)", bench.Table1},
@@ -79,7 +96,7 @@ func experiments() []experiment {
 
 func main() {
 	list := flag.Bool("list", false, "list experiment names and exit")
-	jsonPath := flag.String("json", "", "write the rotations experiment's records to this path as JSON")
+	jsonPath := flag.String("json", "", "write the selected record-producing experiment's records to this path as JSON")
 	flag.Parse()
 
 	exps := experiments()
@@ -113,19 +130,20 @@ func main() {
 		os.Exit(1)
 	}
 	if *jsonPath != "" {
-		if rotationRecords == nil {
-			fmt.Fprintf(os.Stderr, "-json set but the rotations experiment did not run\n")
+		if len(jsonBodies) == 0 {
+			fmt.Fprintf(os.Stderr, "-json set but no record-producing experiment ran (rotations, client)\n")
 			os.Exit(1)
 		}
-		body, err := bench.RotationsJSON(rotationRecords)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "rendering %s: %v\n", *jsonPath, err)
+		if len(jsonBodies) > 1 {
+			fmt.Fprintf(os.Stderr, "-json set but several record-producing experiments ran; select one\n")
 			os.Exit(1)
 		}
-		if err := os.WriteFile(*jsonPath, body, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
-			os.Exit(1)
+		for name, body := range jsonBodies {
+			if err := os.WriteFile(*jsonPath, body, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%s records)\n", *jsonPath, name)
 		}
-		fmt.Printf("wrote %s (%d records)\n", *jsonPath, len(rotationRecords))
 	}
 }

@@ -3,6 +3,8 @@ package bfv
 import (
 	"math/big"
 
+	"choco/internal/nt"
+	"choco/internal/par"
 	"choco/internal/ring"
 	"choco/internal/sampling"
 )
@@ -34,11 +36,18 @@ func (ctx *Context) CopyCt(ct *Ciphertext) *Ciphertext {
 
 // Encryptor performs asymmetric BFV encryption — the client-side kernel
 // of Eq. 2 in the paper: ct = ([Δm + P0·u + e1]_q, [P1·u + e2]_q).
+// It is not safe for concurrent use: the sampling stream and the
+// per-encryptor scratch buffers are stateful.
 type Encryptor struct {
 	ctx     *Context
 	pk      *PublicKey
 	encoder *Encoder
 	src     *sampling.Source
+	// Per-encryptor sampling buffers, reused across calls so the
+	// steady-state encryption loop does not allocate.
+	uSigned  []int64
+	e1Signed []int64
+	e2Signed []int64
 	// OpCount tallies encryptions performed, used by the system-level
 	// client cost accounting.
 	OpCount int
@@ -46,51 +55,95 @@ type Encryptor struct {
 
 // NewEncryptor returns an encryptor drawing randomness from seed.
 func NewEncryptor(ctx *Context, pk *PublicKey, seed [32]byte) *Encryptor {
+	n := ctx.Params.N()
 	return &Encryptor{
-		ctx:     ctx,
-		pk:      pk,
-		encoder: NewEncoder(ctx),
-		src:     sampling.NewSource(seed, "bfv-encryptor"),
+		ctx:      ctx,
+		pk:       pk,
+		encoder:  NewEncoder(ctx),
+		src:      sampling.NewSource(seed, "bfv-encryptor"),
+		uSigned:  make([]int64, n),
+		e1Signed: make([]int64, n),
+		e2Signed: make([]int64, n),
 	}
 }
 
 // Encrypt encrypts an encoded plaintext.
 func (enc *Encryptor) Encrypt(pt *Plaintext) *Ciphertext {
+	r := enc.ctx.RingQ
+	ct := &Ciphertext{Value: []*ring.Poly{r.NewPoly(), r.NewPoly()}}
+	enc.EncryptInto(pt, ct)
+	return ct
+}
+
+// reduceSigned maps a signed coefficient into [0, q), matching
+// ring.SetCoeffsInt64 bit for bit.
+func reduceSigned(m nt.Modulus, v int64) uint64 {
+	if v >= 0 {
+		return m.Reduce(uint64(v))
+	}
+	return m.Neg(m.Reduce(uint64(-v)))
+}
+
+// EncryptInto encrypts pt into ct, reusing ct's polynomials — the
+// zero-allocation path for steady-state client loops. ct must be a
+// degree-1 full-modulus ciphertext (as produced by Encrypt); its
+// previous contents are overwritten.
+//
+// The work is organized as a fused per-RNS-residue pipeline, the
+// software shape of CHOCO-TACO's per-residue replication: randomness
+// is drawn once up front (preserving the sampling stream order of the
+// serial implementation), then each residue row independently runs
+// reduce → NTT → dyadic mul → inverse NTT → error/message add for
+// both ciphertext halves. Rows fan out across internal/par; because
+// rows never share state, the result is byte-identical to serial
+// execution regardless of worker count.
+func (enc *Encryptor) EncryptInto(pt *Plaintext, ct *Ciphertext) {
 	ctx := enc.ctx
 	r := ctx.RingQ
-	n := ctx.Params.N()
 	enc.OpCount++
 
-	// u ← ternary, e1, e2 ← χ.
-	u := r.NewPoly()
-	uSigned := make([]int64, n)
-	enc.src.TernarySigned(uSigned)
-	r.SetCoeffsInt64(uSigned, u)
-	r.NTT(u)
+	// u ← ternary, e1, e2 ← χ, in the serial draw order.
+	enc.src.TernarySigned(enc.uSigned)
+	enc.src.GaussianSigned(enc.e1Signed, ctx.Params.Sigma)
+	enc.src.GaussianSigned(enc.e2Signed, ctx.Params.Sigma)
 
-	eSigned := make([]int64, n)
+	u := r.GetPoly()
+	c0, c1 := ct.Value[0], ct.Value[1]
+	ptRow := pt.Poly.Coeffs[0]
+	par.ForWorker(r.Level(), func(_, i int) {
+		m := r.Moduli[i]
+		ur := u.Coeffs[i]
+		for j, v := range enc.uSigned {
+			ur[j] = reduceSigned(m, v)
+		}
+		r.NTTForwardRow(i, ur)
 
-	// c0 = P0·u + e1 + Δm
-	c0 := r.NewPoly()
-	r.MulCoeffs(enc.pk.P0, u, c0)
-	r.INTT(c0)
-	e1 := r.NewPoly()
-	enc.src.GaussianSigned(eSigned, ctx.Params.Sigma)
-	r.SetCoeffsInt64(eSigned, e1)
-	r.Add(c0, e1, c0)
-	dm := enc.encoder.liftToQScaled(pt)
-	r.Add(c0, dm, c0)
+		// c0 row = INTT(P0 ⊙ u) + e1 + Δm
+		p0r, c0r := enc.pk.P0.Coeffs[i], c0.Coeffs[i]
+		for j := range c0r {
+			c0r[j] = m.Mul(p0r[j], ur[j])
+		}
+		r.NTTInverseRow(i, c0r)
+		d, ds := ctx.deltaRNS[i], ctx.deltaRNSShoup[i]
+		for j := range c0r {
+			v := m.Add(c0r[j], reduceSigned(m, enc.e1Signed[j]))
+			c0r[j] = m.Add(v, m.MulShoup(m.Reduce(ptRow[j]), d, ds))
+		}
 
-	// c1 = P1·u + e2
-	c1 := r.NewPoly()
-	r.MulCoeffs(enc.pk.P1, u, c1)
-	r.INTT(c1)
-	e2 := r.NewPoly()
-	enc.src.GaussianSigned(eSigned, ctx.Params.Sigma)
-	r.SetCoeffsInt64(eSigned, e2)
-	r.Add(c1, e2, c1)
-
-	return &Ciphertext{Value: []*ring.Poly{c0, c1}}
+		// c1 row = INTT(P1 ⊙ u) + e2
+		p1r, c1r := enc.pk.P1.Coeffs[i], c1.Coeffs[i]
+		for j := range c1r {
+			c1r[j] = m.Mul(p1r[j], ur[j])
+		}
+		r.NTTInverseRow(i, c1r)
+		for j := range c1r {
+			c1r[j] = m.Add(c1r[j], reduceSigned(m, enc.e2Signed[j]))
+		}
+	})
+	r.PutPoly(u)
+	c0.DeclareCoeff()
+	c1.DeclareCoeff()
+	ct.Drop = 0
 }
 
 // EncryptUints encodes and encrypts in one step.
@@ -121,71 +174,139 @@ func (enc *Encryptor) EncryptZero() *Ciphertext {
 // Decryptor inverts encryption given the secret key — Eq. 3:
 // m = [round(t/q · [c0 + c1·s]_q)]_t.
 type Decryptor struct {
-	ctx *Context
-	sk  *SecretKey
+	ctx     *Context
+	sk      *SecretKey
+	encoder *Encoder
+	// skAtDrop[d] is a level-truncated NTT-domain view of the secret
+	// key for drop level d, cached so phase computation allocates
+	// nothing.
+	skAtDrop []ring.Poly
 	// OpCount tallies decryptions performed.
 	OpCount int
 }
 
 // NewDecryptor returns a decryptor for sk.
 func NewDecryptor(ctx *Context, sk *SecretKey) *Decryptor {
-	return &Decryptor{ctx: ctx, sk: sk}
+	nData := len(ctx.RingQ.Moduli)
+	skAtDrop := make([]ring.Poly, nData)
+	for d := range skAtDrop {
+		skAtDrop[d] = ring.Poly{Coeffs: sk.ValueQ.Coeffs[:nData-d], IsNTT: true}
+	}
+	return &Decryptor{ctx: ctx, sk: sk, encoder: NewEncoder(ctx), skAtDrop: skAtDrop}
 }
 
-// phase computes [c0 + c1·s + c2·s² + ...]_q in the coefficient
-// domain, at the ciphertext's (possibly modulus-switched) level.
-func (dec *Decryptor) phase(ct *Ciphertext) *ring.Poly {
+// phaseInto computes [c0 + c1·s + c2·s² + ...]_q into acc
+// (coefficient domain), at the ciphertext's (possibly
+// modulus-switched) level. Temporaries come from the ring scratch pool
+// and are returned before exit, so steady-state calls do not allocate.
+//
+// The whole phase is a fused per-residue pipeline (the decryption twin
+// of EncryptInto): each row independently runs NTT(c_i) → ·s^i →
+// accumulate → inverse NTT → +c0, fanned across internal/par. c0
+// never pays a forward NTT (2 transforms per degree-1 decryption, not
+// 3), and rows share no state, so the result is byte-identical to
+// serial execution.
+func (dec *Decryptor) phaseInto(ct *Ciphertext, acc *ring.Poly) {
 	r := dec.ctx.RingAtDrop(ct.Drop)
-	acc := r.CopyPoly(ct.Value[0])
-	r.NTT(acc)
-	skTrunc := &ring.Poly{Coeffs: dec.sk.ValueQ.Coeffs[:r.Level()], IsNTT: true}
-	sPow := r.CopyPoly(skTrunc)
-	tmp := r.NewPoly()
-	for i := 1; i < len(ct.Value); i++ {
-		ci := r.CopyPoly(ct.Value[i])
-		r.NTT(ci)
-		r.MulCoeffs(ci, sPow, tmp)
-		r.Add(acc, tmp, acc)
-		if i+1 < len(ct.Value) {
-			r.MulCoeffs(sPow, skTrunc, sPow)
-		}
+	if len(ct.Value) == 1 { // degree 0: phase is c0 itself
+		r.Copy(acc, ct.Value[0])
+		return
 	}
-	r.INTT(acc)
+	sk := &dec.skAtDrop[ct.Drop]
+	ci := r.GetPoly()
+	var sPow *ring.Poly // s^i rows, needed only for degree ≥ 2
+	if len(ct.Value) > 2 {
+		sPow = r.GetPoly()
+	}
+	par.ForWorker(r.Level(), func(_, i int) {
+		m := r.Moduli[i]
+		accr, cir, skr := acc.Coeffs[i], ci.Coeffs[i], sk.Coeffs[i]
+		copy(cir, ct.Value[1].Coeffs[i])
+		r.NTTForwardRow(i, cir)
+		for j := range accr {
+			accr[j] = m.Mul(cir[j], skr[j])
+		}
+		if sPow != nil {
+			spr := sPow.Coeffs[i]
+			copy(spr, skr)
+			for k := 2; k < len(ct.Value); k++ {
+				for j := range spr {
+					spr[j] = m.Mul(spr[j], skr[j]) // s^k
+				}
+				copy(cir, ct.Value[k].Coeffs[i])
+				r.NTTForwardRow(i, cir)
+				for j := range accr {
+					accr[j] = m.Add(accr[j], m.Mul(cir[j], spr[j]))
+				}
+			}
+		}
+		r.NTTInverseRow(i, accr)
+		c0r := ct.Value[0].Coeffs[i]
+		for j := range accr {
+			accr[j] = m.Add(accr[j], c0r[j])
+		}
+	})
+	r.PutPoly(ci)
+	r.PutPoly(sPow)
+	acc.DeclareCoeff()
+}
+
+// phase is the allocating form of phaseInto, for callers that keep the
+// result (NoiseBudget).
+func (dec *Decryptor) phase(ct *Ciphertext) *ring.Poly {
+	acc := dec.ctx.RingAtDrop(ct.Drop).NewPoly()
+	dec.phaseInto(ct, acc)
 	return acc
 }
 
 // Decrypt returns the plaintext underlying ct, scaling by the
 // ciphertext's own modulus (which modulus switching may have shrunk).
+// The scaling runs RNS-natively (decrypt_rns.go): a flat uint64 pass
+// with no big.Int in the loop; DecryptOracle keeps the reference path.
 func (dec *Decryptor) Decrypt(ct *Ciphertext) *Plaintext {
+	out := &Plaintext{Poly: dec.ctx.RingT.NewPoly()}
+	dec.DecryptInto(ct, out)
+	return out
+}
+
+// DecryptInto decrypts ct into pt, reusing pt's backing storage — the
+// zero-allocation path for steady-state client loops (serve/nn call it
+// once per linear phase boundary).
+func (dec *Decryptor) DecryptInto(ct *Ciphertext, pt *Plaintext) {
 	ctx := dec.ctx
 	dec.OpCount++
-	x := dec.phase(ct)
 	r := ctx.RingAtDrop(ct.Drop)
-	// Scale: m_j = round(t · x_j / Q) mod t on centered x_j.
-	vals := make([]*big.Int, ctx.Params.N())
-	r.PolyToBigintCentered(x, vals)
-	bigQ := r.ModulusBig()
-	bt := new(big.Int).SetUint64(ctx.T.Value)
+	x := r.GetPoly()
+	dec.phaseInto(ct, x)
+	ctx.scaleCenteredInto(x, ct.Drop, pt.Poly.Coeffs[0])
+	r.PutPoly(x)
+	pt.Poly.DeclareCoeff()
+}
+
+// DecryptOracle is the big.Int reference decryption — centered CRT
+// composition and rational rounding per coefficient, exactly the
+// pre-RNS implementation. Property tests pin Decrypt == DecryptOracle;
+// it is not a hot path.
+func (dec *Decryptor) DecryptOracle(ct *Ciphertext) *Plaintext {
+	ctx := dec.ctx
+	dec.OpCount++
+	r := ctx.RingAtDrop(ct.Drop)
+	x := r.GetPoly()
+	dec.phaseInto(ct, x)
 	out := &Plaintext{Poly: ctx.RingT.NewPoly()}
-	row := out.Poly.Coeffs[0]
-	num := new(big.Int)
-	for j, v := range vals {
-		num.Mul(v, bt)
-		m := roundDiv(num, bigQ)
-		m.Mod(m, bt)
-		row[j] = m.Uint64()
-	}
+	ctx.scaleOracleInto(r, x, out.Poly.Coeffs[0])
+	r.PutPoly(x)
 	return out
 }
 
 // DecryptUints decrypts and decodes all slots.
 func (dec *Decryptor) DecryptUints(ct *Ciphertext) []uint64 {
-	return NewEncoder(dec.ctx).DecodeUints(dec.Decrypt(ct))
+	return dec.encoder.DecodeUints(dec.Decrypt(ct))
 }
 
 // DecryptInts decrypts and decodes all slots as centered values.
 func (dec *Decryptor) DecryptInts(ct *Ciphertext) []int64 {
-	return NewEncoder(dec.ctx).DecodeInts(dec.Decrypt(ct))
+	return dec.encoder.DecodeInts(dec.Decrypt(ct))
 }
 
 // roundDiv returns round(a/b) for positive b, rounding half away from

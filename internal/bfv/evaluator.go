@@ -232,6 +232,7 @@ func (ev *Evaluator) Mul(a, b *Ciphertext) (*Ciphertext, error) {
 	out := &Ciphertext{Value: make([]*ring.Poly, 3)}
 	bt := new(big.Int).SetUint64(ctx.T.Value)
 	num := new(big.Int)
+	//lint:ignore-choco bigintloop exact t/Q tensor scaling needs the CRT composition; server-side multiply, not the client kernel
 	for i, tp := range []*ring.Poly{t0, t1, t2} {
 		rE.INTT(tp)
 		vals := make([]*big.Int, n)
@@ -368,6 +369,7 @@ func (ev *Evaluator) ModSwitchToSmallest(ct *Ciphertext, currentBudget int) (*Ci
 	ctx := ev.ctx
 	out := ct
 	budget := currentBudget
+	//lint:ignore-choco bigintloop one BitLen per drop level on a handful of moduli, not per-coefficient work
 	for out.Drop < ctx.MaxDrop() {
 		r := ctx.RingAtDrop(out.Drop)
 		lastBits := r.Moduli[r.Level()-1].BitLen()

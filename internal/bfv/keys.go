@@ -132,6 +132,7 @@ func (kg *KeyGenerator) genSwitchingKey(sk *SecretKey, sPrime *ring.Poly, label 
 		A: make([]*ring.Poly, nData),
 	}
 	eSigned := make([]int64, ctx.Params.N())
+	//lint:ignore-choco bigintloop one-time key generation, not an online path
 	for i := 0; i < nData; i++ {
 		a := rQP.NewPoly()
 		for j, m := range rQP.Moduli {

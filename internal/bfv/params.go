@@ -101,11 +101,12 @@ type Context struct {
 	ringE *ring.Ring
 
 	// T is the plaintext modulus; Delta = floor(Q/t).
-	T        nt.Modulus
-	BigQ     *big.Int
-	BigP     *big.Int
-	Delta    *big.Int
-	deltaRNS []uint64 // Delta mod q_i
+	T             nt.Modulus
+	BigQ          *big.Int
+	BigP          *big.Int
+	Delta         *big.Int
+	deltaRNS      []uint64 // Delta mod q_i
+	deltaRNSShoup []uint64 // Shoup companions of deltaRNS
 
 	// Key-switch helpers: qTilde[i] = (Q/q_i)·[(Q/q_i)^-1 mod q_i]
 	// (the CRT basis element, ≡1 mod q_i, ≡0 mod q_j), reduced into
@@ -120,6 +121,10 @@ type Context struct {
 	// ringQDrop[d] is the data ring with d residues removed (for
 	// modulus-switched ciphertexts); ringQDrop[0] == RingQ.
 	ringQDrop []*ring.Ring
+
+	// scalers[d] holds the RNS decryption-scaling constants for drop
+	// level d (see decrypt_rns.go).
+	scalers []rnsScaler
 }
 
 // RingAtDrop returns the data ring with drop residues removed.
@@ -201,8 +206,11 @@ func NewContext(params Parameters) (*Context, error) {
 	ctx.BigQ = ctx.RingQ.ModulusBig()
 	ctx.Delta = new(big.Int).Div(ctx.BigQ, new(big.Int).SetUint64(tVal))
 	ctx.deltaRNS = make([]uint64, nData)
+	ctx.deltaRNSShoup = make([]uint64, nData)
+	//lint:ignore-choco bigintloop one-time context setup precomputation
 	for i, m := range ctx.RingQ.Moduli {
 		ctx.deltaRNS[i] = new(big.Int).Mod(ctx.Delta, new(big.Int).SetUint64(m.Value)).Uint64()
+		ctx.deltaRNSShoup[i] = m.ShoupPrecomp(ctx.deltaRNS[i])
 	}
 
 	if params.PBits != 0 {
@@ -221,6 +229,7 @@ func NewContext(params Parameters) (*Context, error) {
 		}
 		// qTilde_i over the QP basis.
 		ctx.qTildeQP = make([][]uint64, nData)
+		//lint:ignore-choco bigintloop one-time context setup precomputation
 		for i := range ctx.qTildeQP {
 			qi := new(big.Int).SetUint64(ctx.RingQ.Moduli[i].Value)
 			hat := new(big.Int).Div(ctx.BigQ, qi)
@@ -258,6 +267,7 @@ func NewContext(params Parameters) (*Context, error) {
 	}
 
 	ctx.indexMap = buildIndexMap(params.LogN)
+	ctx.scalers = buildRNSScalers(ctx)
 	return ctx, nil
 }
 

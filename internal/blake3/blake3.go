@@ -315,24 +315,81 @@ func NewXOF(key [32]byte, seed []byte) *XOF {
 
 // Read fills p with the next bytes of the output stream.
 func (x *XOF) Read(p []byte) (int, error) {
-	total := len(p)
-	for len(p) > 0 {
-		if x.bufUsed == 64 {
-			words := compress(&x.out.cv, &x.out.block, x.counter, x.out.blockLen, x.out.flags|flagRoot)
-			for i, w := range words {
-				x.buf[4*i] = byte(w)
-				x.buf[4*i+1] = byte(w >> 8)
-				x.buf[4*i+2] = byte(w >> 16)
-				x.buf[4*i+3] = byte(w >> 24)
-			}
-			x.counter++
-			x.bufUsed = 0
-		}
+	x.Fill(p)
+	return len(p), nil
+}
+
+// Fill writes the next len(p) bytes of the output stream into p. It is
+// the bulk squeeze path: whole 64-byte output blocks are serialized
+// straight into p, touching the internal staging buffer only for the
+// stream's unaligned head and tail. The bytes produced are identical to
+// repeated Read calls — Fill only changes how many times the block
+// buffer is copied, never the stream itself.
+func (x *XOF) Fill(p []byte) {
+	// Drain whatever the staging buffer still holds.
+	if x.bufUsed < 64 {
 		n := copy(p, x.buf[x.bufUsed:])
 		x.bufUsed += n
 		p = p[n:]
 	}
-	return total, nil
+	// Whole blocks: compress directly into the caller's buffer.
+	for len(p) >= 64 {
+		words := compress(&x.out.cv, &x.out.block, x.counter, x.out.blockLen, x.out.flags|flagRoot)
+		x.counter++
+		for i, w := range words {
+			p[4*i] = byte(w)
+			p[4*i+1] = byte(w >> 8)
+			p[4*i+2] = byte(w >> 16)
+			p[4*i+3] = byte(w >> 24)
+		}
+		p = p[64:]
+	}
+	// Tail: refill the staging buffer and copy the remainder.
+	if len(p) > 0 {
+		x.refill()
+		x.bufUsed = copy(p, x.buf[:])
+	}
+}
+
+// refill squeezes the next 64-byte block into the staging buffer.
+func (x *XOF) refill() {
+	words := compress(&x.out.cv, &x.out.block, x.counter, x.out.blockLen, x.out.flags|flagRoot)
+	for i, w := range words {
+		x.buf[4*i] = byte(w)
+		x.buf[4*i+1] = byte(w >> 8)
+		x.buf[4*i+2] = byte(w >> 16)
+		x.buf[4*i+3] = byte(w >> 24)
+	}
+	x.counter++
+	x.bufUsed = 0
+}
+
+// FillUint64 fills out with the next len(out)*8 stream bytes decoded as
+// little-endian uint64s — exactly the sequence repeated Uint64 calls
+// would return, but decoded 8 words per compress call with no staging
+// copy on the aligned fast path. This is the samplers' bulk entry
+// point: one compress yields a full 64-byte block, i.e. 8 words.
+func (x *XOF) FillUint64(out []uint64) {
+	// Unaligned head: consume staged bytes through the scalar path.
+	for x.bufUsed < 64 && len(out) > 0 {
+		out[0] = x.Uint64()
+		out = out[1:]
+	}
+	// Aligned body: decode whole blocks directly from compress output.
+	for len(out) >= 8 {
+		words := compress(&x.out.cv, &x.out.block, x.counter, x.out.blockLen, x.out.flags|flagRoot)
+		x.counter++
+		for i := 0; i < 8; i++ {
+			out[i] = uint64(words[2*i]) | uint64(words[2*i+1])<<32
+		}
+		out = out[8:]
+	}
+	// Tail: fewer than 8 words; squeeze one block into the staging
+	// buffer and decode from there so leftover bytes stay available.
+	for len(out) > 0 {
+		out[0] = x.Uint64()
+		out = out[1:]
+	}
 }
 
 // Uint64 returns the next 8 output bytes as a little-endian uint64.

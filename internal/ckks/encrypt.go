@@ -1,6 +1,8 @@
 package ckks
 
 import (
+	"choco/internal/nt"
+	"choco/internal/par"
 	"choco/internal/ring"
 	"choco/internal/sampling"
 )
@@ -27,60 +29,115 @@ func (ctx *Context) CopyCt(ct *Ciphertext) *Ciphertext {
 	return out
 }
 
-// Encryptor performs asymmetric CKKS encryption.
+// Encryptor performs asymmetric CKKS encryption. It is not safe for
+// concurrent use: the sampling stream and the per-encryptor scratch
+// buffers are stateful.
 type Encryptor struct {
 	ctx     *Context
 	pk      *PublicKey
 	encoder *Encoder
 	src     *sampling.Source
+	// Per-encryptor sampling buffers, reused across calls so the
+	// steady-state encryption loop does not allocate.
+	uSigned  []int64
+	e1Signed []int64
+	e2Signed []int64
 	// OpCount tallies encryptions, for client cost accounting.
 	OpCount int
 }
 
 // NewEncryptor returns an encryptor drawing randomness from seed.
 func NewEncryptor(ctx *Context, pk *PublicKey, seed [32]byte) *Encryptor {
-	return &Encryptor{ctx: ctx, pk: pk, encoder: NewEncoder(ctx), src: sampling.NewSource(seed, "ckks-encryptor")}
+	n := ctx.Params.N()
+	return &Encryptor{
+		ctx:      ctx,
+		pk:       pk,
+		encoder:  NewEncoder(ctx),
+		src:      sampling.NewSource(seed, "ckks-encryptor"),
+		uSigned:  make([]int64, n),
+		e1Signed: make([]int64, n),
+		e2Signed: make([]int64, n),
+	}
 }
 
 // Encrypt encrypts a plaintext at its level. Encryption happens at the
 // top level; lower-level plaintexts are supported by dropping residues
 // of the public key.
 func (enc *Encryptor) Encrypt(pt *Plaintext) *Ciphertext {
+	r := enc.ctx.RingAtLevel(pt.Level)
+	ct := &Ciphertext{Value: []*ring.Poly{r.NewPoly(), r.NewPoly()}}
+	enc.EncryptInto(pt, ct)
+	return ct
+}
+
+// reduceSigned maps a signed coefficient into [0, q), matching
+// ring.SetCoeffsInt64 bit for bit.
+func reduceSigned(m nt.Modulus, v int64) uint64 {
+	if v >= 0 {
+		return m.Reduce(uint64(v))
+	}
+	return m.Neg(m.Reduce(uint64(-v)))
+}
+
+// EncryptInto encrypts pt into ct, reusing ct's polynomials — the
+// zero-allocation path for steady-state client loops. ct's polynomials
+// must have at least pt.Level+1 residue rows (as produced by Encrypt
+// at the same level); previous contents are overwritten.
+//
+// Like the BFV twin, the work runs as a fused per-RNS-residue
+// pipeline: randomness is drawn once up front (preserving the serial
+// sampling stream order), then each residue row independently runs
+// reduce → NTT → dyadic mul → inverse NTT → error/message add for both
+// ciphertext halves, fanned across internal/par. Rows share no state,
+// so the output is byte-identical to serial execution.
+func (enc *Encryptor) EncryptInto(pt *Plaintext, ct *Ciphertext) {
 	ctx := enc.ctx
 	r := ctx.RingAtLevel(pt.Level)
-	n := ctx.Params.N()
 	enc.OpCount++
 
-	u := r.NewPoly()
-	uSigned := make([]int64, n)
-	enc.src.TernarySigned(uSigned)
-	r.SetCoeffsInt64(uSigned, u)
-	r.NTT(u)
+	// u ← ternary, e1, e2 ← χ, in the serial draw order.
+	enc.src.TernarySigned(enc.uSigned)
+	enc.src.GaussianSigned(enc.e1Signed, ctx.Params.Sigma)
+	enc.src.GaussianSigned(enc.e2Signed, ctx.Params.Sigma)
 
-	eSigned := make([]int64, n)
+	u := r.GetPoly()
+	c0, c1 := ct.Value[0], ct.Value[1]
+	par.ForWorker(r.Level(), func(_, i int) {
+		m := r.Moduli[i]
+		ur := u.Coeffs[i]
+		for j, v := range enc.uSigned {
+			ur[j] = reduceSigned(m, v)
+		}
+		r.NTTForwardRow(i, ur)
 
-	trunc := func(p *ring.Poly) *ring.Poly {
-		return &ring.Poly{Coeffs: p.Coeffs[:pt.Level+1], IsNTT: p.IsNTT}
-	}
+		// c0 row = INTT(P0 ⊙ u) + e1 + m (message added directly; no
+		// Δ in CKKS — the scale lives in the encoding).
+		p0r, c0r := enc.pk.P0.Coeffs[i], c0.Coeffs[i]
+		for j := range c0r {
+			c0r[j] = m.Mul(p0r[j], ur[j])
+		}
+		r.NTTInverseRow(i, c0r)
+		ptr := pt.Poly.Coeffs[i]
+		for j := range c0r {
+			v := m.Add(c0r[j], reduceSigned(m, enc.e1Signed[j]))
+			c0r[j] = m.Add(v, ptr[j])
+		}
 
-	c0 := r.NewPoly()
-	r.MulCoeffs(trunc(enc.pk.P0), u, c0)
-	r.INTT(c0)
-	e1 := r.NewPoly()
-	enc.src.GaussianSigned(eSigned, ctx.Params.Sigma)
-	r.SetCoeffsInt64(eSigned, e1)
-	r.Add(c0, e1, c0)
-	r.Add(c0, pt.Poly, c0) // message added directly (no Δ in CKKS)
-
-	c1 := r.NewPoly()
-	r.MulCoeffs(trunc(enc.pk.P1), u, c1)
-	r.INTT(c1)
-	e2 := r.NewPoly()
-	enc.src.GaussianSigned(eSigned, ctx.Params.Sigma)
-	r.SetCoeffsInt64(eSigned, e2)
-	r.Add(c1, e2, c1)
-
-	return &Ciphertext{Value: []*ring.Poly{c0, c1}, Level: pt.Level, Scale: pt.Scale}
+		// c1 row = INTT(P1 ⊙ u) + e2
+		p1r, c1r := enc.pk.P1.Coeffs[i], c1.Coeffs[i]
+		for j := range c1r {
+			c1r[j] = m.Mul(p1r[j], ur[j])
+		}
+		r.NTTInverseRow(i, c1r)
+		for j := range c1r {
+			c1r[j] = m.Add(c1r[j], reduceSigned(m, enc.e2Signed[j]))
+		}
+	})
+	r.PutPoly(u)
+	c0.DeclareCoeff()
+	c1.DeclareCoeff()
+	ct.Level = pt.Level
+	ct.Scale = pt.Scale
 }
 
 // EncryptFloats encodes and encrypts real values at the top level with
@@ -95,48 +152,103 @@ func (enc *Encryptor) EncryptFloats(values []float64) (*Ciphertext, error) {
 
 // Decryptor inverts encryption.
 type Decryptor struct {
-	ctx *Context
-	sk  *SecretKey
+	ctx     *Context
+	sk      *SecretKey
+	encoder *Encoder
+	// skAtLevel[l] is a level-truncated NTT-domain view of the secret
+	// key, cached so phase computation allocates nothing.
+	skAtLevel []ring.Poly
 	// OpCount tallies decryptions.
 	OpCount int
 }
 
 // NewDecryptor returns a decryptor for sk.
 func NewDecryptor(ctx *Context, sk *SecretKey) *Decryptor {
-	return &Decryptor{ctx: ctx, sk: sk}
+	skAtLevel := make([]ring.Poly, ctx.Params.MaxLevel()+1)
+	for l := range skAtLevel {
+		skAtLevel[l] = ring.Poly{Coeffs: sk.ValueQ.Coeffs[:l+1], IsNTT: true}
+	}
+	return &Decryptor{ctx: ctx, sk: sk, encoder: NewEncoder(ctx), skAtLevel: skAtLevel}
 }
 
 // Decrypt computes [c0 + c1·s + c2·s² + ...]_q as a plaintext carrying
 // the ciphertext's scale.
 func (dec *Decryptor) Decrypt(ct *Ciphertext) *Plaintext {
+	pt := &Plaintext{Poly: dec.ctx.RingAtLevel(ct.Level).NewPoly()}
+	dec.DecryptInto(ct, pt)
+	return pt
+}
+
+// DecryptInto decrypts ct into pt, reusing pt's polynomial — the
+// zero-allocation path for steady-state client loops. pt.Poly must
+// have at least ct.Level+1 residue rows; temporaries come from the
+// ring scratch pool and are returned before exit.
+func (dec *Decryptor) DecryptInto(ct *Ciphertext, pt *Plaintext) {
 	ctx := dec.ctx
 	r := ctx.RingAtLevel(ct.Level)
 	dec.OpCount++
 
-	skTrunc := &ring.Poly{Coeffs: dec.sk.ValueQ.Coeffs[:ct.Level+1], IsNTT: true}
-	acc := r.CopyPoly(ct.Value[0])
-	r.NTT(acc)
-	sPow := r.CopyPoly(skTrunc)
-	tmp := r.NewPoly()
-	for i := 1; i < len(ct.Value); i++ {
-		ci := r.CopyPoly(ct.Value[i])
-		r.NTT(ci)
-		r.MulCoeffs(ci, sPow, tmp)
-		r.Add(acc, tmp, acc)
-		if i+1 < len(ct.Value) {
-			r.MulCoeffs(sPow, skTrunc, sPow)
+	if len(ct.Value) == 1 { // degree 0: the phase is c0 itself
+		for i := 0; i <= ct.Level; i++ {
+			copy(pt.Poly.Coeffs[i], ct.Value[0].Coeffs[i])
 		}
+		pt.Poly.DeclareCoeff()
+		pt.Level = ct.Level
+		pt.Scale = ct.Scale
+		return
 	}
-	r.INTT(acc)
-	return &Plaintext{Poly: acc, Level: ct.Level, Scale: ct.Scale}
+	sk := &dec.skAtLevel[ct.Level]
+	acc := pt.Poly
+	ci := r.GetPoly()
+	var sPow *ring.Poly // s^i rows, needed only for degree ≥ 2
+	if len(ct.Value) > 2 {
+		sPow = r.GetPoly()
+	}
+	// Fused per-residue pipeline, the decryption twin of EncryptInto:
+	// each row runs NTT(c_i) → ·s^i → accumulate → inverse NTT → +c0
+	// independently (c0 never pays a forward NTT). Rows above ct.Level
+	// in a higher-level pt are left untouched.
+	par.ForWorker(r.Level(), func(_, i int) {
+		m := r.Moduli[i]
+		accr, cir, skr := acc.Coeffs[i], ci.Coeffs[i], sk.Coeffs[i]
+		copy(cir, ct.Value[1].Coeffs[i])
+		r.NTTForwardRow(i, cir)
+		for j := range accr[:r.N] {
+			accr[j] = m.Mul(cir[j], skr[j])
+		}
+		if sPow != nil {
+			spr := sPow.Coeffs[i]
+			copy(spr, skr)
+			for k := 2; k < len(ct.Value); k++ {
+				for j := range spr {
+					spr[j] = m.Mul(spr[j], skr[j]) // s^k
+				}
+				copy(cir, ct.Value[k].Coeffs[i])
+				r.NTTForwardRow(i, cir)
+				for j := range accr[:r.N] {
+					accr[j] = m.Add(accr[j], m.Mul(cir[j], spr[j]))
+				}
+			}
+		}
+		r.NTTInverseRow(i, accr[:r.N])
+		c0r := ct.Value[0].Coeffs[i]
+		for j := range c0r {
+			accr[j] = m.Add(accr[j], c0r[j])
+		}
+	})
+	r.PutPoly(ci)
+	r.PutPoly(sPow)
+	pt.Poly.DeclareCoeff()
+	pt.Level = ct.Level
+	pt.Scale = ct.Scale
 }
 
 // DecryptFloats decrypts and decodes the real parts of all slots.
 func (dec *Decryptor) DecryptFloats(ct *Ciphertext) []float64 {
-	return NewEncoder(dec.ctx).DecodeFloats(dec.Decrypt(ct))
+	return dec.encoder.DecodeFloats(dec.Decrypt(ct))
 }
 
 // DecryptComplex decrypts and decodes all slots.
 func (dec *Decryptor) DecryptComplex(ct *Ciphertext) []complex128 {
-	return NewEncoder(dec.ctx).DecodeComplex(dec.Decrypt(ct))
+	return dec.encoder.DecodeComplex(dec.Decrypt(ct))
 }

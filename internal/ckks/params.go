@@ -156,6 +156,7 @@ func NewContext(params Parameters) (*Context, error) {
 		}
 		bigQ := ctx.RingQ.ModulusBig()
 		ctx.qTildeQP = make([][]uint64, nData)
+		//lint:ignore-choco bigintloop one-time context setup precomputation
 		for i := range ctx.qTildeQP {
 			qi := new(big.Int).SetUint64(ctx.RingQ.Moduli[i].Value)
 			hat := new(big.Int).Div(bigQ, qi)

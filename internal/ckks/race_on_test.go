@@ -1,0 +1,8 @@
+//go:build race
+
+package ckks
+
+// raceEnabled reports that the race detector is active; its
+// instrumentation perturbs allocation counts, so AllocsPerRun
+// assertions are skipped under -race.
+const raceEnabled = true

@@ -13,6 +13,7 @@
 //   - polypool:     GetPoly scratch returned with PutPoly on every exit
 //   - lockednet:    mutexes held across network I/O or channel ops
 //   - uncheckederr: dropped protocol frame-write and Close errors
+//   - bigintloop:   per-iteration math/big arithmetic in hot-path loops
 //
 // Findings can be suppressed, one line at a time, with a trailing or
 // preceding comment of the form
@@ -83,5 +84,6 @@ func All() []*Analyzer {
 		PolyPool,
 		LockedNet,
 		UncheckedErr,
+		BigIntLoop,
 	}
 }

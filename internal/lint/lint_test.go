@@ -93,6 +93,9 @@ func TestLockedNetFixture(t *testing.T) { runFixture(t, LockedNet, "lockednet/in
 func TestUncheckedErrFixture(t *testing.T) {
 	runFixture(t, UncheckedErr, "uncheckederr/internal/protocol")
 }
+func TestBigIntLoopFixture(t *testing.T) {
+	runFixture(t, BigIntLoop, "bigintloop/internal/bfv")
+}
 func TestSuppressionFixture(t *testing.T) { runFixture(t, UncheckedErr, "suppress") }
 
 // TestMalformedSuppressions exercises the suppression parser directly:

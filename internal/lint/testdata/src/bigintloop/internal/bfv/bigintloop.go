@@ -1,0 +1,61 @@
+// Fixture for the bigintloop analyzer: the package path ends in
+// internal/bfv, a hot-path package, so loops doing math/big work are
+// reported once at the outermost loop.
+package bfv
+
+import "math/big"
+
+// Offending: per-coefficient big.Int arithmetic inside a loop.
+func composeSlow(vals []*big.Int, q *big.Int) []uint64 {
+	out := make([]uint64, len(vals))
+	tmp := new(big.Int)
+	for i, v := range vals { // want `loop calls math/big\.Mod per iteration in hot-path package`
+		tmp.Mod(v, q)
+		out[i] = tmp.Uint64()
+	}
+	return out
+}
+
+// Offending: nested loops report only the outermost one.
+func tensorSlow(rows [][]*big.Int, q *big.Int) {
+	for _, row := range rows { // want `loop calls math/big\.Mul per iteration`
+		for _, v := range row {
+			v.Mul(v, v)
+			v.Mod(v, q)
+		}
+	}
+}
+
+// Offending: the constructor counts too — it allocates per iteration.
+func allocPerIter(n int) []*big.Int {
+	out := make([]*big.Int, n)
+	for i := range out { // want `loop calls math/big\.NewInt per iteration`
+		out[i] = big.NewInt(int64(i))
+	}
+	return out
+}
+
+// Corrected form: constants precomputed once outside the loop; the
+// loop itself touches only machine words.
+func composeFast(vals []uint64, qInv uint64) []uint64 {
+	out := make([]uint64, len(vals))
+	for i, v := range vals {
+		out[i] = v * qInv
+	}
+	return out
+}
+
+// Corrected form: setup-time big.Int work acknowledged with a reason.
+func precompute(moduli []uint64) []*big.Int {
+	out := make([]*big.Int, len(moduli))
+	//lint:ignore-choco bigintloop one-time setup precomputation
+	for i, q := range moduli {
+		out[i] = new(big.Int).SetUint64(q)
+	}
+	return out
+}
+
+// big.Int use outside any loop is fine.
+func single(q *big.Int) uint64 {
+	return new(big.Int).Mod(q, q).Uint64()
+}

@@ -1,7 +1,9 @@
 package protocol
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
+	"fmt"
 	"testing"
 
 	"choco/internal/bfv"
@@ -80,5 +82,47 @@ func TestCrossSchemeUnmarshalRejected(t *testing.T) {
 	}
 	if _, err := UnmarshalKeyBundle(bctx, bfvWire); err == nil {
 		t.Error("ciphertext accepted as key bundle")
+	}
+}
+
+// TestBFVCiphertextGoldenHashes pins SHA-256 digests of wire-format
+// ciphertexts captured from the pre-optimization (serial, allocating,
+// big.Int) client kernel. The fused per-residue encryption pipeline,
+// the block-batched samplers, and every future client-kernel change
+// must reproduce these bytes exactly: randomness derivation, sampling
+// stream order, RNS arithmetic, and wire layout are all pinned at once.
+func TestBFVCiphertextGoldenHashes(t *testing.T) {
+	ctx, err := bfv.NewContext(bfv.PresetTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg := bfv.NewKeyGenerator(ctx, [32]byte{1, 2, 3})
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	enc := bfv.NewEncryptor(ctx, pk, [32]byte{9})
+	vals := make([]uint64, ctx.Params.N())
+	for i := range vals {
+		vals[i] = uint64(i*7+1) % ctx.T.Value
+	}
+	ct, err := enc.EncryptUints(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprintf("%x", sha256.Sum256(MarshalBFV(ct))); got != "a0246c63ffb2b93c1c251365aff2ffda4bf840639ed7ca0f41e2e53159d09195" {
+		t.Errorf("public encryption hash drifted: %s", got)
+	}
+	sym := bfv.NewSymmetricEncryptor(ctx, sk, [32]byte{71})
+	sct, err := sym.EncryptUintsSeeded(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprintf("%x", sha256.Sum256(MarshalSeededBFV(sct))); got != "e09a81f99bccb067a684673039e331bd984a72dd740c5e32a36db9844bfdcd90" {
+		t.Errorf("seeded encryption hash drifted: %s", got)
+	}
+	// A second encryption continues the sampling stream — pins
+	// cross-call sampler state, not just the first draw.
+	ct2 := enc.EncryptZero()
+	if got := fmt.Sprintf("%x", sha256.Sum256(MarshalBFV(ct2))); got != "5d613f67a909de05a62c0604788204da4901c776369212ca23f4def40d78a2ea" {
+		t.Errorf("second public encryption hash drifted: %s", got)
 	}
 }

@@ -216,6 +216,78 @@ func UnmarshalCKKS(ctx *ckks.Context, data []byte) (*ckks.Ciphertext, error) {
 	return ct, nil
 }
 
+// SchemeCKKSSeeded tags a seed-compressed symmetric CKKS ciphertext.
+const SchemeCKKSSeeded = uint32(4)
+
+// MarshalSeededCKKS serializes a seed-compressed CKKS ciphertext:
+// header (scale in the spare field), 32-byte seed, then the single c0
+// polynomial — about half the bytes of MarshalCKKS.
+func MarshalSeededCKKS(sct *ckks.SeededCiphertext) []byte {
+	n := len(sct.C0.Coeffs[0])
+	k := len(sct.C0.Coeffs)
+	buf := make([]byte, headerBytes+32+n*k*8)
+	binary.LittleEndian.PutUint32(buf[0:], SchemeCKKSSeeded)
+	binary.LittleEndian.PutUint32(buf[4:], 1)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(n))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(k))
+	binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(sct.Scale))
+	copy(buf[headerBytes:], sct.Seed[:])
+	off := headerBytes + 32
+	for _, row := range sct.C0.Coeffs {
+		for _, v := range row {
+			binary.LittleEndian.PutUint64(buf[off:], v)
+			off += 8
+		}
+	}
+	return buf
+}
+
+// UnmarshalSeededCKKS reconstructs and expands a seed-compressed CKKS
+// ciphertext into a regular two-component one (the server-side step).
+func UnmarshalSeededCKKS(ctx *ckks.Context, data []byte) (*ckks.Ciphertext, error) {
+	if len(data) < headerBytes+32 {
+		return nil, fmt.Errorf("protocol: truncated seeded ciphertext")
+	}
+	if binary.LittleEndian.Uint32(data[0:]) != SchemeCKKSSeeded {
+		return nil, fmt.Errorf("protocol: not a seeded CKKS ciphertext")
+	}
+	n := int(binary.LittleEndian.Uint32(data[8:]))
+	k := int(binary.LittleEndian.Uint32(data[12:]))
+	scale := math.Float64frombits(binary.LittleEndian.Uint64(data[16:]))
+	if n != ctx.Params.N() || k < 1 || k > len(ctx.RingQ.Moduli) {
+		return nil, fmt.Errorf("protocol: seeded ciphertext shape mismatch")
+	}
+	if len(data) != headerBytes+32+n*k*8 {
+		return nil, fmt.Errorf("protocol: seeded ciphertext length %d", len(data))
+	}
+	level := k - 1
+	sct := &ckks.SeededCiphertext{C0: ctx.RingAtLevel(level).NewPoly(), Level: level, Scale: scale}
+	copy(sct.Seed[:], data[headerBytes:])
+	off := headerBytes + 32
+	for _, row := range sct.C0.Coeffs {
+		for j := range row {
+			row[j] = binary.LittleEndian.Uint64(data[off:])
+			off += 8
+		}
+	}
+	return sct.Expand(ctx), nil
+}
+
+// UnmarshalAnyCKKS dispatches on the scheme tag, accepting both
+// regular and seed-compressed CKKS ciphertexts.
+func UnmarshalAnyCKKS(ctx *ckks.Context, data []byte) (*ckks.Ciphertext, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("protocol: truncated frame")
+	}
+	switch binary.LittleEndian.Uint32(data[0:]) {
+	case SchemeCKKS:
+		return UnmarshalCKKS(ctx, data)
+	case SchemeCKKSSeeded:
+		return UnmarshalSeededCKKS(ctx, data)
+	}
+	return nil, fmt.Errorf("protocol: unknown CKKS frame tag")
+}
+
 // Transport moves framed messages between the client and the offload
 // server and accounts for every byte, which is the quantity CHOCO
 // optimizes.

@@ -229,3 +229,49 @@ func TestSeededBFVWireRoundTrip(t *testing.T) {
 		t.Error("seeded frame accepted as regular ciphertext")
 	}
 }
+
+func TestSeededCKKSWireRoundTrip(t *testing.T) {
+	ctx, err := ckks.NewContext(ckks.PresetTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg := ckks.NewKeyGenerator(ctx, [32]byte{83})
+	sk := kg.GenSecretKey()
+	symEnc := ckks.NewSymmetricEncryptor(ctx, sk, [32]byte{84})
+	dec := ckks.NewDecryptor(ctx, sk)
+
+	vals := []float64{1.25, -2.5, 3.75, 0.125}
+	sct, err := symEnc.EncryptFloatsSeeded(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := MarshalSeededCKKS(sct)
+	// Roughly half a full ciphertext on the wire.
+	full := ctx.Params.CiphertextBytes()
+	if len(data) > full/2+128 {
+		t.Errorf("seeded wire %d bytes vs full %d", len(data), full)
+	}
+	ct, err := UnmarshalSeededCKKS(ctx, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Level != sct.Level || ct.Scale != sct.Scale {
+		t.Fatalf("metadata lost: level %d scale %g", ct.Level, ct.Scale)
+	}
+	got := dec.DecryptFloats(ct)
+	for i, w := range vals {
+		if diff := got[i] - w; diff > 1e-3 || diff < -1e-3 {
+			t.Fatalf("slot %d: got %v want %v", i, got[i], w)
+		}
+	}
+	// Dispatch, corruption, and cross-format confusion.
+	if _, err := UnmarshalAnyCKKS(ctx, data); err != nil {
+		t.Errorf("UnmarshalAnyCKKS rejected seeded frame: %v", err)
+	}
+	if _, err := UnmarshalSeededCKKS(ctx, data[:50]); err == nil {
+		t.Error("expected truncation error")
+	}
+	if _, err := UnmarshalCKKS(ctx, data); err == nil {
+		t.Error("seeded frame accepted as regular ciphertext")
+	}
+}

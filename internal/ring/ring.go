@@ -218,12 +218,14 @@ func NewRing(logN int, moduli []uint64) (*Ring, error) {
 
 func (r *Ring) precomputeCRT() {
 	r.bigQ = big.NewInt(1)
+	//lint:ignore-choco bigintloop one-time CRT setup precomputation
 	for _, m := range r.Moduli {
 		r.bigQ.Mul(r.bigQ, new(big.Int).SetUint64(m.Value))
 	}
 	r.halfQ = new(big.Int).Rsh(r.bigQ, 1)
 	r.qiHat = make([]*big.Int, len(r.Moduli))
 	r.qiHatInv = make([]uint64, len(r.Moduli))
+	//lint:ignore-choco bigintloop one-time CRT setup precomputation
 	for i, m := range r.Moduli {
 		r.qiHat[i] = new(big.Int).Div(r.bigQ, new(big.Int).SetUint64(m.Value))
 		rem := new(big.Int).Mod(r.qiHat[i], new(big.Int).SetUint64(m.Value)).Uint64()
@@ -439,6 +441,22 @@ func (r *Ring) INTT(p *Poly) {
 		nttInverse(r.tables[i], p.Coeffs[i])
 	})
 	p.IsNTT = false
+}
+
+// NTTForwardRow transforms a single RNS residue row in place (forward,
+// coefficient → evaluation). It exposes the per-row kernel to fused
+// per-residue pipelines — client encryption fans residue rows across
+// workers, running sample → NTT → dyadic mul-add → INTT on each row
+// without whole-polynomial domain flips in between. The caller owns the
+// enclosing Poly's IsNTT bookkeeping (DeclareNTT / DeclareCoeff).
+func (r *Ring) NTTForwardRow(lvl int, row []uint64) {
+	nttForward(r.tables[lvl], row)
+}
+
+// NTTInverseRow transforms a single RNS residue row in place (inverse,
+// evaluation → coefficient). See NTTForwardRow.
+func (r *Ring) NTTInverseRow(lvl int, row []uint64) {
+	nttInverse(r.tables[lvl], row)
 }
 
 // nttForward is the in-place Cooley-Tukey negacyclic NTT with merged
@@ -810,6 +828,7 @@ func (r *Ring) PolyToBigintCentered(p *Poly, out []*big.Int) {
 		r.debugCheck("PolyToBigintCentered", p)
 	}
 	tmp := new(big.Int)
+	//lint:ignore-choco bigintloop full CRT composition is the correctness oracle, not the decrypt fast path
 	for j := 0; j < r.N; j++ {
 		acc := out[j]
 		if acc == nil {
@@ -832,10 +851,37 @@ func (r *Ring) PolyToBigintCentered(p *Poly, out []*big.Int) {
 	}
 }
 
+// CoeffBigintCentered composes the single coefficient j of p
+// (coefficient domain) into its centered representative in
+// (-Q/2, Q/2], writing it to acc. It is the per-coefficient form of
+// PolyToBigintCentered, used by the RNS decryptor's exact-rounding
+// fallback: only coefficients whose fixed-point fraction lands inside
+// the ambiguity band pay for a big.Int composition.
+func (r *Ring) CoeffBigintCentered(p *Poly, j int, acc *big.Int) {
+	if p.IsNTT {
+		panic("ring: composition requires coefficient domain")
+	}
+	tmp := new(big.Int)
+	acc.SetUint64(0)
+	//lint:ignore-choco bigintloop per-coefficient CRT oracle: the RNS fast path calls this only for ambiguous coefficients
+	for i := range p.Coeffs {
+		m := r.Moduli[i]
+		v := m.Mul(p.Coeffs[i][j], r.qiHatInv[i])
+		tmp.SetUint64(v)
+		tmp.Mul(tmp, r.qiHat[i])
+		acc.Add(acc, tmp)
+	}
+	acc.Mod(acc, r.bigQ)
+	if acc.Cmp(r.halfQ) > 0 {
+		acc.Sub(acc, r.bigQ)
+	}
+}
+
 // SetCoeffsBigint decomposes arbitrary big integers (possibly negative)
 // into the RNS residues of p (coefficient domain).
 func (r *Ring) SetCoeffsBigint(values []*big.Int, p *Poly) {
 	tmp := new(big.Int)
+	//lint:ignore-choco bigintloop arbitrary-precision input decomposition, a test/setup entry point
 	for i := range p.Coeffs {
 		m := r.Moduli[i]
 		bq := new(big.Int).SetUint64(m.Value)
@@ -896,6 +942,7 @@ func (r *Ring) InfNormBig(p *Poly) *big.Int {
 	r.PolyToBigintCentered(p, vals)
 	max := new(big.Int)
 	abs := new(big.Int)
+	//lint:ignore-choco bigintloop exact noise-norm diagnostic, not an online path
 	for _, v := range vals {
 		abs.Abs(v)
 		if abs.Cmp(max) > 0 {

@@ -425,3 +425,39 @@ func TestAutomorphismNTTRejectsCoeffDomain(t *testing.T) {
 	}()
 	r.AutomorphismNTT(a, 3, r.NewPoly())
 }
+
+func TestRowKernelsMatchWholePolyNTT(t *testing.T) {
+	r := testRing(t, 10, []int{40, 41, 42})
+	p := randomPoly(r, 5)
+	q := r.CopyPoly(p)
+	r.NTT(p)
+	for lvl := range q.Coeffs {
+		r.NTTForwardRow(lvl, q.Coeffs[lvl])
+	}
+	q.DeclareNTT()
+	if !r.Equal(p, q) {
+		t.Fatal("per-row forward NTT diverged from whole-poly NTT")
+	}
+	r.INTT(p)
+	for lvl := range q.Coeffs {
+		r.NTTInverseRow(lvl, q.Coeffs[lvl])
+	}
+	q.DeclareCoeff()
+	if !r.Equal(p, q) {
+		t.Fatal("per-row inverse NTT diverged from whole-poly INTT")
+	}
+}
+
+func TestCoeffBigintCenteredMatchesPolyComposition(t *testing.T) {
+	r := testRing(t, 8, []int{30, 31, 32})
+	p := randomPoly(r, 9)
+	want := make([]*big.Int, r.N)
+	r.PolyToBigintCentered(p, want)
+	got := new(big.Int)
+	for j := 0; j < r.N; j++ {
+		r.CoeffBigintCentered(p, j, got)
+		if got.Cmp(want[j]) != 0 {
+			t.Fatalf("coeff %d: got %v want %v", j, got, want[j])
+		}
+	}
+}

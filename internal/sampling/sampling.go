@@ -4,6 +4,14 @@
 // (the same PRNG the CHOCO-TACO hardware implements), so keygen and
 // encryption are deterministic given a seed — which keeps every test,
 // table, and figure in this repository reproducible.
+//
+// Draws are block-batched: the Source keeps a word buffer refilled
+// through the XOF's bulk FillUint64 path (whole 64-byte compress blocks
+// at a time), so the samplers' hot loops run over a flat []uint64
+// instead of paying a squeeze call per 8 bytes. The buffer is purely a
+// prefetch: the logical word sequence the samplers consume is identical
+// to drawing one Uint64 at a time, so every seeded ciphertext, key, and
+// golden wire test is unaffected.
 package sampling
 
 import (
@@ -20,32 +28,63 @@ const DefaultSigma = 3.2
 // the analytic noise model: 6σ truncation, matching SEAL.
 const ErrorBound = 6 * DefaultSigma
 
+// sourceBufWords is the prefetch size: 64 words = 512 bytes = 8 BLAKE3
+// output blocks per refill, enough to amortize the bulk-path entry cost
+// while keeping a Source under a kilobyte of state.
+const sourceBufWords = 64
+
 // Source is a deterministic randomness source for polynomial sampling.
+// It is not safe for concurrent use; give each goroutine its own
+// label-separated Source.
 type Source struct {
 	xof *blake3.XOF
+	buf [sourceBufWords]uint64
+	pos int // words of buf already consumed (len(buf) = empty)
 }
 
 // NewSource derives a Source from a seed and a domain-separation label.
 // Distinct labels over the same seed give independent streams (e.g. one
 // for the secret key, one per encryption).
 func NewSource(seed [32]byte, label string) *Source {
-	return &Source{xof: blake3.NewXOF(seed, []byte(label))}
+	return &Source{xof: blake3.NewXOF(seed, []byte(label)), pos: sourceBufWords}
+}
+
+// refill replenishes the prefetch buffer through the XOF bulk path.
+func (s *Source) refill() {
+	s.xof.FillUint64(s.buf[:])
+	s.pos = 0
 }
 
 // Uint64 returns the next raw 64 bits.
-func (s *Source) Uint64() uint64 { return s.xof.Uint64() }
+func (s *Source) Uint64() uint64 {
+	if s.pos == sourceBufWords {
+		s.refill()
+	}
+	v := s.buf[s.pos]
+	s.pos++
+	return v
+}
 
 // UniformMod fills out with independent uniform values in [0, q) using
-// rejection sampling to avoid modulo bias.
+// rejection sampling to avoid modulo bias. Trials consume buffered
+// words in stream order, so the output matches the unbuffered
+// one-word-per-trial reference draw for draw.
 func (s *Source) UniformMod(out []uint64, q uint64) {
 	// Rejection threshold: largest multiple of q that fits in 64 bits.
 	bound := q * (math.MaxUint64 / q)
-	for i := range out {
-		for {
-			v := s.xof.Uint64()
+	i := 0
+	for i < len(out) {
+		if s.pos == sourceBufWords {
+			s.refill()
+		}
+		for _, v := range s.buf[s.pos:] {
+			s.pos++
 			if v < bound {
 				out[i] = v % q
-				break
+				i++
+				if i == len(out) {
+					return
+				}
 			}
 		}
 	}
@@ -56,13 +95,15 @@ func (s *Source) UniformMod(out []uint64, q uint64) {
 // RLWE secrets and of the encryption randomness u.
 func (s *Source) Ternary(out []uint64, q uint64) {
 	// Draw 2 random bits per trial; the pair 0b11 is rejected so the
-	// three remaining outcomes are equiprobable.
+	// three remaining outcomes are equiprobable. Leftover bits are
+	// discarded at the end of the call (as the pre-batched sampler
+	// did), so the word consumption count is shape-determined.
 	var buf uint64
 	var bitsLeft int
 	for i := range out {
 		for {
 			if bitsLeft < 2 {
-				buf = s.xof.Uint64()
+				buf = s.Uint64()
 				bitsLeft = 64
 			}
 			v := buf & 3
@@ -90,7 +131,7 @@ func (s *Source) TernarySigned(out []int64) {
 	for i := range out {
 		for {
 			if bitsLeft < 2 {
-				buf = s.xof.Uint64()
+				buf = s.Uint64()
 				bitsLeft = 64
 			}
 			v := buf & 3
@@ -121,8 +162,8 @@ func (s *Source) GaussianSigned(out []int64, sigma float64) {
 	i := 0
 	for i < len(out) {
 		// Two uniforms in (0,1].
-		u1 := float64(s.xof.Uint64()>>11)/float64(1<<53) + math.SmallestNonzeroFloat64
-		u2 := float64(s.xof.Uint64()>>11) / float64(1<<53)
+		u1 := float64(s.Uint64()>>11)/float64(1<<53) + math.SmallestNonzeroFloat64
+		u2 := float64(s.Uint64()>>11) / float64(1<<53)
 		r := sigma * math.Sqrt(-2*math.Log(u1))
 		z0 := r * math.Cos(2*math.Pi*u2)
 		z1 := r * math.Sin(2*math.Pi*u2)
@@ -155,7 +196,7 @@ func (s *Source) Gaussian(out []uint64, q uint64, sigma float64) {
 
 // Float64 returns a uniform float in [0, 1).
 func (s *Source) Float64() float64 {
-	return float64(s.xof.Uint64()>>11) / float64(1<<53)
+	return float64(s.Uint64()>>11) / float64(1<<53)
 }
 
 // Intn returns a uniform integer in [0, n).
@@ -166,7 +207,7 @@ func (s *Source) Intn(n int) int {
 	q := uint64(n)
 	bound := q * (math.MaxUint64 / q)
 	for {
-		v := s.xof.Uint64()
+		v := s.Uint64()
 		if v < bound {
 			return int(v % q)
 		}
