@@ -6,6 +6,13 @@
 //	chocobench                 # run everything
 //	chocobench table4 fig12    # run selected experiments
 //	chocobench -list           # list experiment names
+//
+// The trajectory experiment measures the pinned perf series (client
+// encrypt, hoisted rotation batch, serve p99) and, with -trajectory,
+// appends commit-stamped JSONL entries to the named file, warning when
+// a series regressed more than 10% against its previous entry:
+//
+//	chocobench -trajectory BENCH_trajectory.jsonl -commit "$(git rev-parse --short HEAD)" trajectory
 package main
 
 import (
@@ -97,9 +104,28 @@ func experiments() []experiment {
 func main() {
 	list := flag.Bool("list", false, "list experiment names and exit")
 	jsonPath := flag.String("json", "", "write the selected record-producing experiment's records to this path as JSON")
+	trajectoryPath := flag.String("trajectory", "", "append the trajectory experiment's points to this JSONL file (warns on >10% regression per series)")
+	commit := flag.String("commit", "local", "commit hash to stamp trajectory points with")
 	flag.Parse()
 
-	exps := experiments()
+	exps := append(experiments(), experiment{
+		"trajectory", "pinned perf series: client encrypt, hoisted rotation batch, serve p99",
+		func() (string, error) {
+			out, pts, err := bench.Trajectory(*commit, time.Now().Unix())
+			if err != nil || *trajectoryPath == "" {
+				return out, err
+			}
+			warnings, err := bench.AppendTrajectory(*trajectoryPath, pts)
+			if err != nil {
+				return "", fmt.Errorf("appending %s: %w", *trajectoryPath, err)
+			}
+			for _, w := range warnings {
+				fmt.Fprintf(os.Stderr, "trajectory warning: %s\n", w)
+			}
+			return out + fmt.Sprintf("appended %d point(s) to %s (%d regression warning(s))\n",
+				len(pts), *trajectoryPath, len(warnings)), nil
+		},
+	})
 	if *list {
 		for _, e := range exps {
 			fmt.Printf("%-10s %s\n", e.name, e.desc)

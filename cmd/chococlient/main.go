@@ -16,14 +16,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"sort"
 	"sync"
 	"time"
 
+	"choco/internal/fabric"
 	"choco/internal/nn"
 	"choco/internal/protocol"
 )
@@ -37,6 +40,7 @@ func main() {
 	requests := flag.Int("requests", 0, "inferences per session (0 = use -count)")
 	sessionBase := flag.String("session-id", "", "session ID prefix (default derived from key seed)")
 	reconnect := flag.Bool("reconnect", false, "disconnect halfway and reconnect under the same session ID to exercise the server's evaluation-key cache")
+	fleetStats := flag.String("fleet-stats", "", "after the run, fetch and summarize the fabric router's fleet view from this URL (e.g. http://127.0.0.1:7400/fleet)")
 	flag.Parse()
 
 	perWorker := *requests
@@ -121,6 +125,57 @@ func main() {
 			float64(agg.resetupBytes)/(1<<10), agg.cachedReconnects, *concurrency)
 	}
 	fmt.Println()
+
+	if *fleetStats != "" {
+		if err := printFleetStats(*fleetStats); err != nil {
+			log.Printf("fleet stats: %v", err)
+		}
+	}
+}
+
+// printFleetStats fetches the fabric router's aggregated fleet view and
+// prints the signals a load-gen run cares about: how the sessions
+// spread over the shards and how many key uploads the fabric absorbed
+// via shard-to-shard replication.
+func printFleetStats(url string) error {
+	c := &http.Client{Timeout: 10 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var fs fabric.FleetStats
+	if err := json.NewDecoder(resp.Body).Decode(&fs); err != nil {
+		return fmt.Errorf("decoding fleet stats: %w", err)
+	}
+	fmt.Printf("\n=== fleet (%d/%d shard(s) reachable) ===\n", fs.Fleet.ShardsReachable, fs.Fleet.ShardsTotal)
+	fmt.Printf("sessions %d (%d active, %d rejected) | inferences %d | worst shard p99 %v\n",
+		fs.Fleet.SessionsTotal, fs.Fleet.SessionsActive, fs.Fleet.SessionsRejected,
+		fs.Fleet.Inferences, fs.Fleet.InferenceP99Max)
+	fmt.Printf("key cache: %d entr(ies), %.1f MB | %d hit(s) / %d miss(es) | %d replication(s) (uploads absorbed shard-to-shard)\n",
+		fs.Fleet.KeyCacheEntries, float64(fs.Fleet.KeyCacheBytes)/(1<<20),
+		fs.Fleet.KeyCacheHits, fs.Fleet.KeyCacheMisses, fs.Fleet.KeyReplications)
+	fmt.Printf("router: %d session(s) routed, %d replication hint(s), %d ejection(s)\n",
+		fs.Router.RoutedSessions, fs.Router.ReplicationHints, fs.Router.Ejections)
+	for _, m := range fs.Router.Members {
+		snap := fs.Shards[m.ID]
+		state := "alive"
+		if !m.Alive {
+			state = "ejected"
+		} else if m.Draining {
+			state = "draining"
+		}
+		if snap.Reachable {
+			fmt.Printf("  %-12s %-8s %d session(s), %d inference(s), %d cached key bundle(s)\n",
+				m.ID, state, snap.Stats.SessionsTotal, snap.Stats.Inferences, snap.Stats.KeyCacheEntries)
+		} else {
+			fmt.Printf("  %-12s %-8s unreachable: %s\n", m.ID, state, snap.Error)
+		}
+	}
+	return nil
 }
 
 type workerConfig struct {

@@ -1,0 +1,243 @@
+package bench
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"choco/internal/bfv"
+	"choco/internal/ckks"
+	"choco/internal/nn"
+	"choco/internal/par"
+	"choco/internal/protocol"
+	"choco/internal/serve"
+)
+
+// TrajectoryPoint is one commit-stamped sample of a pinned benchmark
+// series, a line of BENCH_trajectory.jsonl. The file accumulates one
+// point per series per commit, so the perf history of the hot paths is
+// a queryable artifact instead of a pile of one-off bench logs.
+type TrajectoryPoint struct {
+	Commit  string `json:"commit"`
+	Series  string `json:"series"`
+	NsPerOp int64  `json:"ns_per_op"`
+	UnixSec int64  `json:"unix_sec"`
+}
+
+// regressionTolerance is how much a series may slow down versus its
+// previous trajectory entry before AppendTrajectory warns.
+const regressionTolerance = 1.10
+
+// The pinned series. Each is one number a PR is judged by: the client
+// encrypt kernel the paper optimizes (§4), the hoisted rotation batch
+// (§4.3 / Halevi-Shoup), and the served inference tail latency.
+const (
+	SeriesClientEncrypt = "client-encrypt-ckks-C"
+	SeriesHoistedBatch  = "rotate-batch8-hoisted-bfv-B"
+	SeriesServeP99      = "serve-infer-p99"
+)
+
+// Trajectory measures the pinned series once and returns a text report
+// plus the commit-stamped points for BENCH_trajectory.jsonl. The
+// caller supplies the commit and timestamp so the measurement itself
+// stays deterministic and environment-free.
+func Trajectory(commit string, unixSec int64) (string, []TrajectoryPoint, error) {
+	var pts []TrajectoryPoint
+	add := func(series string, ns int64) {
+		pts = append(pts, TrajectoryPoint{Commit: commit, Series: series, NsPerOp: ns, UnixSec: unixSec})
+	}
+
+	// Series 1: CKKS encrypt at Table 3 set C, single worker — the
+	// kernel CHOCO-TACO's 0.66 ms ASIC figure is compared against.
+	{
+		params := ckks.PresetC()
+		ctx, err := ckks.NewContext(params)
+		if err != nil {
+			return "", nil, err
+		}
+		kg := ckks.NewKeyGenerator(ctx, [32]byte{41})
+		sk := kg.GenSecretKey()
+		pk := kg.GenPublicKey(sk)
+		enc := ckks.NewEncryptor(ctx, pk, [32]byte{42})
+		ecd := ckks.NewEncoder(ctx)
+		vals := make([]float64, ctx.Params.Slots())
+		for i := range vals {
+			vals[i] = float64(i%100)/25 - 2
+		}
+		pt, err := ecd.EncodeFloats(vals, params.MaxLevel(), params.DefaultScale())
+		if err != nil {
+			return "", nil, err
+		}
+		ct := enc.Encrypt(pt)
+
+		old := par.Parallelism()
+		par.SetParallelism(1)
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				enc.EncryptInto(pt, ct)
+			}
+		})
+		par.SetParallelism(old)
+		add(SeriesClientEncrypt, r.NsPerOp())
+	}
+
+	// Series 2: the hoisted 8-rotation batch at BFV set B — the
+	// decompose-once-rotate-many path serving matmuls lean on.
+	{
+		params := bfv.PresetB()
+		ctx, err := bfv.NewContext(params)
+		if err != nil {
+			return "", nil, err
+		}
+		kg := bfv.NewKeyGenerator(ctx, [32]byte{43})
+		sk := kg.GenSecretKey()
+		pk := kg.GenPublicKey(sk)
+		galois := kg.GenRotationKeys(sk, rotationBatch()...)
+		enc := bfv.NewEncryptor(ctx, pk, [32]byte{44})
+		ecd := bfv.NewEncoder(ctx)
+		ev := bfv.NewEvaluator(ctx, nil, galois)
+		vals := make([]uint64, ctx.Params.N())
+		for i := range vals {
+			vals[i] = uint64(i) % ctx.T.Value
+		}
+		pt, err := ecd.EncodeUints(vals)
+		if err != nil {
+			return "", nil, err
+		}
+		ct := enc.Encrypt(pt)
+		if _, err := ev.RotateRowsHoisted(ct, rotationBatch()); err != nil {
+			return "", nil, err
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ev.RotateRowsHoisted(ct, rotationBatch()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		add(SeriesHoistedBatch, r.NsPerOp())
+	}
+
+	// Series 3: served inference tail latency — a real client session
+	// against a serve.Server over an in-memory pipe, p99 from the
+	// server's own histogram (the number the serving tier alarms on).
+	{
+		net0 := &nn.Network{
+			Name: "TrajectoryNet", InH: 4, InW: 4, InC: 1,
+			Layers: []nn.Layer{{Kind: nn.FC, FCOut: 8}},
+			Params: bfv.PresetTest(),
+		}
+		model := nn.SynthesizeWeights(net0, 4, [32]byte{45})
+		backend, err := nn.NewInferenceServer(model)
+		if err != nil {
+			return "", nil, err
+		}
+		srv := serve.New(backend, serve.Config{MaxSessions: 1})
+		client, err := nn.NewInferenceClient(net0, [32]byte{46})
+		if err != nil {
+			return "", nil, err
+		}
+		clientEnd, serverEnd := protocol.NewPipe()
+		done := make(chan error, 1)
+		go func() { done <- srv.ServeTransport(context.Background(), serverEnd) }()
+		if _, err := client.SetupSession(clientEnd, "trajectory"); err != nil {
+			return "", nil, err
+		}
+		img := nn.SynthesizeImage(net0, 4, [32]byte{47})
+		const samples = 24
+		for i := 0; i < samples; i++ {
+			if _, _, err := client.Infer(img, clientEnd); err != nil {
+				return "", nil, err
+			}
+		}
+		clientEnd.Close()
+		if err := <-done; err != nil {
+			return "", nil, err
+		}
+		add(SeriesServeP99, srv.Stats().InferenceLatency.P99.Nanoseconds())
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Perf trajectory @ %s\n", commit)
+	fmt.Fprintf(&b, "%-28s %14s\n", "series", "ns/op")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%-28s %14d\n", p.Series, p.NsPerOp)
+	}
+	return b.String(), pts, nil
+}
+
+// ReadTrajectory parses a BENCH_trajectory.jsonl file, skipping blank
+// lines. A missing file is an empty trajectory, not an error.
+func ReadTrajectory(path string) ([]TrajectoryPoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	var pts []TrajectoryPoint
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var p TrajectoryPoint
+		if err := json.Unmarshal([]byte(line), &p); err != nil {
+			return nil, fmt.Errorf("trajectory %s: bad line %q: %w", path, line, err)
+		}
+		pts = append(pts, p)
+	}
+	return pts, sc.Err()
+}
+
+// AppendTrajectory appends the points to the JSONL file and compares
+// each against its series' most recent prior entry, returning a warning
+// per series that slowed down more than the tolerance (10%). Warnings
+// do not block the append: the trajectory records what happened; CI
+// decides what to do about it.
+func AppendTrajectory(path string, pts []TrajectoryPoint) ([]string, error) {
+	prior, err := ReadTrajectory(path)
+	if err != nil {
+		return nil, err
+	}
+	last := map[string]TrajectoryPoint{}
+	for _, p := range prior {
+		last[p.Series] = p
+	}
+
+	var warnings []string
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pts {
+		if prev, ok := last[p.Series]; ok && prev.NsPerOp > 0 &&
+			float64(p.NsPerOp) > float64(prev.NsPerOp)*regressionTolerance {
+			warnings = append(warnings, fmt.Sprintf(
+				"%s regressed %.1f%%: %d → %d ns/op (prev commit %s)",
+				p.Series, 100*(float64(p.NsPerOp)/float64(prev.NsPerOp)-1),
+				prev.NsPerOp, p.NsPerOp, prev.Commit))
+		}
+		line, err := json.Marshal(p)
+		if err != nil {
+			_ = f.Close() // the marshal error is the one that matters
+			return nil, err
+		}
+		if _, err := f.Write(append(line, '\n')); err != nil {
+			_ = f.Close() // the write error is the one that matters
+			return nil, err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	return warnings, nil
+}

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTrajectoryAppendAndRegress drives the JSONL trajectory with
+// synthetic points: append, re-read, and regression detection against
+// the previous entry per series.
+func TestTrajectoryAppendAndRegress(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_trajectory.jsonl")
+
+	warn, err := AppendTrajectory(path, []TrajectoryPoint{
+		{Commit: "aaaa", Series: SeriesClientEncrypt, NsPerOp: 1000, UnixSec: 1},
+		{Commit: "aaaa", Series: SeriesServeP99, NsPerOp: 5000, UnixSec: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warn) != 0 {
+		t.Fatalf("first append warned: %v", warn)
+	}
+
+	// Within tolerance (+5%) and an improvement: no warnings.
+	warn, err = AppendTrajectory(path, []TrajectoryPoint{
+		{Commit: "bbbb", Series: SeriesClientEncrypt, NsPerOp: 1050, UnixSec: 2},
+		{Commit: "bbbb", Series: SeriesServeP99, NsPerOp: 4000, UnixSec: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warn) != 0 {
+		t.Fatalf("within-tolerance append warned: %v", warn)
+	}
+
+	// A 20% regression on one series: exactly one warning, against the
+	// latest prior entry (1050, commit bbbb), and the append still lands.
+	warn, err = AppendTrajectory(path, []TrajectoryPoint{
+		{Commit: "cccc", Series: SeriesClientEncrypt, NsPerOp: 1260, UnixSec: 3},
+		{Commit: "cccc", Series: SeriesServeP99, NsPerOp: 4100, UnixSec: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warn) != 1 {
+		t.Fatalf("warnings = %v, want exactly one", warn)
+	}
+	if !strings.Contains(warn[0], SeriesClientEncrypt) || !strings.Contains(warn[0], "bbbb") {
+		t.Errorf("warning %q does not name the series and prior commit", warn[0])
+	}
+
+	pts, err := ReadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 {
+		t.Fatalf("trajectory has %d points, want 6", len(pts))
+	}
+	if pts[5].Commit != "cccc" || pts[5].Series != SeriesServeP99 {
+		t.Errorf("last point %+v", pts[5])
+	}
+
+	// A series' first-ever point never warns, whatever its value.
+	warn, err = AppendTrajectory(path, []TrajectoryPoint{
+		{Commit: "cccc", Series: SeriesHoistedBatch, NsPerOp: 1 << 40, UnixSec: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warn) != 0 {
+		t.Fatalf("first point of a new series warned: %v", warn)
+	}
+}
+
+// TestTrajectoryMissingFile checks the empty-trajectory case.
+func TestTrajectoryMissingFile(t *testing.T) {
+	pts, err := ReadTrajectory(filepath.Join(t.TempDir(), "absent.jsonl"))
+	if err != nil || pts != nil {
+		t.Fatalf("missing file: pts=%v err=%v, want nil/nil", pts, err)
+	}
+}

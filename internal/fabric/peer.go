@@ -1,0 +1,188 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"choco/internal/protocol"
+	"choco/internal/serve"
+)
+
+// The shard-to-shard peer protocol: each shard runs a tiny framed
+// request/response listener next to its client port. It carries three
+// request kinds, all answered with a single frame:
+//
+//   - KeyFetch: a peer shard asks for a session's cached evaluation-key
+//     bundle (the replication path — the client's multi-MB upload moves
+//     shard-to-shard over the datacenter network instead of repaying
+//     the client uplink);
+//   - PeerPing: the router's health probe, answered with drain state
+//     and worker-slot occupancy;
+//   - StatsFetch: the router's fleet-stats collection, answered with a
+//     JSON serve.Stats snapshot.
+//
+// Evaluation keys are public material, so serving them to an
+// unauthenticated peer does not extend the trust model (DESIGN.md §3);
+// the listener should still bind an internal interface in real
+// deployments, like any stats or debug port.
+
+// peerIOTimeout bounds every peer-protocol frame. Key bundles are tens
+// of MB at large presets, so this is looser than a ping needs but
+// tight enough that a wedged peer cannot park a handshake forever.
+const peerIOTimeout = 30 * time.Second
+
+// peerServer answers peer-protocol requests against one shard's Server.
+type peerServer struct {
+	srv  *serve.Server
+	logf func(format string, args ...any)
+}
+
+// serve accepts peer connections until ctx is cancelled or the
+// listener fails. Each connection may carry many requests in sequence.
+func (p *peerServer) serve(ctx context.Context, ln net.Listener) error {
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = ln.Close() // shutting down; Accept surfaces the close below
+		case <-stop:
+		}
+	}()
+
+	var acceptErr error
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() == nil && !errors.Is(err, net.ErrClosed) {
+				acceptErr = err
+			}
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			p.serveConn(protocol.NewConn(conn))
+		}()
+	}
+	close(stop)
+	wg.Wait()
+	return acceptErr
+}
+
+func (p *peerServer) serveConn(c *protocol.Conn) {
+	c.SetReadTimeout(peerIOTimeout)
+	c.SetWriteTimeout(peerIOTimeout)
+	for {
+		raw, err := c.Recv()
+		if err != nil {
+			return // EOF, timeout, or interrupt: peer conns are cheap, just drop
+		}
+		var resp []byte
+		switch {
+		case protocol.IsKeyFetch(raw):
+			id, err := protocol.UnmarshalKeyFetch(raw)
+			if err != nil {
+				p.logf("fabric: peer: bad key fetch: %v", err)
+				return
+			}
+			bundle, ok := p.srv.LookupKeyFrame(id)
+			resp = protocol.MarshalKeyFetchResp(ok, bundle)
+		case protocol.IsPeerPing(raw):
+			h := p.srv.Health()
+			resp = protocol.MarshalPeerPong(protocol.PeerHealth{
+				Draining:       h.Draining,
+				ActiveSessions: int32(h.ActiveSessions),
+				MaxSessions:    int32(h.MaxSessions),
+			})
+		case protocol.IsStatsFetch(raw):
+			body, err := json.Marshal(p.srv.Stats())
+			if err != nil {
+				p.logf("fabric: peer: encoding stats: %v", err)
+				return
+			}
+			resp = protocol.MarshalStatsResp(body)
+		default:
+			p.logf("fabric: peer: unrecognized request frame (%d B)", len(raw))
+			return
+		}
+		if err := c.Send(resp); err != nil {
+			return
+		}
+	}
+}
+
+// peerRequest dials addr, sends one request frame, and returns the
+// single response frame.
+func peerRequest(addr string, req []byte, timeout time.Duration) ([]byte, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: dial peer %s: %w", addr, err)
+	}
+	defer conn.Close()
+	c := protocol.NewConn(conn)
+	c.SetReadTimeout(timeout)
+	c.SetWriteTimeout(timeout)
+	if err := c.Send(req); err != nil {
+		return nil, fmt.Errorf("fabric: peer %s: send: %w", addr, err)
+	}
+	resp, err := c.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("fabric: peer %s: recv: %w", addr, err)
+	}
+	return resp, nil
+}
+
+// FetchPeerKeys asks the shard peering at addr for session id's cached
+// evaluation-key bundle — the serve.Config.FetchKeys implementation
+// fabric shards are wired with.
+func FetchPeerKeys(addr, id string) ([]byte, error) {
+	req, err := protocol.MarshalKeyFetch(id)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := peerRequest(addr, req, peerIOTimeout)
+	if err != nil {
+		return nil, err
+	}
+	found, bundle, err := protocol.UnmarshalKeyFetchResp(resp)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, fmt.Errorf("fabric: peer %s has no cached keys for session %q", addr, id)
+	}
+	return bundle, nil
+}
+
+// pingPeer probes a shard's peer listener and returns its health.
+func pingPeer(addr string, timeout time.Duration) (protocol.PeerHealth, error) {
+	resp, err := peerRequest(addr, protocol.MarshalPeerPing(), timeout)
+	if err != nil {
+		return protocol.PeerHealth{}, err
+	}
+	return protocol.UnmarshalPeerPong(resp)
+}
+
+// fetchPeerStats pulls a shard's serve.Stats snapshot.
+func fetchPeerStats(addr string, timeout time.Duration) (serve.Stats, error) {
+	var st serve.Stats
+	resp, err := peerRequest(addr, protocol.MarshalStatsFetch(), timeout)
+	if err != nil {
+		return st, err
+	}
+	body, err := protocol.UnmarshalStatsResp(resp)
+	if err != nil {
+		return st, err
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		return st, fmt.Errorf("fabric: decoding peer stats: %w", err)
+	}
+	return st, nil
+}

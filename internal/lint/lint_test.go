@@ -90,6 +90,9 @@ func TestInsecureRandFixture(t *testing.T) {
 func TestPolyCopyFixture(t *testing.T)  { runFixture(t, PolyCopy, "polycopy") }
 func TestPolyPoolFixture(t *testing.T)  { runFixture(t, PolyPool, "polypool/internal/bfv") }
 func TestLockedNetFixture(t *testing.T) { runFixture(t, LockedNet, "lockednet/internal/serve") }
+func TestLockedNetFabricFixture(t *testing.T) {
+	runFixture(t, LockedNet, "lockednet/internal/fabric")
+}
 func TestUncheckedErrFixture(t *testing.T) {
 	runFixture(t, UncheckedErr, "uncheckederr/internal/protocol")
 }

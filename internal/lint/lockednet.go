@@ -12,6 +12,7 @@ import (
 var lockedNetPackages = []string{
 	"internal/serve",
 	"internal/protocol",
+	"internal/fabric",
 }
 
 // blockingIONames are method names that (on a connection- or

@@ -1,0 +1,79 @@
+// Fixture for the lockednet analyzer's fabric scope: the package path
+// ends in internal/fabric, so the router patterns are checked — dialing
+// or probing a shard while holding the membership lock is flagged; the
+// snapshot-probe-reacquire shape the real router uses stays silent.
+package fabric
+
+import (
+	"net"
+	"sync"
+)
+
+type peerConn interface {
+	Send([]byte) error
+	Recv() ([]byte, error)
+	Interrupt()
+}
+
+type member struct {
+	addr  string
+	alive bool
+}
+
+type router struct {
+	mu      sync.Mutex
+	members map[string]*member
+	probes  chan string
+}
+
+func (r *router) dialUnderLock(id string) (net.Conn, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return net.Dial("tcp", r.members[id].addr) // want `Dial called while r\.mu is locked`
+}
+
+func (r *router) probeUnderLock(c peerConn) ([]byte, error) {
+	r.mu.Lock()
+	b, err := c.Recv() // want `Recv called while r\.mu is locked`
+	r.mu.Unlock()
+	return b, err
+}
+
+func (r *router) enqueueProbeUnderLock(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.probes <- id // want `channel send while r\.mu is locked`
+}
+
+// The real router's shape: snapshot membership under the lock, do the
+// wire work outside it, reacquire to apply the result.
+func (r *router) snapshotThenProbe(c peerConn) error {
+	r.mu.Lock()
+	addrs := make([]string, 0, len(r.members))
+	for _, m := range r.members {
+		addrs = append(addrs, m.addr)
+	}
+	r.mu.Unlock()
+
+	for range addrs {
+		if _, err := c.Recv(); err != nil {
+			r.mu.Lock()
+			for _, m := range r.members {
+				m.alive = false
+			}
+			r.mu.Unlock()
+			return err
+		}
+	}
+	return nil
+}
+
+// Interrupting idle splices under the lock is the sanctioned drain
+// pattern: Interrupt is a control method, never blocking I/O.
+func (r *router) interruptUnderLock(conns []peerConn) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range conns {
+		c.Interrupt()
+	}
+}

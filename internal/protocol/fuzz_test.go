@@ -1,0 +1,152 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+)
+
+// The fabric router parses frames from unauthenticated TCP clients
+// before any session exists, so the wire decoders must be total: any
+// byte string either decodes cleanly or returns an error — never a
+// panic, never an out-of-bounds read, never an allocation larger than
+// the bytes the peer actually delivered.
+
+// byteConn is a read-only net.Conn over a fixed byte string, for
+// driving the framed reader from fuzz inputs.
+type byteConn struct {
+	r *bytes.Reader
+}
+
+func (c *byteConn) Read(p []byte) (int, error)  { return c.r.Read(p) }
+func (c *byteConn) Write(p []byte) (int, error) { return len(p), nil }
+func (c *byteConn) Close() error                { return nil }
+
+func (c *byteConn) LocalAddr() net.Addr                { return &net.TCPAddr{} }
+func (c *byteConn) RemoteAddr() net.Addr               { return &net.TCPAddr{} }
+func (c *byteConn) SetDeadline(t time.Time) error      { return nil }
+func (c *byteConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *byteConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// frame length-prefixes a payload the way Conn.Send does.
+func frame(payload []byte) []byte {
+	buf := make([]byte, 4+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	return buf
+}
+
+// FuzzReadFrame feeds arbitrary bytes to the framed Conn reader. Every
+// successfully received frame must be bounded by the input that backed
+// it, and a stream must terminate (error) once the bytes run out.
+func FuzzReadFrame(f *testing.F) {
+	// Seed corpus: empty stream, a well-formed small frame, two frames
+	// back to back, a truncated body, an oversized length prefix, and a
+	// length prefix with no body at all.
+	f.Add([]byte{})
+	f.Add(frame([]byte("hello")))
+	f.Add(append(frame([]byte{1, 2, 3}), frame(nil)...))
+	f.Add(frame([]byte("truncated"))[:6])
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x00})
+	f.Add([]byte{0x10, 0x00, 0x00, 0x00})
+	if hello, err := MarshalHello("fuzz-session"); err == nil {
+		f.Add(frame(hello))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := NewConn(&byteConn{r: bytes.NewReader(data)})
+		var consumed int64
+		for i := 0; i < 16; i++ {
+			msg, err := c.Recv()
+			if err != nil {
+				return
+			}
+			consumed += int64(len(msg)) + 4
+			if consumed > int64(len(data)) {
+				t.Fatalf("received %d framed bytes from a %d-byte stream", consumed, len(data))
+			}
+			if c.ReceivedBytes() != consumed {
+				t.Fatalf("accounting: ReceivedBytes=%d, want %d", c.ReceivedBytes(), consumed)
+			}
+		}
+	})
+}
+
+// FuzzHelloFrame throws arbitrary bytes at every session/fabric frame
+// decoder and checks the invariants of whatever decodes successfully.
+func FuzzHelloFrame(f *testing.F) {
+	// Seed corpus: one valid instance of each frame family plus
+	// truncations and a wrong-magic frame.
+	if b, err := MarshalHello("seed-session"); err == nil {
+		f.Add(b)
+		f.Add(b[:12])
+	}
+	f.Add(MarshalHelloAck(AckKeysCached))
+	if b, err := MarshalShardHello("seed-session", "127.0.0.1:7501"); err == nil {
+		f.Add(b)
+	}
+	if b, err := MarshalShardHello("seed-session", ""); err == nil {
+		f.Add(b)
+	}
+	if b, err := MarshalKeyFetch("seed-session"); err == nil {
+		f.Add(b)
+	}
+	f.Add(MarshalKeyFetchResp(true, []byte("not-a-real-bundle")))
+	f.Add(MarshalKeyFetchResp(false, nil))
+	f.Add(MarshalPeerPing())
+	f.Add(MarshalPeerPong(PeerHealth{Draining: true, ActiveSessions: 3, MaxSessions: 8}))
+	f.Add(MarshalStatsFetch())
+	f.Add(MarshalStatsResp([]byte(`{"SessionsTotal":1}`)))
+	f.Add([]byte("CHOKnotreallyakeybundle"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if id, err := UnmarshalHello(data); err == nil {
+			if id == "" || len(id) > MaxSessionIDLen {
+				t.Fatalf("hello decoded out-of-bounds session ID %q", id)
+			}
+			re, err := MarshalHello(id)
+			if err != nil {
+				t.Fatalf("decoded hello ID %q does not re-marshal: %v", id, err)
+			}
+			if len(re) != len(data) {
+				t.Fatalf("hello round trip length %d, want %d", len(re), len(data))
+			}
+		}
+		if st, err := UnmarshalHelloAck(data); err == nil && st > AckBusy {
+			t.Fatalf("hello ack decoded unknown status %d", st)
+		}
+		if id, hint, err := UnmarshalShardHello(data); err == nil {
+			if id == "" || len(id) > MaxSessionIDLen || len(hint) > MaxPeerAddrLen {
+				t.Fatalf("shard hello decoded out-of-bounds fields (%q, %q)", id, hint)
+			}
+			re, err := MarshalShardHello(id, hint)
+			if err != nil {
+				t.Fatalf("decoded shard hello does not re-marshal: %v", err)
+			}
+			if !bytes.Equal(re, data) {
+				t.Fatalf("shard hello round trip mismatch")
+			}
+		}
+		if id, err := UnmarshalKeyFetch(data); err == nil {
+			if id == "" || len(id) > MaxSessionIDLen {
+				t.Fatalf("key fetch decoded out-of-bounds session ID %q", id)
+			}
+		}
+		if found, bundle, err := UnmarshalKeyFetchResp(data); err == nil {
+			if !found && bundle != nil {
+				t.Fatalf("key-miss response carried a bundle")
+			}
+			if len(bundle) > len(data) {
+				t.Fatalf("bundle longer than frame")
+			}
+		}
+		if _, err := UnmarshalPeerPong(data); err == nil && len(data) != 16 {
+			t.Fatalf("peer pong accepted %d-byte frame", len(data))
+		}
+		if body, err := UnmarshalStatsResp(data); err == nil && len(body) > len(data) {
+			t.Fatalf("stats body longer than frame")
+		}
+	})
+}

@@ -469,6 +469,16 @@ func (t *Conn) Send(msg []byte) error {
 	return nil
 }
 
+// MaxFrameBytes bounds a single framed message (1 GiB — comfortably
+// above the largest evaluation-key bundle at the paper's parameters).
+const MaxFrameBytes = 1 << 30
+
+// recvChunkBytes is the growth step for large frame bodies: memory is
+// committed only as the peer's bytes actually arrive, so an
+// unauthenticated client cannot force a huge allocation with a 4-byte
+// length prefix alone.
+const recvChunkBytes = 1 << 20
+
 // Recv reads one framed message.
 func (t *Conn) Recv() ([]byte, error) {
 	if !t.armRead() {
@@ -479,12 +489,27 @@ func (t *Conn) Recv() ([]byte, error) {
 		return nil, err
 	}
 	n := binary.LittleEndian.Uint32(lenBuf[:])
-	if n > 1<<30 {
+	if n > MaxFrameBytes {
 		return nil, fmt.Errorf("protocol: frame too large (%d)", n)
 	}
-	msg := make([]byte, n)
+	first := int(n)
+	if first > recvChunkBytes {
+		first = recvChunkBytes
+	}
+	msg := make([]byte, first)
 	if _, err := io.ReadFull(t.c, msg); err != nil {
 		return nil, err
+	}
+	for len(msg) < int(n) {
+		chunk := int(n) - len(msg)
+		if chunk > recvChunkBytes {
+			chunk = recvChunkBytes
+		}
+		start := len(msg)
+		msg = append(msg, make([]byte, chunk)...)
+		if _, err := io.ReadFull(t.c, msg[start:]); err != nil {
+			return nil, err
+		}
 	}
 	t.mu.Lock()
 	t.received += int64(n) + 4

@@ -10,27 +10,38 @@ import (
 // registry caches installed evaluation-key sessions by client-chosen
 // session ID, so a reconnecting client skips re-uploading its key
 // bundle — the dominant one-time setup cost the paper calls out in
-// §3.3/Table 3 (tens of MB per client at realistic parameters).
+// §3.3/Table 3 (tens of MB per client at realistic parameters). The
+// raw serialized bundle is retained alongside the parsed session so a
+// fabric peer shard can replicate it without a round trip through the
+// client (see internal/fabric).
 //
-// Capacity is bounded; the least-recently-used entry is evicted when
-// the cache is full. Evaluation keys are public material, so caching
+// Capacity is bounded two ways: an entry count and a byte budget over
+// the retained bundles (eval keys are multi-MB, so a count cap alone
+// would let 64 large-preset sessions pin gigabytes). Least-recently-
+// used entries are evicted beyond either bound; the newest entry is
+// always kept, even if it alone exceeds the byte budget — availability
+// over strictness, since refusing to cache would re-incur the upload
+// on every reconnect. Evaluation keys are public material, so caching
 // them does not extend the server's trust assumptions; a client that
 // claims another's session ID can only waste server cycles producing
 // ciphertexts it cannot decrypt (see DESIGN.md §3).
 type registry struct {
-	mu      sync.Mutex
-	cap     int
-	entries map[string]*regEntry
+	mu        sync.Mutex
+	capCount  int
+	capBytes  int64
+	bytes     int64
+	evictions int64
+	entries   map[string]*regEntry
 }
 
 type regEntry struct {
 	sess     *nn.ServerSession
-	keyBytes int64
+	raw      []byte // serialized key bundle, as uploaded (for replication)
 	lastUsed time.Time
 }
 
-func newRegistry(capacity int) *registry {
-	return &registry{cap: capacity, entries: make(map[string]*regEntry)}
+func newRegistry(capCount int, capBytes int64) *registry {
+	return &registry{capCount: capCount, capBytes: capBytes, entries: make(map[string]*regEntry)}
 }
 
 // lookup returns the cached session for id, refreshing its LRU stamp.
@@ -45,26 +56,60 @@ func (r *registry) lookup(id string) *nn.ServerSession {
 	return e.sess
 }
 
-// store caches a freshly installed session, evicting the
-// least-recently-used entry if the registry is full.
-func (r *registry) store(id string, sess *nn.ServerSession, keyBytes int64) {
+// lookupFrame returns the raw serialized key bundle for id (the fabric
+// replication read path). It does not refresh the LRU stamp: a peer
+// fetching keys for migration is not evidence the owning shard will
+// see this session again.
+func (r *registry) lookupFrame(id string) ([]byte, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.entries[id]; !ok && len(r.entries) >= r.cap {
+	e, ok := r.entries[id]
+	if !ok {
+		return nil, false
+	}
+	return e.raw, true
+}
+
+// store caches a freshly installed session with its raw bundle,
+// evicting least-recently-used entries until both the count cap and
+// the byte budget hold again (the new entry itself is never evicted).
+func (r *registry) store(id string, sess *nn.ServerSession, raw []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.entries[id]; ok {
+		r.bytes -= int64(len(old.raw))
+	}
+	r.entries[id] = &regEntry{sess: sess, raw: raw, lastUsed: time.Now()}
+	r.bytes += int64(len(raw))
+	for len(r.entries) > 1 && (len(r.entries) > r.capCount || r.bytes > r.capBytes) {
 		var oldest string
 		var oldestAt time.Time
 		for k, e := range r.entries {
+			if k == id {
+				continue
+			}
 			if oldest == "" || e.lastUsed.Before(oldestAt) {
 				oldest, oldestAt = k, e.lastUsed
 			}
 		}
+		if oldest == "" {
+			break
+		}
+		r.bytes -= int64(len(r.entries[oldest].raw))
 		delete(r.entries, oldest)
+		r.evictions++
 	}
-	r.entries[id] = &regEntry{sess: sess, keyBytes: keyBytes, lastUsed: time.Now()}
 }
 
 func (r *registry) len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.entries)
+}
+
+// usage reports held bytes and the lifetime eviction count.
+func (r *registry) usage() (bytes, evictions int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bytes, r.evictions
 }

@@ -54,6 +54,18 @@ type Config struct {
 	// keys stay installed for reconnects); least-recently-used
 	// entries are evicted beyond it. Default 64.
 	KeyCacheCap int
+	// KeyCacheBytes bounds the total serialized key-bundle bytes the
+	// registry retains (eval keys are multi-MB each, so the entry cap
+	// alone is not a memory bound). LRU entries are evicted beyond it;
+	// the newest entry is always kept. Default 1 GiB.
+	KeyCacheBytes int64
+	// FetchKeys, when set, is consulted on a key-cache miss for a
+	// session opened with a replication hint (a fabric ShardHello
+	// naming the peer that last owned the session): it returns the raw
+	// serialized key bundle fetched from that peer, letting the shard
+	// install keys without the client re-uploading them. Errors fall
+	// back to asking the client for the bundle.
+	FetchKeys func(sessionID, peerAddr string) ([]byte, error)
 	// Logf receives server diagnostics; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -70,6 +82,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.KeyCacheCap <= 0 {
 		c.KeyCacheCap = 64
+	}
+	if c.KeyCacheBytes <= 0 {
+		c.KeyCacheBytes = 1 << 30
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -90,8 +105,10 @@ type Server struct {
 	acct    accounting
 	slots   chan struct{}
 
+	draining atomic.Bool
+
 	mu    sync.Mutex
-	conns map[*sessionTransport]struct{}
+	conns map[*TimedTransport]struct{}
 }
 
 // New builds a server around a compiled inference backend.
@@ -100,15 +117,39 @@ func New(backend *nn.InferenceServer, cfg Config) *Server {
 	return &Server{
 		backend: backend,
 		cfg:     cfg,
-		reg:     newRegistry(cfg.KeyCacheCap),
+		reg:     newRegistry(cfg.KeyCacheCap, cfg.KeyCacheBytes),
 		slots:   make(chan struct{}, cfg.MaxSessions),
-		conns:   map[*sessionTransport]struct{}{},
+		conns:   map[*TimedTransport]struct{}{},
 	}
 }
 
 // MaxSessions reports the effective worker-pool size, after Config
 // defaults have been applied.
 func (s *Server) MaxSessions() int { return cap(s.slots) }
+
+// Draining reports whether the server has begun graceful shutdown:
+// in-flight inferences finish, but no new sessions should be routed
+// here. The fabric router reads this (via /healthz or a peer ping) to
+// steer its ring away from shards being rotated out.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// LookupKeyFrame returns the cached serialized evaluation-key bundle
+// for a session ID — the fabric replication read path: the owning
+// shard serves its cached bundle to a peer instead of the client
+// re-uploading it.
+func (s *Server) LookupKeyFrame(id string) ([]byte, bool) { return s.reg.lookupFrame(id) }
+
+// InstallKeyFrame parses a serialized key bundle and caches it under a
+// session ID — the fabric replication write path (and a warm-up hook:
+// pre-seeding a shard's registry before cutting traffic over).
+func (s *Server) InstallKeyFrame(id string, raw []byte) error {
+	sess, err := s.backend.NewSessionFromFrame(raw)
+	if err != nil {
+		return fmt.Errorf("serve: install keys for session %q: %w", id, err)
+	}
+	s.reg.store(id, sess, raw)
+	return nil
+}
 
 // Serve accepts connections on ln until ctx is cancelled, then stops
 // accepting, interrupts idle connections, and drains sessions that are
@@ -119,6 +160,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	go func() {
 		select {
 		case <-ctx.Done():
+			s.draining.Store(true)
 			_ = ln.Close() // shutting down; Accept surfaces the close below
 			s.interruptIdle()
 		case <-stop:
@@ -150,13 +192,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 // hands it to the generic session loop.
 func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 	defer conn.Close()
-	st := &sessionTransport{
-		Conn:        protocol.NewConn(conn),
-		idleTimeout: s.cfg.IdleTimeout,
-		ioTimeout:   s.cfg.IOTimeout,
-	}
-	st.Conn.SetWriteTimeout(s.cfg.IOTimeout)
-	st.awaitingRequest.Store(true)
+	st := NewTimedTransport(protocol.NewConn(conn), s.cfg.IdleTimeout, s.cfg.IOTimeout)
 
 	s.mu.Lock()
 	s.conns[st] = struct{}{}
@@ -180,46 +216,10 @@ func (s *Server) interruptIdle() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for st := range s.conns {
-		if st.awaitingRequest.Load() {
+		if st.Idle() {
 			st.Conn.Interrupt()
 		}
 	}
-}
-
-// sessionTransport arms per-frame deadlines on a TCP-backed transport:
-// the first Recv of each request waits up to the idle timeout, every
-// later frame gets the tighter I/O timeout. It also marks whether the
-// worker is parked between requests, which shutdown uses to decide
-// whom to interrupt.
-type sessionTransport struct {
-	*protocol.Conn
-	idleTimeout, ioTimeout time.Duration
-	awaitingRequest        atomic.Bool
-}
-
-func (st *sessionTransport) Recv() ([]byte, error) {
-	if st.awaitingRequest.Load() {
-		st.Conn.SetReadTimeout(st.idleTimeout)
-	} else {
-		st.Conn.SetReadTimeout(st.ioTimeout)
-	}
-	data, err := st.Conn.Recv()
-	if err == nil {
-		st.awaitingRequest.Store(false)
-	}
-	return data, err
-}
-
-// requestMarker lets the session loop tell a transport that the next
-// Recv begins a new request (idle-timeout territory).
-type requestMarker interface {
-	markAwaitingRequest()
-	isAwaitingRequest() bool
-}
-
-func (st *sessionTransport) markAwaitingRequest() { st.awaitingRequest.Store(true) }
-func (st *sessionTransport) isAwaitingRequest() bool {
-	return st.awaitingRequest.Load()
 }
 
 // ServeTransport runs one complete session over any transport — the
@@ -279,9 +279,10 @@ func (s *Server) ServeTransport(ctx context.Context, t protocol.Transport) error
 	}
 }
 
-// handshake admits the session: either the new hello exchange (with
-// the eval-key registry short-circuiting re-uploads) or a legacy raw
-// key bundle as the first frame.
+// handshake admits the session: the hello exchange (with the eval-key
+// registry short-circuiting re-uploads), a router-authored shard hello
+// (same exchange, plus a replication hint consulted before asking the
+// client for keys), or a legacy raw key bundle as the first frame.
 func (s *Server) handshake(t protocol.Transport) (*nn.ServerSession, error) {
 	raw, err := t.Recv()
 	if err != nil {
@@ -293,29 +294,13 @@ func (s *Server) handshake(t protocol.Transport) (*nn.ServerSession, error) {
 		if err != nil {
 			return nil, fmt.Errorf("session open: %w", err)
 		}
-		if sess := s.reg.lookup(id); sess != nil {
-			s.acct.keyCacheHits.Add(1)
-			if err := t.Send(protocol.MarshalHelloAck(protocol.AckKeysCached)); err != nil {
-				return nil, fmt.Errorf("session %q: send cached ack: %w", id, err)
-			}
-			s.cfg.Logf("serve: session %q: evaluation keys cached, upload skipped", id)
-			return sess, nil
-		}
-		s.acct.keyCacheMisses.Add(1)
-		if err := t.Send(protocol.MarshalHelloAck(protocol.AckNeedKeys)); err != nil {
-			return nil, fmt.Errorf("session %q: send need-keys ack: %w", id, err)
-		}
-		kraw, err := t.Recv()
+		return s.admit(t, id, "")
+	case protocol.IsShardHello(raw):
+		id, hint, err := protocol.UnmarshalShardHello(raw)
 		if err != nil {
-			return nil, fmt.Errorf("session %q: recv key bundle frame: %w", id, err)
+			return nil, fmt.Errorf("session open: %w", err)
 		}
-		sess, err := s.backend.NewSessionFromFrame(kraw)
-		if err != nil {
-			return nil, fmt.Errorf("session %q: %w", id, err)
-		}
-		s.reg.store(id, sess, int64(len(kraw)))
-		s.cfg.Logf("serve: session %q: evaluation keys installed (%d B)", id, len(kraw))
-		return sess, nil
+		return s.admit(t, id, hint)
 	case protocol.IsKeyBundle(raw):
 		sess, err := s.backend.NewSessionFromFrame(raw)
 		if err != nil {
@@ -325,6 +310,65 @@ func (s *Server) handshake(t protocol.Transport) (*nn.ServerSession, error) {
 		return sess, nil
 	}
 	return nil, fmt.Errorf("session open: unrecognized first frame (%d B)", len(raw))
+}
+
+// admit completes the hello exchange for session id. Key resolution
+// order: local registry hit, then peer replication when a hint names
+// the shard that last owned the session, then upload from the client.
+func (s *Server) admit(t protocol.Transport, id, hint string) (*nn.ServerSession, error) {
+	if sess := s.reg.lookup(id); sess != nil {
+		s.acct.keyCacheHits.Add(1)
+		if err := t.Send(protocol.MarshalHelloAck(protocol.AckKeysCached)); err != nil {
+			return nil, fmt.Errorf("session %q: send cached ack: %w", id, err)
+		}
+		s.cfg.Logf("serve: session %q: evaluation keys cached, upload skipped", id)
+		return sess, nil
+	}
+	if hint != "" && s.cfg.FetchKeys != nil {
+		if sess, ok := s.replicate(id, hint); ok {
+			if err := t.Send(protocol.MarshalHelloAck(protocol.AckKeysCached)); err != nil {
+				return nil, fmt.Errorf("session %q: send cached ack: %w", id, err)
+			}
+			return sess, nil
+		}
+	}
+	s.acct.keyCacheMisses.Add(1)
+	if err := t.Send(protocol.MarshalHelloAck(protocol.AckNeedKeys)); err != nil {
+		return nil, fmt.Errorf("session %q: send need-keys ack: %w", id, err)
+	}
+	kraw, err := t.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("session %q: recv key bundle frame: %w", id, err)
+	}
+	sess, err := s.backend.NewSessionFromFrame(kraw)
+	if err != nil {
+		return nil, fmt.Errorf("session %q: %w", id, err)
+	}
+	s.reg.store(id, sess, kraw)
+	s.cfg.Logf("serve: session %q: evaluation keys installed (%d B)", id, len(kraw))
+	return sess, nil
+}
+
+// replicate tries to pull session id's key bundle from the peer shard
+// named by hint and install it locally. Any failure is logged and
+// reported as a miss: the handshake then falls back to a client
+// upload, so replication can only save bytes, never lose a session.
+func (s *Server) replicate(id, hint string) (*nn.ServerSession, bool) {
+	kraw, err := s.cfg.FetchKeys(id, hint)
+	if err != nil {
+		s.cfg.Logf("serve: session %q: key replication from %s failed: %v", id, hint, err)
+		return nil, false
+	}
+	sess, err := s.backend.NewSessionFromFrame(kraw)
+	if err != nil {
+		s.cfg.Logf("serve: session %q: replicated key bundle from %s invalid: %v", id, hint, err)
+		return nil, false
+	}
+	s.reg.store(id, sess, kraw)
+	s.acct.keyCacheHits.Add(1)
+	s.acct.keyReplications.Add(1)
+	s.cfg.Logf("serve: session %q: evaluation keys replicated from peer %s (%d B), client upload skipped", id, hint, len(kraw))
+	return sess, true
 }
 
 // sessionOver classifies a ServeOne error as a normal end of session:

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"math/bits"
 	"net/http"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -19,8 +20,9 @@ type accounting struct {
 	sessionsRejected atomic.Int64
 	inferences       atomic.Int64
 
-	keyCacheHits   atomic.Int64
-	keyCacheMisses atomic.Int64
+	keyCacheHits    atomic.Int64
+	keyCacheMisses  atomic.Int64
+	keyReplications atomic.Int64
 
 	bytesUp   atomic.Int64 // client→server, as observed by the server transport
 	bytesDown atomic.Int64 // server→client
@@ -137,6 +139,22 @@ type Stats struct {
 	KeyCacheHits    int64 // reconnects that skipped the key upload
 	KeyCacheMisses  int64
 	KeyCacheEntries int
+	// KeyCacheBytes is the serialized key-bundle bytes currently
+	// retained; KeyCacheEvictions counts LRU entries dropped to stay
+	// within the entry and byte budgets. The fabric router reads these
+	// to judge how likely a peer fetch is to hit before steering a
+	// migrated session at a shard.
+	KeyCacheBytes     int64
+	KeyCacheEvictions int64
+	// KeyReplications counts cache misses resolved by fetching the
+	// bundle from a peer shard instead of the client (fabric key
+	// migration; these also count as KeyCacheHits since the client
+	// skipped its upload).
+	KeyReplications int64
+
+	// Draining reports graceful shutdown in progress: finish in-flight
+	// work, route no new sessions here.
+	Draining bool
 
 	BytesUp   int64
 	BytesDown int64
@@ -155,17 +173,22 @@ type Stats struct {
 // Stats returns a snapshot of the server-wide accounting.
 func (s *Server) Stats() Stats {
 	a := &s.acct
+	regBytes, regEvictions := s.reg.usage()
 	return Stats{
-		SessionsTotal:    a.sessionsTotal.Load(),
-		SessionsActive:   a.sessionsActive.Load(),
-		SessionsRejected: a.sessionsRejected.Load(),
-		Inferences:       a.inferences.Load(),
-		KeyCacheHits:     a.keyCacheHits.Load(),
-		KeyCacheMisses:   a.keyCacheMisses.Load(),
-		KeyCacheEntries:  s.reg.len(),
-		BytesUp:          a.bytesUp.Load(),
-		BytesDown:        a.bytesDown.Load(),
-		Parallelism:      par.Parallelism(),
+		SessionsTotal:     a.sessionsTotal.Load(),
+		SessionsActive:    a.sessionsActive.Load(),
+		SessionsRejected:  a.sessionsRejected.Load(),
+		Inferences:        a.inferences.Load(),
+		KeyCacheHits:      a.keyCacheHits.Load(),
+		KeyCacheMisses:    a.keyCacheMisses.Load(),
+		KeyCacheEntries:   s.reg.len(),
+		KeyCacheBytes:     regBytes,
+		KeyCacheEvictions: regEvictions,
+		KeyReplications:   a.keyReplications.Load(),
+		Draining:          s.draining.Load(),
+		BytesUp:           a.bytesUp.Load(),
+		BytesDown:         a.bytesDown.Load(),
+		Parallelism:       par.Parallelism(),
 		ServerOps: core.OpCounts{
 			Rotations:  int(a.rotations.Load()),
 			PlainMults: int(a.plainMults.Load()),
@@ -178,12 +201,56 @@ func (s *Server) Stats() Stats {
 }
 
 // StatsHandler serves the snapshot as JSON (mount it on the -stats-addr
-// HTTP listener; pairs with expvar's /debug/vars).
+// HTTP listener; pairs with expvar's /debug/vars). Requests whose path
+// ends in /healthz are routed to the readiness payload, so mounting
+// this one handler at the root covers both endpoints.
 func (s *Server) StatsHandler() http.Handler {
+	health := s.HealthHandler()
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/healthz") {
+			health.ServeHTTP(w, r)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(s.Stats())
+	})
+}
+
+// Health is the /healthz readiness payload: drain state plus worker
+// slot occupancy, the signals the fabric router's health checks and
+// bounded-load routing consume.
+type Health struct {
+	Ready          bool // accepting new sessions (not draining)
+	Draining       bool
+	ActiveSessions int64
+	MaxSessions    int
+}
+
+// Health returns the server's current readiness.
+func (s *Server) Health() Health {
+	draining := s.draining.Load()
+	return Health{
+		Ready:          !draining,
+		Draining:       draining,
+		ActiveSessions: s.acct.sessionsActive.Load(),
+		MaxSessions:    s.MaxSessions(),
+	}
+}
+
+// HealthHandler serves the readiness payload as JSON: 200 while
+// accepting sessions, 503 once draining — the convention fleet load
+// balancers and the fabric router's HTTP health checks expect.
+func (s *Server) HealthHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h := s.Health()
+		w.Header().Set("Content-Type", "application/json")
+		if !h.Ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(h)
 	})
 }

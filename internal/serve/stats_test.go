@@ -16,10 +16,10 @@ func TestHistogramBucketBoundaries(t *testing.T) {
 		bucket int
 		want   time.Duration
 	}{
-		{0, 0, 0},                          // clamp; max is 0 so quantile reads 0
-		{1, 0, 1 * time.Microsecond},       // exact power: ⌈log₂ 1⌉ = 0
-		{2, 1, 2 * time.Microsecond},       // exact power: ⌈log₂ 2⌉ = 1
-		{3, 2, 4 * time.Microsecond},       // ⌈log₂ 3⌉ = 2, upper bound 4 clamped to max 3
+		{0, 0, 0},                    // clamp; max is 0 so quantile reads 0
+		{1, 0, 1 * time.Microsecond}, // exact power: ⌈log₂ 1⌉ = 0
+		{2, 1, 2 * time.Microsecond}, // exact power: ⌈log₂ 2⌉ = 1
+		{3, 2, 4 * time.Microsecond}, // ⌈log₂ 3⌉ = 2, upper bound 4 clamped to max 3
 		{1 << 47, 47, time.Duration(1<<47) * time.Microsecond},
 	}
 	for _, c := range cases {
