@@ -22,9 +22,12 @@
 #                  serve p99) to BENCH_trajectory.jsonl, warning when a
 #                  series regressed >10% against its previous entry
 
+#   make fuzz    — 30-second smoke run of each internal/protocol fuzz
+#                  target (frame parser and hello-frame round-trip)
+
 GO ?= go
 
-.PHONY: check build test lint race debug vet bench
+.PHONY: check build test lint race debug vet bench fuzz
 
 check: vet lint race debug
 
@@ -46,6 +49,10 @@ race:
 
 debug:
 	$(GO) test -race -shuffle=on -tags chocodebug ./internal/ring ./internal/bfv
+
+fuzz:
+	$(GO) test ./internal/protocol -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime 30s
+	$(GO) test ./internal/protocol -run '^$$' -fuzz '^FuzzHelloFrame$$' -fuzztime 30s
 
 bench:
 	$(GO) run ./cmd/chocobench -json BENCH_rotations.json rotations

@@ -110,6 +110,28 @@ type serveOpts struct {
 	cfg                           serve.Config
 }
 
+// watchSessionLimit polls the server's accounting until the configured
+// number of sessions has completed with none in flight, then fires
+// done. It exits when ctx is cancelled, so the watcher cannot outlive
+// the server it is supposed to stop (a goroutine ranging a ticker
+// channel has no such exit — chocolint's goroleak flags that shape).
+func watchSessionLimit(ctx context.Context, stats func() serve.Stats, limit int, every time.Duration, done func()) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			st := stats()
+			if st.SessionsTotal >= int64(limit) && st.SessionsActive == 0 {
+				done()
+				return
+			}
+		}
+	}
+}
+
 func runServe(ctx context.Context, cancel context.CancelFunc, o serveOpts) {
 	net0 := nn.DemoNetwork()
 	var seed [32]byte
@@ -149,18 +171,10 @@ func runServe(ctx context.Context, cancel context.CancelFunc, o serveOpts) {
 	}
 
 	if o.sessions > 0 {
-		go func() {
-			tick := time.NewTicker(200 * time.Millisecond)
-			defer tick.Stop()
-			for range tick.C {
-				st := srv.Stats()
-				if st.SessionsTotal >= int64(o.sessions) && st.SessionsActive == 0 {
-					log.Printf("chocoserver: session limit (%d) reached, exiting", o.sessions)
-					cancel()
-					return
-				}
-			}
-		}()
+		go watchSessionLimit(ctx, srv.Stats, o.sessions, 200*time.Millisecond, func() {
+			log.Printf("chocoserver: session limit (%d) reached, exiting", o.sessions)
+			cancel()
+		})
 	}
 
 	if o.mode == "shard" {

@@ -85,5 +85,8 @@ func All() []*Analyzer {
 		LockedNet,
 		UncheckedErr,
 		BigIntLoop,
+		SecretFlow,
+		GoroLeak,
+		DeadlineCheck,
 	}
 }

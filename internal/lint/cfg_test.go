@@ -1,0 +1,525 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFromSrc parses a single function body and builds its CFG.
+func buildFromSrc(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := file.Decls[0].(*ast.FuncDecl)
+	return BuildCFG(fn.Body)
+}
+
+// reachable returns the set of block indices reachable from entry.
+func reachable(cfg *CFG) map[int]bool {
+	seen := map[int]bool{}
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			visit(s)
+		}
+	}
+	visit(cfg.Entry)
+	return seen
+}
+
+// atomStrings flattens all reachable atoms into identifiable strings,
+// using the called function name for ExprStmt calls.
+func atomStrings(cfg *CFG) []string {
+	var out []string
+	seen := reachable(cfg)
+	for _, b := range cfg.Blocks {
+		if !seen[b.Index] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok {
+						out = append(out, id.Name)
+						continue
+					}
+				}
+				out = append(out, "expr")
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok {
+					out = append(out, id.Name)
+					continue
+				}
+				out = append(out, "call")
+			case *RangeHeader:
+				out = append(out, "rangehdr")
+			default:
+				out = append(out, fmt.Sprintf("%T", n))
+			}
+		}
+	}
+	return out
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	cfg := buildFromSrc(t, "a(); b(); c()")
+	atoms := atomStrings(cfg)
+	want := []string{"a", "b", "c"}
+	if strings.Join(atoms, ",") != strings.Join(want, ",") {
+		t.Fatalf("atoms = %v, want %v", atoms, want)
+	}
+	if len(cfg.Entry.Succs) != 1 || cfg.Entry.Succs[0] != cfg.Exit {
+		t.Fatalf("straight line should flow entry -> exit, got succs %v", cfg.Entry.Succs)
+	}
+}
+
+func TestCFGUnreachableAfterReturn(t *testing.T) {
+	cfg := buildFromSrc(t, "a(); return; dead()")
+	atoms := atomStrings(cfg)
+	for _, a := range atoms {
+		if a == "dead" {
+			t.Fatalf("dead() should be unreachable, atoms = %v", atoms)
+		}
+	}
+}
+
+func TestCFGUnreachableAfterPanicAndExit(t *testing.T) {
+	for _, body := range []string{
+		`panic("x"); dead()`,
+		`os.Exit(1); dead()`,
+		`log.Fatalf("x"); dead()`,
+	} {
+		cfg := buildFromSrc(t, body)
+		for _, a := range atomStrings(cfg) {
+			if a == "dead" {
+				t.Fatalf("%q: dead() should be unreachable", body)
+			}
+		}
+	}
+}
+
+func TestCFGIfElseBothBranchesReachJoin(t *testing.T) {
+	cfg := buildFromSrc(t, "if cond() { a() } else { b() }; after()")
+	atoms := atomStrings(cfg)
+	for _, want := range []string{"cond", "a", "b", "after"} {
+		found := false
+		for _, a := range atoms {
+			if a == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("missing atom %q in %v", want, atoms)
+		}
+	}
+}
+
+// TestCFGLoopBackEdge verifies the loop body has a path back to the
+// condition, by checking that a fact set in the body reaches the head.
+func TestCFGLoopBackEdge(t *testing.T) {
+	cfg := buildFromSrc(t, "for i := 0; i < n; i++ { a() }; after()")
+	// Find the block holding a(); walk its successors transitively and
+	// require the block holding the condition to appear.
+	var condBlock, bodyBlock *Block
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if be, ok := n.(*ast.BinaryExpr); ok && be.Op == token.LSS {
+				condBlock = b
+			}
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "a" {
+						bodyBlock = b
+					}
+				}
+			}
+		}
+	}
+	if condBlock == nil || bodyBlock == nil {
+		t.Fatal("could not locate loop cond/body blocks")
+	}
+	seen := map[int]bool{}
+	var visit func(b *Block) bool
+	visit = func(b *Block) bool {
+		if b == condBlock {
+			return true
+		}
+		if seen[b.Index] {
+			return false
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			if visit(s) {
+				return true
+			}
+		}
+		return false
+	}
+	if !visit(bodyBlock) {
+		t.Fatal("loop body has no back edge to condition")
+	}
+}
+
+func TestCFGRangeHeader(t *testing.T) {
+	cfg := buildFromSrc(t, "for k, v := range m { use(k, v) }")
+	atoms := atomStrings(cfg)
+	foundHdr := false
+	for _, a := range atoms {
+		if a == "rangehdr" {
+			foundHdr = true
+		}
+	}
+	if !foundHdr {
+		t.Fatalf("range header atom missing: %v", atoms)
+	}
+}
+
+func TestCFGBreakContinue(t *testing.T) {
+	cfg := buildFromSrc(t, `
+for {
+	if stop() {
+		break
+	}
+	if skip() {
+		continue
+	}
+	work()
+}
+after()`)
+	atoms := atomStrings(cfg)
+	for _, want := range []string{"stop", "skip", "work", "after"} {
+		found := false
+		for _, a := range atoms {
+			if a == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("missing %q in %v", want, atoms)
+		}
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	cfg := buildFromSrc(t, `
+outer:
+for {
+	for {
+		if done() {
+			break outer
+		}
+		inner()
+	}
+}
+after()`)
+	atoms := atomStrings(cfg)
+	found := false
+	for _, a := range atoms {
+		if a == "after" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("labeled break did not make after() reachable: %v", atoms)
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	cfg := buildFromSrc(t, `
+switch x {
+case 1:
+	a()
+	fallthrough
+case 2:
+	b()
+default:
+	c()
+}
+after()`)
+	// Verify the fallthrough edge: from the block containing a() we
+	// must reach b() without going through the switch head.
+	var aBlock, bBlock *Block
+	for _, blk := range cfg.Blocks {
+		for _, n := range blk.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				switch id.Name {
+				case "a":
+					aBlock = blk
+				case "b":
+					bBlock = blk
+				}
+			}
+		}
+	}
+	if aBlock == nil || bBlock == nil {
+		t.Fatal("could not find case bodies")
+	}
+	direct := false
+	for _, s := range aBlock.Succs {
+		if s == bBlock {
+			direct = true
+		}
+	}
+	if !direct {
+		t.Fatalf("no fallthrough edge a() -> b(); succs of a block: %v", aBlock.Succs)
+	}
+}
+
+func TestCFGSelectClauses(t *testing.T) {
+	cfg := buildFromSrc(t, `
+select {
+case v := <-ch:
+	use(v)
+case out <- x:
+	b()
+default:
+	c()
+}
+after()`)
+	atoms := atomStrings(cfg)
+	for _, want := range []string{"use", "b", "c", "after"} {
+		found := false
+		for _, a := range atoms {
+			if a == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("missing %q in %v", want, atoms)
+		}
+	}
+}
+
+func TestCFGEmptySelectIsTerminal(t *testing.T) {
+	cfg := buildFromSrc(t, "a(); select {}; dead()")
+	for _, a := range atomStrings(cfg) {
+		if a == "dead" {
+			t.Fatal("code after select{} should be unreachable")
+		}
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	cfg := buildFromSrc(t, `
+	i := 0
+loop:
+	work()
+	i++
+	if i < 3 {
+		goto loop
+	}
+	after()`)
+	atoms := atomStrings(cfg)
+	found := false
+	for _, a := range atoms {
+		if a == "after" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing after in %v", atoms)
+	}
+}
+
+func TestInspectAtomSkipsFuncLitBody(t *testing.T) {
+	cfg := buildFromSrc(t, "go func() { inner() }()")
+	sawInner := false
+	sawGo := false
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			inspectAtom(n, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if id.Name == "inner" {
+						sawInner = true
+					}
+				}
+				if _, ok := m.(*ast.GoStmt); ok {
+					sawGo = true
+				}
+				return true
+			})
+		}
+	}
+	if sawInner {
+		t.Fatal("inspectAtom descended into a nested FuncLit body")
+	}
+	if !sawGo {
+		t.Fatal("inspectAtom did not visit the go statement itself")
+	}
+}
+
+// intSetFact is a toy may-lattice for solver tests: a set of tainted
+// variable names.
+type intSetFact map[string]bool
+
+func (f intSetFact) Clone() FlowFact {
+	c := make(intSetFact, len(f))
+	for k := range f {
+		c[k] = true
+	}
+	return c
+}
+
+func (f intSetFact) Join(other FlowFact) bool {
+	changed := false
+	for k := range other.(intSetFact) {
+		if !f[k] {
+			f[k] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// TestForwardSolveTaintThroughLoop: taint introduced inside a loop
+// must reach the loop head (via the back edge) and the code after.
+func TestForwardSolveTaintThroughLoop(t *testing.T) {
+	cfg := buildFromSrc(t, `
+x := clean()
+for i := 0; i < n; i++ {
+	x = secret()
+}
+use(x)`)
+	facts := ForwardSolve(cfg, intSetFact{}, func(b *Block, in FlowFact) FlowFact {
+		f := in.(intSetFact)
+		for _, n := range b.Nodes {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				continue
+			}
+			call, ok := as.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			lhs, ok := as.Lhs[0].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if id.Name == "secret" {
+				f[lhs.Name] = true
+			} else if id.Name == "clean" {
+				delete(f, lhs.Name)
+			}
+		}
+		return f
+	})
+	// Find the block whose atoms include the use(x) call; its entry
+	// fact must contain x.
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "use" {
+				if facts[b.Index] == nil {
+					t.Fatal("use(x) block has no entry fact")
+				}
+				if !facts[b.Index].(intSetFact)["x"] {
+					t.Fatal("taint from loop body did not reach use(x)")
+				}
+				return
+			}
+		}
+	}
+	t.Fatal("use(x) block not found")
+}
+
+// mustFact is a toy must-lattice: the set of "armed" names, joined by
+// intersection.
+type mustFact map[string]bool
+
+func (f mustFact) Clone() FlowFact {
+	c := make(mustFact, len(f))
+	for k := range f {
+		c[k] = true
+	}
+	return c
+}
+
+func (f mustFact) Join(other FlowFact) bool {
+	o := other.(mustFact)
+	changed := false
+	for k := range f {
+		if !o[k] {
+			delete(f, k)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// TestForwardSolveMustIntersection: arming on only one branch must not
+// survive the join.
+func TestForwardSolveMustIntersection(t *testing.T) {
+	cfg := buildFromSrc(t, `
+if cond() {
+	arm()
+}
+use()`)
+	facts := ForwardSolve(cfg, mustFact{}, func(b *Block, in FlowFact) FlowFact {
+		f := in.(mustFact)
+		for _, n := range b.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "arm" {
+				f["conn"] = true
+			}
+		}
+		return f
+	})
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "use" {
+				if facts[b.Index].(mustFact)["conn"] {
+					t.Fatal("one-branch arming survived a must-join")
+				}
+				return
+			}
+		}
+	}
+	t.Fatal("use() block not found")
+}

@@ -1,0 +1,260 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DeadlineCheck flags blocking net.Conn reads and writes in the
+// serving tier that are reachable without a deadline armed on the same
+// path. A raw Read on an un-deadlined conn is a slot leaked to the
+// slowest (or most hostile) client; the serve/fabric tiers route all
+// conn I/O through protocol.Conn's armRead/armWrite for exactly this
+// reason.
+//
+// This is the substrate's must-analysis: the fact tracks local
+// net.Conn-typed variables as {unarmed, armed}, joined by intersection
+// — a conn counts as armed only when every path to the operation armed
+// it. The analysis is ownership-aware: passing a conn to any callee
+// (protocol.NewConn, a helper, a struct literal) or returning/storing
+// it transfers responsibility and stops tracking, so the repo's
+// wrap-then-configure pattern stays silent and only raw I/O on a conn
+// this function still owns is reported.
+var DeadlineCheck = &Analyzer{
+	Name: "deadlinecheck",
+	Doc:  "net.Conn Read/Write in serve/fabric/protocol/cmd must have a deadline armed on every path",
+	Run:  runDeadlineCheck,
+}
+
+func deadlineScoped(path, pkgName string) bool {
+	return pkgPathHasSuffix(path, "internal/serve") ||
+		pkgPathHasSuffix(path, "internal/fabric") ||
+		pkgPathHasSuffix(path, "internal/protocol") ||
+		pkgName == "main" ||
+		strings.Contains(path, "cmd/")
+}
+
+func runDeadlineCheck(pass *Pass) error {
+	if !deadlineScoped(pass.Pkg.Path(), pass.Pkg.Name()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					deadlineCheckFunc(pass, n.Type, n.Body)
+				}
+			case *ast.FuncLit:
+				deadlineCheckFunc(pass, n.Type, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// connState is the per-conn lattice value.
+type connState int
+
+const (
+	connUnarmed connState = iota
+	connArmed
+)
+
+// connFact maps owned net.Conn locals to their deadline state. Absent
+// = not owned here (never reported). Join is intersection: a conn must
+// be tracked on both paths to stay tracked, and armed on both to stay
+// armed.
+type connFact map[types.Object]connState
+
+func (f connFact) Clone() FlowFact {
+	c := make(connFact, len(f))
+	for k, v := range f {
+		c[k] = v
+	}
+	return c
+}
+
+func (f connFact) Join(other FlowFact) bool {
+	o := other.(connFact)
+	changed := false
+	for k, v := range f {
+		ov, ok := o[k]
+		if !ok {
+			delete(f, k)
+			changed = true
+			continue
+		}
+		if v == connArmed && ov == connUnarmed {
+			f[k] = connUnarmed
+			changed = true
+		}
+	}
+	return changed
+}
+
+func deadlineCheckFunc(pass *Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
+	cfg := BuildCFG(body)
+	dc := &deadlineCheck{pass: pass, info: pass.TypesInfo}
+
+	entry := connFact{}
+	if ftype.Params != nil {
+		for _, field := range ftype.Params.List {
+			for _, name := range field.Names {
+				if o := objOf(pass.TypesInfo, name); o != nil && isNetConn(o.Type()) {
+					entry[o] = connUnarmed
+				}
+			}
+		}
+	}
+
+	facts := ForwardSolve(cfg, entry, func(b *Block, in FlowFact) FlowFact {
+		return dc.transfer(b, in.(connFact), false)
+	})
+	for _, b := range cfg.Blocks {
+		if facts[b.Index] == nil {
+			continue
+		}
+		dc.transfer(b, facts[b.Index].Clone().(connFact), true)
+	}
+}
+
+type deadlineCheck struct {
+	pass *Pass
+	info *types.Info
+}
+
+func (dc *deadlineCheck) transfer(b *Block, f connFact, report bool) connFact {
+	for _, atom := range b.Nodes {
+		switch n := atom.(type) {
+		case *ast.AssignStmt:
+			dc.visitCalls(n, f, report)
+			dc.assign(n, f)
+		case *ast.ReturnStmt:
+			dc.visitCalls(n, f, report)
+			// Returning a conn hands it to the caller.
+			for _, r := range n.Results {
+				if o := objOf(dc.info, identOf(r)); o != nil {
+					delete(f, o)
+				}
+			}
+		case *RangeHeader:
+			// no conn semantics
+		default:
+			if node, ok := atom.(ast.Node); ok {
+				dc.visitCalls(node, f, report)
+			}
+		}
+	}
+	return f
+}
+
+func (dc *deadlineCheck) assign(as *ast.AssignStmt, f connFact) {
+	for i, lhs := range as.Lhs {
+		id := identOf(lhs)
+		o := objOf(dc.info, id)
+		// A conn stored into anything that is not a simple local
+		// (struct field, map slot) escapes this function's ownership.
+		if o == nil || ast.Unparen(lhs) != ast.Expr(id) {
+			if i < len(as.Rhs) {
+				for _, src := range collectIdentObjs(dc.info, as.Rhs[i]) {
+					delete(f, src)
+				}
+			}
+			continue
+		}
+		if !isNetConn(o.Type()) {
+			continue
+		}
+		// Fresh binding: alias copies the source state, anything else
+		// (Dial result, Accept result, channel recv) starts unarmed.
+		var rhs ast.Expr
+		if i < len(as.Rhs) {
+			rhs = as.Rhs[i]
+		} else if len(as.Rhs) == 1 {
+			rhs = as.Rhs[0]
+		}
+		if rhs != nil {
+			if src := objOf(dc.info, identOf(rhs)); src != nil {
+				if st, ok := f[src]; ok {
+					f[o] = st
+					continue
+				}
+			}
+		}
+		f[o] = connUnarmed
+	}
+}
+
+// visitCalls interprets each call in an atom against the conn fact.
+func (dc *deadlineCheck) visitCalls(atom ast.Node, f connFact, report bool) {
+	inspectAtom(atom, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+
+		// Method calls on a tracked conn.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if o := objOf(dc.info, identOf(sel.X)); o != nil {
+				if st, tracked := f[o]; tracked {
+					switch sel.Sel.Name {
+					case "SetDeadline", "SetReadDeadline", "SetWriteDeadline":
+						f[o] = connArmed
+						return true
+					case "Read", "Write":
+						if st == connUnarmed && report {
+							dc.pass.Reportf(call.Pos(),
+								"blocking %s.%s without a deadline armed on this path (call SetDeadline first)",
+								o.Name(), sel.Sel.Name)
+						}
+						return true
+					case "Close", "LocalAddr", "RemoteAddr":
+						return true
+					}
+				}
+			}
+		}
+
+		// Blocking io helpers that read/write the conn in place.
+		if fn := calleeFunc(dc.info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "io" {
+			switch fn.Name() {
+			case "ReadFull", "ReadAll", "Copy", "CopyN", "WriteString":
+				for _, arg := range call.Args {
+					if o := objOf(dc.info, identOf(arg)); o != nil {
+						if st, tracked := f[o]; tracked && st == connUnarmed && report {
+							dc.pass.Reportf(call.Pos(),
+								"blocking io.%s on %s without a deadline armed on this path (call SetDeadline first)",
+								fn.Name(), types.ExprString(arg))
+						}
+					}
+				}
+				return true
+			}
+		}
+
+		// Any other call that receives a tracked conn takes ownership.
+		for _, arg := range call.Args {
+			if o := objOf(dc.info, identOf(arg)); o != nil {
+				delete(f, o)
+			}
+		}
+		return true
+	})
+}
+
+// isNetConn reports net's connection types: the Conn interface and the
+// concrete TCP/UDP/Unix conns.
+func isNetConn(t types.Type) bool {
+	n, ok := deref(t).(*types.Named)
+	if !ok || n.Obj() == nil || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "net" {
+		return false
+	}
+	switch n.Obj().Name() {
+	case "Conn", "TCPConn", "UDPConn", "UnixConn":
+		return true
+	}
+	return false
+}

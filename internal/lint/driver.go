@@ -22,6 +22,10 @@ func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 
 // RunAnalyzers applies the analyzers to already-loaded packages.
 func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		sups, malformed := collectSuppressions(fset, pkg.Files)
@@ -43,6 +47,24 @@ func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) (
 				}
 			}
 		}
+		// A suppression that silenced nothing is itself a finding: the
+		// code it excused has moved or been fixed, and a stale excuse
+		// will hide the next real finding that lands on its line. Only
+		// suppressions for analyzers in this run are judged — a
+		// single-analyzer fixture run cannot vouch for the others.
+		for _, lines := range sups {
+			for _, entries := range lines {
+				for name, e := range entries {
+					if ran[name] && !e.used {
+						diags = append(diags, Diagnostic{
+							Analyzer: "suppression",
+							Pos:      e.pos,
+							Message:  "unused suppression: " + name + " no longer reports here; delete this //lint:ignore-choco",
+						})
+					}
+				}
+			}
+		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -59,11 +81,18 @@ func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) (
 
 const suppressPrefix = "//lint:ignore-choco"
 
+// supEntry is one recorded suppression; used flips when it actually
+// silences a diagnostic, so stale entries can be reported.
+type supEntry struct {
+	pos  token.Position
+	used bool
+}
+
 // suppressions records, per file and line, which analyzers are silenced
 // there. A suppression comment covers findings on its own line (a
 // trailing comment) and on the line directly below (a comment on its
 // own line above the flagged statement).
-type suppressions map[string]map[int]map[string]bool
+type suppressions map[string]map[int]map[string]*supEntry
 
 func (s suppressions) covers(d Diagnostic) bool {
 	lines := s[d.Pos.Filename]
@@ -71,7 +100,8 @@ func (s suppressions) covers(d Diagnostic) bool {
 		return false
 	}
 	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
-		if lines[line][d.Analyzer] {
+		if e := lines[line][d.Analyzer]; e != nil {
+			e.used = true
 			return true
 		}
 	}
@@ -113,12 +143,12 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) (suppressions, 
 					continue
 				}
 				if sups[pos.Filename] == nil {
-					sups[pos.Filename] = map[int]map[string]bool{}
+					sups[pos.Filename] = map[int]map[string]*supEntry{}
 				}
 				if sups[pos.Filename][pos.Line] == nil {
-					sups[pos.Filename][pos.Line] = map[string]bool{}
+					sups[pos.Filename][pos.Line] = map[string]*supEntry{}
 				}
-				sups[pos.Filename][pos.Line][fields[0]] = true
+				sups[pos.Filename][pos.Line][fields[0]] = &supEntry{pos: pos}
 			}
 		}
 	}

@@ -1,0 +1,354 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoroLeak flags goroutines in the serving tier (internal/fabric,
+// internal/serve, and the cmd/ mains) that can block forever on an
+// unselected channel operation with no shutdown path. The router
+// splice, health-probe, and fleet-stats loops are the motivating
+// shapes: a goroutine that does a bare `ch <- v`, `<-ch`, or
+// `for range ch` outlives its parent the moment the other side stops —
+// a leak per request under production load.
+//
+// The channel *kinds* feeding the verdict are dataflow-computed on the
+// CFG substrate (a must-analysis: a kind holds only if it holds on
+// every path to the `go` statement):
+//
+//   - a local channel made with a non-zero capacity is send-exempt: a
+//     bounded number of sends into it cannot block (the fleet-stats
+//     fan-in pattern);
+//   - a channel registered with signal.Notify is receive-exempt: a
+//     goroutine parked on it is the intended shutdown listener.
+//
+// Inside the launched body, an operation is "selected" — and exempt —
+// when it appears as the communication of a select with at least two
+// cases or a default (a one-case select is just a bare op with extra
+// steps). Everything else is reported.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "goroutines in fabric/serve/cmd must not block forever on unselected channel ops",
+	Run:  runGoroLeak,
+}
+
+func goroLeakScoped(path, pkgName string) bool {
+	return pkgPathHasSuffix(path, "internal/fabric") ||
+		pkgPathHasSuffix(path, "internal/serve") ||
+		pkgName == "main" ||
+		strings.Contains(path, "cmd/")
+}
+
+func runGoroLeak(pass *Pass) error {
+	if !goroLeakScoped(pass.Pkg.Path(), pass.Pkg.Name()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, body := range functionBodies(file) {
+			goroLeakFunc(pass, body)
+		}
+	}
+	return nil
+}
+
+type chanKind int
+
+const (
+	chanUnknown  chanKind = iota // zero value: nothing proven
+	chanBuffered                 // local make(chan T, n>0)
+	chanSignal                   // registered via signal.Notify
+)
+
+// chanFact is the must-lattice mapping channel objects to their known
+// kind; a key survives a join only when both sides agree.
+type chanFact map[types.Object]chanKind
+
+func (f chanFact) Clone() FlowFact {
+	c := make(chanFact, len(f))
+	for k, v := range f {
+		c[k] = v
+	}
+	return c
+}
+
+func (f chanFact) Join(other FlowFact) bool {
+	o := other.(chanFact)
+	changed := false
+	for k, v := range f {
+		if ov, ok := o[k]; !ok || ov != v {
+			delete(f, k)
+			changed = true
+		}
+	}
+	return changed
+}
+
+func goroLeakFunc(pass *Pass, body *ast.BlockStmt) {
+	cfg := BuildCFG(body)
+	gl := &goroLeak{pass: pass, info: pass.TypesInfo}
+
+	facts := ForwardSolve(cfg, chanFact{}, func(b *Block, in FlowFact) FlowFact {
+		return gl.transfer(b, in.(chanFact), false)
+	})
+	for _, b := range cfg.Blocks {
+		if facts[b.Index] == nil {
+			continue
+		}
+		gl.transfer(b, facts[b.Index].Clone().(chanFact), true)
+	}
+}
+
+type goroLeak struct {
+	pass *Pass
+	info *types.Info
+}
+
+func (gl *goroLeak) transfer(b *Block, f chanFact, report bool) chanFact {
+	for _, atom := range b.Nodes {
+		// Channel-kind updates first, so a `go` on the same line sees
+		// them only if they textually precede it (atoms are in order).
+		switch n := atom.(type) {
+		case *ast.AssignStmt:
+			gl.trackMakes(n, f)
+			gl.trackNotify(n, f)
+		case *ast.DeclStmt:
+			gl.trackNotify(n, f)
+		case *ast.GoStmt:
+			gl.trackNotify(n, f)
+			if report {
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					kinds := gl.bodyKinds(lit.Body, f)
+					gl.checkGoBody(lit.Body, kinds)
+				}
+			}
+		default:
+			if node, ok := atom.(ast.Node); ok {
+				gl.trackNotify(node, f)
+			}
+		}
+	}
+	return f
+}
+
+// trackMakes records `ch := make(chan T, n)` channel allocations.
+func (gl *goroLeak) trackMakes(as *ast.AssignStmt, f chanFact) {
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break
+		}
+		o := objOf(gl.info, identOf(lhs))
+		if o == nil {
+			continue
+		}
+		if _, isChan := o.Type().Underlying().(*types.Chan); !isChan {
+			continue
+		}
+		buffered, isMake := makeChanBuffered(gl.info, as.Rhs[i])
+		switch {
+		case isMake && buffered:
+			f[o] = chanBuffered
+		default:
+			// Rebinding to anything else loses the kind.
+			if f[o] == chanBuffered {
+				delete(f, o)
+			}
+		}
+	}
+}
+
+// makeChanBuffered reports whether e is a make(chan T, n) call and
+// whether n is known non-zero.
+func makeChanBuffered(info *types.Info, e ast.Expr) (buffered, isMake bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false, false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false, false
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return false, false
+	}
+	if len(call.Args) < 1 {
+		return false, false
+	}
+	if _, isChan := info.TypeOf(call.Args[0]).Underlying().(*types.Chan); !isChan {
+		return false, false
+	}
+	if len(call.Args) < 2 {
+		return false, true // unbuffered
+	}
+	// A literal 0 capacity is unbuffered; any other expression (a
+	// literal, len(...), a variable) is taken as buffered — the repo's
+	// fan-in channels are all sized to their producer count.
+	if lit, ok := ast.Unparen(call.Args[1]).(*ast.BasicLit); ok && lit.Value == "0" {
+		return false, true
+	}
+	return true, true
+}
+
+// trackNotify scans one atom for signal.Notify(ch, ...) registrations.
+func (gl *goroLeak) trackNotify(atom ast.Node, f chanFact) {
+	inspectAtom(atom, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(gl.info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os/signal" || fn.Name() != "Notify" {
+			return true
+		}
+		if len(call.Args) > 0 {
+			if o := objOf(gl.info, identOf(call.Args[0])); o != nil {
+				f[o] = chanSignal
+			}
+		}
+		return true
+	})
+}
+
+// bodyKinds merges the launch-site fact (captured channels) with a
+// flow-insensitive scan of the goroutine body itself, so channels made
+// or Notify-registered inside the body get their kinds too.
+func (gl *goroLeak) bodyKinds(body *ast.BlockStmt, launch chanFact) chanFact {
+	kinds := launch.Clone().(chanFact)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			gl.trackMakes(n, kinds)
+		case *ast.CallExpr:
+			fn := calleeFunc(gl.info, n)
+			if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "os/signal" && fn.Name() == "Notify" {
+				if len(n.Args) > 0 {
+					if o := objOf(gl.info, identOf(n.Args[0])); o != nil {
+						kinds[o] = chanSignal
+					}
+				}
+			}
+		}
+		return true
+	})
+	return kinds
+}
+
+// checkGoBody walks a launched goroutine body and reports bare channel
+// operations that can block forever. selected marks positions exempted
+// by an adequate enclosing select.
+func (gl *goroLeak) checkGoBody(body *ast.BlockStmt, kinds chanFact) {
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			// A nested literal runs on its own schedule; it is checked
+			// where it is launched, not here.
+			return
+		case *ast.SelectStmt:
+			adequate := selectHasShutdownPath(n)
+			for _, c := range n.Body.List {
+				cc := c.(*ast.CommClause)
+				if cc.Comm != nil && !adequate {
+					gl.checkCommStmt(cc.Comm, kinds)
+				}
+				for _, s := range cc.Body {
+					walk(s)
+				}
+			}
+			return
+		case *ast.SendStmt:
+			gl.checkSend(n, kinds)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				gl.checkRecv(n, kinds)
+			}
+		case *ast.RangeStmt:
+			if t := gl.info.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					if o := objOf(gl.info, identOf(n.X)); o == nil || kinds[o] != chanSignal {
+						gl.pass.Reportf(n.Pos(),
+							"goroutine ranges over %s with no shutdown path (select on a done channel instead)",
+							types.ExprString(n.X))
+					}
+				}
+			}
+		}
+		// Generic descent.
+		children(n, walk)
+	}
+	for _, s := range body.List {
+		walk(s)
+	}
+}
+
+// selectHasShutdownPath reports whether a select offers an alternative
+// to each communication: two or more cases, or a default.
+func selectHasShutdownPath(sel *ast.SelectStmt) bool {
+	if len(sel.Body.List) >= 2 {
+		return true
+	}
+	for _, c := range sel.Body.List {
+		if c.(*ast.CommClause).Comm == nil {
+			return true // default case
+		}
+	}
+	return false
+}
+
+// checkCommStmt reports the communication of an inadequate (one-case,
+// no-default) select as if it were bare.
+func (gl *goroLeak) checkCommStmt(s ast.Stmt, kinds chanFact) {
+	switch s := s.(type) {
+	case *ast.SendStmt:
+		gl.checkSend(s, kinds)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			if u, ok := ast.Unparen(rhs).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				gl.checkRecv(u, kinds)
+			}
+		}
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(s.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			gl.checkRecv(u, kinds)
+		}
+	}
+}
+
+func (gl *goroLeak) checkSend(s *ast.SendStmt, kinds chanFact) {
+	if o := objOf(gl.info, identOf(s.Chan)); o != nil && kinds[o] == chanBuffered {
+		return
+	}
+	gl.pass.Reportf(s.Pos(),
+		"goroutine may block forever on send to %s (no shutdown select)",
+		types.ExprString(s.Chan))
+}
+
+func (gl *goroLeak) checkRecv(u *ast.UnaryExpr, kinds chanFact) {
+	if o := objOf(gl.info, identOf(u.X)); o != nil && kinds[o] == chanSignal {
+		return
+	}
+	gl.pass.Reportf(u.Pos(),
+		"goroutine may block forever on receive from %s (no shutdown select)",
+		types.ExprString(u.X))
+}
+
+// children invokes f on each direct child node of n, giving the
+// checker's recursive walk the standard AST shape without a second
+// visitor framework.
+func children(n ast.Node, f func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(m ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if m != nil {
+			f(m)
+		}
+		return false
+	})
+}

@@ -100,6 +100,13 @@ func TestBigIntLoopFixture(t *testing.T) {
 	runFixture(t, BigIntLoop, "bigintloop/internal/bfv")
 }
 func TestSuppressionFixture(t *testing.T) { runFixture(t, UncheckedErr, "suppress") }
+func TestSecretFlowFixture(t *testing.T)  { runFixture(t, SecretFlow, "secretflow") }
+func TestGoroLeakFixture(t *testing.T) {
+	runFixture(t, GoroLeak, "goroleak/internal/fabric")
+}
+func TestDeadlineCheckFixture(t *testing.T) {
+	runFixture(t, DeadlineCheck, "deadlinecheck/internal/serve")
+}
 
 // TestMalformedSuppressions exercises the suppression parser directly:
 // an unknown analyzer name or a missing reason turns the suppression

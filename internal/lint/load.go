@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/parser"
 	"go/token"
 	"go/types"
@@ -53,6 +54,12 @@ type Loader struct {
 	// Overlay optionally roots a fixture source tree (GOPATH-style:
 	// Overlay/<import/path>/*.go).
 	Overlay string
+	// BuildTags selects additional build constraints, mirroring
+	// `go build -tags`. They apply both to go-list discovery (the
+	// chocodebug assertion layer, future arch-tagged asm stubs) and to
+	// overlay fixtures, whose files are constraint-filtered the same
+	// way the go tool would.
+	BuildTags []string
 
 	fset   *token.FileSet
 	pkgs   map[string]*Package
@@ -110,7 +117,11 @@ func (l *Loader) LoadOverlay(path string) (*Package, error) {
 // l.listed. Cgo is pinned off so every dependency — the standard
 // library included — type-checks from pure Go source.
 func (l *Loader) goList(patterns ...string) error {
-	args := append([]string{"list", "-e", "-deps", "-json=ImportPath,Dir,Name,GoFiles,Imports,ImportMap,Standard,DepOnly,Error"}, patterns...)
+	args := []string{"list", "-e", "-deps", "-json=ImportPath,Dir,Name,GoFiles,Imports,ImportMap,Standard,DepOnly,Error"}
+	if len(l.BuildTags) > 0 {
+		args = append(args, "-tags="+strings.Join(l.BuildTags, ","))
+	}
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = l.Dir
 	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
@@ -165,7 +176,25 @@ func (l *Loader) importPath(path string) (*Package, error) {
 			if err != nil {
 				return nil, err
 			}
-			files = ents
+			// Apply build constraints exactly as the go tool would:
+			// without this, a fixture carrying //go:build-tagged
+			// variants of the same declaration would fail to
+			// type-check with a spurious redeclaration error.
+			ctxt := build.Default
+			ctxt.BuildTags = l.BuildTags
+			ctxt.CgoEnabled = false
+			for _, f := range ents {
+				match, err := ctxt.MatchFile(d, filepath.Base(f))
+				if err != nil {
+					return nil, fmt.Errorf("lint: matching %s: %v", f, err)
+				}
+				if match {
+					files = append(files, f)
+				}
+			}
+			if len(files) == 0 {
+				return nil, fmt.Errorf("lint: overlay package %q has no Go files matching the build constraints", path)
+			}
 		}
 	}
 	if dir == "" {

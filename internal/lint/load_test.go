@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// fileNames returns the base names of a package's parsed files.
+func fileNames(t *testing.T, l *Loader, pkg *Package) map[string]bool {
+	t.Helper()
+	names := map[string]bool{}
+	for _, f := range pkg.Files {
+		names[filepath.Base(l.Fset().Position(f.Pos()).Filename)] = true
+	}
+	return names
+}
+
+// TestOverlayBuildTagFiltering proves the overlay loader applies build
+// constraints like the go tool: the fixture declares the same function
+// in a chocodebug and a !chocodebug file (and the same symbol in three
+// arch-tagged stubs), so loading would fail with a redeclaration error
+// if constraint filtering ever regressed.
+func TestOverlayBuildTagFiltering(t *testing.T) {
+	l := NewLoader(".")
+	l.Overlay = "testdata/src"
+	pkg, err := l.LoadOverlay("buildtags/pkg")
+	if err != nil {
+		t.Fatalf("default-tag load: %v", err)
+	}
+	names := fileNames(t, l, pkg)
+	if !names["debug_off.go"] || names["debug_on.go"] {
+		t.Errorf("default tags: got files %v, want debug_off.go without debug_on.go", names)
+	}
+	// Exactly one arch stub may survive, whichever matches the host.
+	archCount := 0
+	for _, n := range []string{"stub_amd64.go", "stub_arm64.go", "stub_other.go"} {
+		if names[n] {
+			archCount++
+		}
+	}
+	if archCount != 1 {
+		t.Errorf("got %d arch stubs in %v, want exactly 1", archCount, names)
+	}
+
+	// The analyzers must run over a tagged package without crashing.
+	if _, err := RunAnalyzers(l.Fset(), []*Package{pkg}, All()); err != nil {
+		t.Fatalf("running suite on tagged fixture: %v", err)
+	}
+
+	// With the chocodebug tag the selection flips.
+	ld := NewLoader(".")
+	ld.Overlay = "testdata/src"
+	ld.BuildTags = []string{"chocodebug"}
+	pkg, err = ld.LoadOverlay("buildtags/pkg")
+	if err != nil {
+		t.Fatalf("chocodebug-tag load: %v", err)
+	}
+	names = fileNames(t, ld, pkg)
+	if !names["debug_on.go"] || names["debug_off.go"] {
+		t.Errorf("chocodebug tags: got files %v, want debug_on.go without debug_off.go", names)
+	}
+}
+
+// TestGoListBuildTags proves BuildTags reaches go-list discovery on the
+// real module: internal/ring carries the chocodebug assertion layer in
+// tagged files, and the loader must see whichever variant the tag set
+// selects — neither crashing on nor silently skipping the package.
+func TestGoListBuildTags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lists and type-checks real module packages")
+	}
+
+	l := NewLoader("../..")
+	pkgs, err := l.Load("./internal/ring")
+	if err != nil {
+		t.Fatalf("default load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	names := fileNames(t, l, pkgs[0])
+	if !names["debug_off.go"] || names["debug_on.go"] {
+		t.Errorf("default tags: got %v, want debug_off.go without debug_on.go", names)
+	}
+
+	ld := NewLoader("../..")
+	ld.BuildTags = []string{"chocodebug"}
+	pkgs, err = ld.Load("./internal/ring")
+	if err != nil {
+		t.Fatalf("chocodebug load: %v", err)
+	}
+	names = fileNames(t, ld, pkgs[0])
+	if !names["debug_on.go"] || names["debug_off.go"] {
+		t.Errorf("chocodebug tags: got %v, want debug_on.go without debug_off.go", names)
+	}
+	if _, err := RunAnalyzers(ld.Fset(), pkgs, All()); err != nil {
+		t.Fatalf("running suite under chocodebug tags: %v", err)
+	}
+}

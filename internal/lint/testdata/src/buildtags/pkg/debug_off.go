@@ -1,0 +1,17 @@
+//go:build !chocodebug
+
+// Fixture for build-constraint filtering in the overlay loader: this
+// file and debug_on.go declare the same function, so loading both at
+// once is a redeclaration error — type-checking succeeds only if the
+// loader filters by constraint exactly as the go tool would.
+package pkg
+
+func debugEnabled() bool { return false }
+
+// Mode reports which constraint variant was compiled in.
+func Mode() string {
+	if debugEnabled() {
+		return "debug"
+	}
+	return "release"
+}

@@ -1,0 +1,5 @@
+//go:build chocodebug
+
+package pkg
+
+func debugEnabled() bool { return true }

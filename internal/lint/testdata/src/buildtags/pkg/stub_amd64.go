@@ -1,0 +1,7 @@
+//go:build amd64
+
+package pkg
+
+// arch mirrors the future internal/accel pattern: one arch-tagged stub
+// per GOARCH plus a portable fallback, all declaring the same symbol.
+func arch() string { return "amd64" }

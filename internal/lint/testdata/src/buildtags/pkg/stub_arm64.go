@@ -1,0 +1,5 @@
+//go:build arm64
+
+package pkg
+
+func arch() string { return "arm64" }

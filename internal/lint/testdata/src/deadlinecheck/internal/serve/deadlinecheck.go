@@ -1,0 +1,88 @@
+// Fixture for the deadlinecheck analyzer: raw net.Conn I/O in the
+// serving tier must have a deadline armed on every path. The silent
+// shapes are the repo's real patterns — wrap the conn in
+// protocol.Conn (ownership transfer) or arm before reading.
+package serve
+
+import (
+	"io"
+	"net"
+	"time"
+)
+
+// Reading an accepted conn with no deadline: one slow client pins the
+// handler forever.
+func readNoDeadline(ln net.Listener) error {
+	conn, err := ln.Accept()
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 64)
+	_, err = conn.Read(buf) // want `blocking conn\.Read without a deadline armed on this path`
+	return err
+}
+
+// Armed on one branch only: the fallthrough path still blocks, and the
+// must-join catches it.
+func armedOnOneBranch(conn net.Conn, strict bool) error {
+	if strict {
+		conn.SetReadDeadline(time.Now().Add(time.Second))
+	}
+	buf := make([]byte, 64)
+	_, err := conn.Read(buf) // want `blocking conn\.Read without a deadline armed on this path`
+	return err
+}
+
+// io helpers block exactly like the methods do.
+func readFullNoDeadline(conn net.Conn, buf []byte) error {
+	_, err := io.ReadFull(conn, buf) // want `blocking io\.ReadFull on conn without a deadline armed on this path`
+	return err
+}
+
+func writeNoDeadline(conn *net.TCPConn, payload []byte) error {
+	_, err := conn.Write(payload) // want `blocking conn\.Write without a deadline armed on this path`
+	return err
+}
+
+// --- Sanctioned shapes: silent. ---
+
+// Armed on every path before the read.
+func armedRead(conn net.Conn, d time.Duration) error {
+	if err := conn.SetDeadline(time.Now().Add(d)); err != nil {
+		return err
+	}
+	buf := make([]byte, 64)
+	_, err := conn.Read(buf)
+	return err
+}
+
+// Armed in both branches: the join keeps the armed state.
+func armedBothBranches(conn net.Conn, strict bool) error {
+	if strict {
+		conn.SetReadDeadline(time.Now().Add(time.Second))
+	} else {
+		conn.SetDeadline(time.Now().Add(time.Minute))
+	}
+	buf := make([]byte, 64)
+	_, err := conn.Read(buf)
+	return err
+}
+
+// The repo's standard pattern: hand the raw conn to a wrapper that
+// owns deadline discipline from then on.
+func wrapThenUse(conn net.Conn) *timedConn {
+	return newTimedConn(conn)
+}
+
+type timedConn struct{ c net.Conn }
+
+func newTimedConn(c net.Conn) *timedConn { return &timedConn{c: c} }
+
+// Returning the conn transfers ownership to the caller.
+func dialOnly(addr string) (net.Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return conn, nil
+}

@@ -1,0 +1,106 @@
+// Fixture for the goroleak analyzer: goroutines in the serving tier
+// must not be able to block forever on an unselected channel op. The
+// flagged shapes mirror real leaks (ticker-range watchers, bare fan-in
+// sends on unbuffered channels); the silent shapes are the repo's
+// sanctioned patterns (done-channel selects, counted buffered fan-in,
+// signal listeners).
+package fabric
+
+import (
+	"os"
+	"os/signal"
+	"time"
+)
+
+type result struct{ n int }
+
+// A bare send into an unbuffered channel: if the reader went away,
+// this goroutine is pinned forever.
+func bareSendLeak(out chan result) {
+	go func() {
+		out <- result{} // want `goroutine may block forever on send to out`
+	}()
+}
+
+// A bare receive with no shutdown alternative.
+func bareRecvLeak(in chan result) {
+	go func() {
+		r := <-in // want `goroutine may block forever on receive from in`
+		_ = r
+	}()
+}
+
+// Ranging a ticker (or any channel) never terminates without a close;
+// tickers are never closed.
+func tickerRangeLeak() {
+	go func() {
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for range tick.C { // want `goroutine ranges over tick\.C with no shutdown path`
+			probe()
+		}
+	}()
+}
+
+// A one-case select is a bare op with extra steps.
+func oneCaseSelectLeak(in chan result) {
+	go func() {
+		select {
+		case r := <-in: // want `goroutine may block forever on receive from in`
+			_ = r
+		}
+	}()
+}
+
+// --- Sanctioned shapes: silent. ---
+
+// The fleet-stats fan-in: the channel is buffered to the producer
+// count, so every send completes even if the collector times out.
+func countedFanIn(n int) {
+	results := make(chan result, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			results <- result{} // buffered to producer count: cannot block
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-results
+	}
+}
+
+// The done-channel select: the goroutine always has an exit.
+func selectWithDone(in chan result, done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case r := <-in:
+				_ = r
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+// Non-blocking probe via default.
+func selectWithDefault(out chan result) {
+	go func() {
+		select {
+		case out <- result{}:
+		default:
+		}
+	}()
+}
+
+// The shutdown listener itself: a signal.Notify channel is supposed to
+// be parked on.
+func signalListener(stop func()) {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		stop()
+	}()
+}
+
+func probe() {}

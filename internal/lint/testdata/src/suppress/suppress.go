@@ -23,3 +23,8 @@ func wrongAnalyzerDoesNotCover(c closer) {
 func unsuppressed(c closer) {
 	c.Close() // want `Close error dropped`
 }
+
+func staleSuppression(c closer) error {
+	//lint:ignore-choco uncheckederr the finding this excused was fixed long ago // want `unused suppression: uncheckederr no longer reports here`
+	return c.Close()
+}
