@@ -6,21 +6,27 @@
 #   make lint    — chocolint static analyzers only (see internal/lint)
 #   make race    — race-enabled, shuffled tests; reruns the parallel
 #                  execution-layer packages (including the bfv/ckks
-#                  hoisted-rotation fan-outs) and the fabric routing
-#                  tier with GOMAXPROCS=4 so the par fan-out paths and
-#                  the router's splice/health/membership concurrency
-#                  are exercised even on 1-core CI
+#                  hoisted-rotation fan-outs), the serving tier with
+#                  its cross-request batching executor, and the fabric
+#                  routing tier with GOMAXPROCS=4 so the par fan-out
+#                  paths, the gather-round leader/follower protocol,
+#                  and the router's splice/health/membership
+#                  concurrency are exercised even on 1-core CI
 #   make debug   — tests with the chocodebug assertion layer compiled in
 #   make bench   — paper-table benchmark generators; also regenerates
 #                  the machine-readable perf trajectories: rotations in
 #                  BENCH_rotations.json (serial = before hoisting,
-#                  hoisted = after) and the client encrypt/decrypt
+#                  hoisted = after), the client encrypt/decrypt
 #                  kernels in BENCH_client.json (decrypt-bigint = the
 #                  seed's big.Int scaling, decrypt-rns = the RNS-native
-#                  rewrite), and appends the commit-stamped pinned
-#                  series (client encrypt, hoisted rotation batch,
-#                  serve p99) to BENCH_trajectory.jsonl, warning when a
-#                  series regressed >10% against its previous entry
+#                  rewrite), and the cross-request batching kernel in
+#                  BENCH_batching.json (serial = per-session execution,
+#                  batched = the coalesced gather round), and appends
+#                  the commit-stamped pinned series (client encrypt,
+#                  hoisted rotation batch, serve p99) to
+#                  BENCH_trajectory.jsonl, warning when a series
+#                  regressed >10% against the rolling median of its
+#                  last five entries
 
 #   make fuzz    — 30-second smoke run of each internal/protocol fuzz
 #                  target (frame parser and hello-frame round-trip)
@@ -45,7 +51,7 @@ vet:
 
 race:
 	$(GO) test -race -shuffle=on ./...
-	GOMAXPROCS=4 $(GO) test -race -shuffle=on ./internal/par ./internal/ring ./internal/bfv ./internal/ckks ./internal/core ./internal/apps/distance ./internal/fabric
+	GOMAXPROCS=4 $(GO) test -race -shuffle=on ./internal/par ./internal/ring ./internal/bfv ./internal/ckks ./internal/core ./internal/apps/distance ./internal/serve ./internal/fabric
 
 debug:
 	$(GO) test -race -shuffle=on -tags chocodebug ./internal/ring ./internal/bfv
@@ -57,5 +63,6 @@ fuzz:
 bench:
 	$(GO) run ./cmd/chocobench -json BENCH_rotations.json rotations
 	$(GO) run ./cmd/chocobench -json BENCH_client.json client
+	$(GO) run ./cmd/chocobench -json BENCH_batching.json batching
 	$(GO) run ./cmd/chocobench -trajectory BENCH_trajectory.jsonl -commit "$$(git rev-parse --short HEAD)" trajectory
 	$(GO) test -bench=. -benchmem ./...

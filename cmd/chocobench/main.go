@@ -10,7 +10,8 @@
 // The trajectory experiment measures the pinned perf series (client
 // encrypt, hoisted rotation batch, serve p99) and, with -trajectory,
 // appends commit-stamped JSONL entries to the named file, warning when
-// a series regressed more than 10% against its previous entry:
+// a series regressed more than 10% against the rolling median of its
+// last five entries:
 //
 //	chocobench -trajectory BENCH_trajectory.jsonl -commit "$(git rev-parse --short HEAD)" trajectory
 package main
@@ -55,6 +56,17 @@ func experiments() []experiment {
 					return "", jerr
 				}
 				jsonBodies["client"] = body
+			}
+			return out, err
+		}},
+		{"batching", "cross-request batching: coalesced vs per-session shard kernel", func() (string, error) {
+			out, recs, err := bench.Batching()
+			if err == nil {
+				body, jerr := bench.BatchingJSON(recs)
+				if jerr != nil {
+					return "", jerr
+				}
+				jsonBodies["batching"] = body
 			}
 			return out, err
 		}},
@@ -104,7 +116,7 @@ func experiments() []experiment {
 func main() {
 	list := flag.Bool("list", false, "list experiment names and exit")
 	jsonPath := flag.String("json", "", "write the selected record-producing experiment's records to this path as JSON")
-	trajectoryPath := flag.String("trajectory", "", "append the trajectory experiment's points to this JSONL file (warns on >10% regression per series)")
+	trajectoryPath := flag.String("trajectory", "", "append the trajectory experiment's points to this JSONL file (warns on >10% regression vs each series' rolling median)")
 	commit := flag.String("commit", "local", "commit hash to stamp trajectory points with")
 	flag.Parse()
 
@@ -157,7 +169,7 @@ func main() {
 	}
 	if *jsonPath != "" {
 		if len(jsonBodies) == 0 {
-			fmt.Fprintf(os.Stderr, "-json set but no record-producing experiment ran (rotations, client)\n")
+			fmt.Fprintf(os.Stderr, "-json set but no record-producing experiment ran (rotations, client, batching)\n")
 			os.Exit(1)
 		}
 		if len(jsonBodies) > 1 {

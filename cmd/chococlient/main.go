@@ -7,7 +7,10 @@
 // Sessions open under a client-chosen session ID, so a reconnecting
 // client whose evaluation keys are still cached server-side skips the
 // multi-megabyte key upload (-reconnect demonstrates this and reports
-// the bytes saved).
+// the bytes saved). Sessions may also declare a tenant (-tenant): a
+// server enforcing per-tenant quotas answers over-quota opens with a
+// busy ack carrying a retry-after hint, which workers honor for up to
+// -busy-retries attempts before failing.
 //
 // With -concurrency > 1 (or -requests set) it becomes a load
 // generator: N independent clients — separate keys, separate sessions
@@ -17,6 +20,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -40,6 +44,8 @@ func main() {
 	requests := flag.Int("requests", 0, "inferences per session (0 = use -count)")
 	sessionBase := flag.String("session-id", "", "session ID prefix (default derived from key seed)")
 	reconnect := flag.Bool("reconnect", false, "disconnect halfway and reconnect under the same session ID to exercise the server's evaluation-key cache")
+	tenant := flag.String("tenant", "", "tenant ID declared in the session hello; over-quota rejections are retried after the server's retry-after hint")
+	busyRetries := flag.Int("busy-retries", 3, "how many times a worker retries a session rejected over tenant quota before giving up")
 	fleetStats := flag.String("fleet-stats", "", "after the run, fetch and summarize the fabric router's fleet view from this URL (e.g. http://127.0.0.1:7400/fleet)")
 	flag.Parse()
 
@@ -74,6 +80,7 @@ func main() {
 				keySeed: *keySeed + w, imageSeed: *imageSeed + w*1000,
 				sessionID: fmt.Sprintf("%s-w%d", base, w),
 				requests:  perWorker, reconnect: *reconnect,
+				tenant: *tenant, busyRetries: *busyRetries,
 				verbose: !loadgen,
 			})
 			mu.Lock()
@@ -179,14 +186,16 @@ func printFleetStats(url string) error {
 }
 
 type workerConfig struct {
-	addr      string
-	network   *nn.Network
-	keySeed   int
-	imageSeed int
-	sessionID string
-	requests  int
-	reconnect bool
-	verbose   bool
+	addr        string
+	network     *nn.Network
+	keySeed     int
+	imageSeed   int
+	sessionID   string
+	requests    int
+	reconnect   bool
+	tenant      string
+	busyRetries int
+	verbose     bool
 }
 
 type workerReport struct {
@@ -221,19 +230,33 @@ func runWorker(cfg workerConfig) (workerReport, error) {
 		return rep, fmt.Errorf("client setup: %w", err)
 	}
 
+	// dial opens (or re-opens) the session. An over-quota rejection
+	// carries the server's retry-after hint; the worker honors it for a
+	// bounded number of attempts before giving up, so a busy tenant
+	// backs off at the pace the shard asked for instead of hammering it.
 	dial := func() (*protocol.Conn, bool, time.Duration, error) {
-		conn, err := net.Dial("tcp", cfg.addr)
-		if err != nil {
-			return nil, false, 0, fmt.Errorf("dial: %w", err)
-		}
-		tr := protocol.NewConn(conn)
-		t0 := time.Now()
-		cached, err := client.SetupSession(tr, cfg.sessionID)
-		if err != nil {
+		for attempt := 0; ; attempt++ {
+			conn, err := net.Dial("tcp", cfg.addr)
+			if err != nil {
+				return nil, false, 0, fmt.Errorf("dial: %w", err)
+			}
+			tr := protocol.NewConn(conn)
+			t0 := time.Now()
+			cached, err := client.SetupSessionTenant(tr, cfg.sessionID, cfg.tenant)
+			if err == nil {
+				return tr, cached, time.Since(t0), nil
+			}
 			_ = tr.Close() // the session-open failure is the error that matters
-			return nil, false, 0, fmt.Errorf("session open: %w", err)
+			var busy *nn.BusyError
+			if !errors.As(err, &busy) || busy.RetryAfter <= 0 || attempt >= cfg.busyRetries {
+				return nil, false, 0, fmt.Errorf("session open: %w", err)
+			}
+			if cfg.verbose {
+				fmt.Printf("session %q: tenant over quota, retrying in %v (%d/%d)\n",
+					cfg.sessionID, busy.RetryAfter, attempt+1, cfg.busyRetries)
+			}
+			time.Sleep(busy.RetryAfter)
 		}
-		return tr, cached, time.Since(t0), nil
 	}
 
 	tr, cached, setupTime, err := dial()

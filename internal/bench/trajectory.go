@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"testing"
 
@@ -29,8 +30,44 @@ type TrajectoryPoint struct {
 }
 
 // regressionTolerance is how much a series may slow down versus its
-// previous trajectory entry before AppendTrajectory warns.
+// rolling baseline before AppendTrajectory warns.
 const regressionTolerance = 1.10
+
+// trajectoryBaselineWindow is how many trailing points per series form
+// the regression baseline. Comparing against the median of the window
+// instead of the single previous entry keeps one noisy sample from
+// poisoning the comparison in either direction: a one-off spike cannot
+// mask the regression that follows it (the next point would have looked
+// like an "improvement" against the spike alone), and a one-off fast
+// run cannot flag a phantom regression on the next normal run.
+const trajectoryBaselineWindow = 5
+
+// baselineFor returns a series' rolling baseline: the median ns/op of
+// its last trajectoryBaselineWindow points, plus the commit of the most
+// recent one. ok is false when the series has no usable history, in
+// which case the new point is accepted without comparison.
+func baselineFor(prior []TrajectoryPoint, series string) (ns int64, commit string, ok bool) {
+	var window []int64
+	for _, p := range prior {
+		if p.Series != series || p.NsPerOp <= 0 {
+			continue
+		}
+		window = append(window, p.NsPerOp)
+		commit = p.Commit
+	}
+	if len(window) == 0 {
+		return 0, "", false
+	}
+	if len(window) > trajectoryBaselineWindow {
+		window = window[len(window)-trajectoryBaselineWindow:]
+	}
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	mid := len(window) / 2
+	if len(window)%2 == 1 {
+		return window[mid], commit, true
+	}
+	return (window[mid-1] + window[mid]) / 2, commit, true
+}
 
 // The pinned series. Each is one number a PR is judged by: the client
 // encrypt kernel the paper optimizes (§4), the hoisted rotation batch
@@ -199,18 +236,17 @@ func ReadTrajectory(path string) ([]TrajectoryPoint, error) {
 }
 
 // AppendTrajectory appends the points to the JSONL file and compares
-// each against its series' most recent prior entry, returning a warning
-// per series that slowed down more than the tolerance (10%). Warnings
-// do not block the append: the trajectory records what happened; CI
-// decides what to do about it.
+// each against its series' rolling baseline — the median of the last
+// trajectoryBaselineWindow entries — returning a warning per series
+// that slowed down more than the tolerance (10%). Warnings do not
+// block the append: the trajectory records what happened; CI decides
+// what to do about it. A sustained slowdown re-baselines itself once
+// it dominates the window, so the history keeps warning only while
+// the level shift is news.
 func AppendTrajectory(path string, pts []TrajectoryPoint) ([]string, error) {
 	prior, err := ReadTrajectory(path)
 	if err != nil {
 		return nil, err
-	}
-	last := map[string]TrajectoryPoint{}
-	for _, p := range prior {
-		last[p.Series] = p
 	}
 
 	var warnings []string
@@ -219,12 +255,12 @@ func AppendTrajectory(path string, pts []TrajectoryPoint) ([]string, error) {
 		return nil, err
 	}
 	for _, p := range pts {
-		if prev, ok := last[p.Series]; ok && prev.NsPerOp > 0 &&
-			float64(p.NsPerOp) > float64(prev.NsPerOp)*regressionTolerance {
+		if base, commit, ok := baselineFor(prior, p.Series); ok &&
+			float64(p.NsPerOp) > float64(base)*regressionTolerance {
 			warnings = append(warnings, fmt.Sprintf(
-				"%s regressed %.1f%%: %d → %d ns/op (prev commit %s)",
-				p.Series, 100*(float64(p.NsPerOp)/float64(prev.NsPerOp)-1),
-				prev.NsPerOp, p.NsPerOp, prev.Commit))
+				"%s regressed %.1f%% vs rolling median: %d → %d ns/op (median of last %d point(s), through commit %s)",
+				p.Series, 100*(float64(p.NsPerOp)/float64(base)-1),
+				base, p.NsPerOp, trajectoryBaselineWindow, commit))
 		}
 		line, err := json.Marshal(p)
 		if err != nil {

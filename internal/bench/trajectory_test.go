@@ -8,7 +8,7 @@ import (
 
 // TestTrajectoryAppendAndRegress drives the JSONL trajectory with
 // synthetic points: append, re-read, and regression detection against
-// the previous entry per series.
+// the rolling-median baseline per series.
 func TestTrajectoryAppendAndRegress(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_trajectory.jsonl")
 
@@ -35,8 +35,9 @@ func TestTrajectoryAppendAndRegress(t *testing.T) {
 		t.Fatalf("within-tolerance append warned: %v", warn)
 	}
 
-	// A 20% regression on one series: exactly one warning, against the
-	// latest prior entry (1050, commit bbbb), and the append still lands.
+	// A clear regression on one series: exactly one warning, against the
+	// rolling median (1025 across [1000, 1050], latest commit bbbb), and
+	// the append still lands.
 	warn, err = AppendTrajectory(path, []TrajectoryPoint{
 		{Commit: "cccc", Series: SeriesClientEncrypt, NsPerOp: 1260, UnixSec: 3},
 		{Commit: "cccc", Series: SeriesServeP99, NsPerOp: 4100, UnixSec: 3},
@@ -71,6 +72,66 @@ func TestTrajectoryAppendAndRegress(t *testing.T) {
 	}
 	if len(warn) != 0 {
 		t.Fatalf("first point of a new series warned: %v", warn)
+	}
+
+	// A one-off spike cannot mask the regression behind it. History for
+	// the series is now [1000, 1050, 1260]; the 2000 spike warns, and the
+	// 1400 that follows — an "improvement" versus the spike alone, which
+	// the old previous-entry comparison would have waved through — still
+	// warns against the rolling median (1155 across the last 4 points).
+	warn, err = AppendTrajectory(path, []TrajectoryPoint{
+		{Commit: "dddd", Series: SeriesClientEncrypt, NsPerOp: 2000, UnixSec: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warn) != 1 {
+		t.Fatalf("spike warnings = %v, want exactly one", warn)
+	}
+	warn, err = AppendTrajectory(path, []TrajectoryPoint{
+		{Commit: "eeee", Series: SeriesClientEncrypt, NsPerOp: 1400, UnixSec: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warn) != 1 {
+		t.Fatalf("post-spike regression warnings = %v, want exactly one", warn)
+	}
+}
+
+// TestTrajectoryRollingMedianWindow pins the window mechanics: the
+// baseline is the median of the last five points only, so a sustained
+// level shift keeps warning until it dominates the window, then
+// becomes the new baseline.
+func TestTrajectoryRollingMedianWindow(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_trajectory.jsonl")
+	app := func(ns int64) []string {
+		warn, err := AppendTrajectory(path, []TrajectoryPoint{
+			{Commit: "wwww", Series: "window-series", NsPerOp: ns, UnixSec: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return warn
+	}
+
+	for i := 0; i < 5; i++ {
+		if w := app(1000); len(w) != 0 {
+			t.Fatalf("steady point %d warned: %v", i, w)
+		}
+	}
+	// A 2× level shift: warns while the old level still holds the median
+	// of the five-point window (three appends: the window is [1000×5],
+	// then [1000×4, 2000], then [1000×3, 2000×2] — median 1000 each time).
+	for i := 0; i < 3; i++ {
+		if w := app(2000); len(w) != 1 {
+			t.Fatalf("shifted point %d warnings = %v, want exactly one", i, w)
+		}
+	}
+	// Now the window is [1000×2, 2000×3]: median 2000, the shift has
+	// re-baselined, and the same level no longer warns.
+	if w := app(2000); len(w) != 0 {
+		t.Fatalf("re-baselined level still warns: %v", w)
 	}
 }
 

@@ -162,3 +162,67 @@ func (ev *Evaluator) applyGaloisDecomposed(dc *DecomposedCiphertext, g uint64) (
 	rQ.PutPoly(d0)
 	return out, nil
 }
+
+// HoistedRotationSet is one item of a cross-request rotation batch: a
+// ciphertext, the evaluator holding its session's Galois keys, and the
+// rotation amounts it needs. Different sets may belong to different
+// sessions — each brings its own evaluator — as long as every evaluator
+// shares one parameter preset (one Context).
+type HoistedRotationSet struct {
+	Ev    *Evaluator
+	Ct    *Ciphertext
+	Steps []int
+}
+
+// RotateRowsHoistedBatch fuses the hoisted-rotation schedules of
+// several ciphertexts into one pass: each set pays its decomposition
+// (the per-residue embed + forward NTTs are inherently per-ciphertext —
+// they transform c1, which differs per request), then every (set, step)
+// key switch across the whole batch fans out over one flat worker-pool
+// dispatch instead of len(sets) sequential ones. Per-set outputs are in
+// step order and byte-identical to calling RotateRowsHoisted per set.
+func RotateRowsHoistedBatch(sets []HoistedRotationSet) ([][]*Ciphertext, error) {
+	outs := make([][]*Ciphertext, len(sets))
+	dcs := make([]*DecomposedCiphertext, len(sets))
+	defer func() {
+		for _, dc := range dcs {
+			if dc != nil {
+				dc.Release()
+			}
+		}
+	}()
+	// The decompositions run serially here: each one already fans its
+	// digit NTTs across the pool, so stacking them would only queue.
+	total := 0
+	for i, set := range sets {
+		dc, err := set.Ev.Decompose(set.Ct)
+		if err != nil {
+			return nil, err
+		}
+		dcs[i] = dc
+		outs[i] = make([]*Ciphertext, len(set.Steps))
+		total += len(set.Steps)
+	}
+	// Flatten the (set, step) pairs so the pool sees the whole batch at
+	// once: with more workers than any one set has steps, rotations from
+	// different requests overlap instead of serializing per request.
+	type job struct{ set, idx int }
+	jobs := make([]job, 0, total)
+	for i, set := range sets {
+		for j := range set.Steps {
+			jobs = append(jobs, job{i, j})
+		}
+	}
+	errs := make([]error, len(jobs))
+	par.For(len(jobs), func(k int) {
+		jb := jobs[k]
+		set := sets[jb.set]
+		outs[jb.set][jb.idx], errs[k] = set.Ev.RotateRowsDecomposed(dcs[jb.set], set.Steps[jb.idx])
+	})
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	return outs, nil
+}

@@ -1,0 +1,379 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"choco/internal/bfv"
+	"choco/internal/par"
+)
+
+// Cross-request batching: the serving tier coalesces same-layer work
+// items from different sessions and evaluates them through ApplyBatch
+// instead of per-session Apply calls. Two things amortize across the
+// batch:
+//
+//   - the weight-side plaintext pipeline (EncodeInts of each diagonal +
+//     PrepareMul's lift and forward NTT pass) depends only on the
+//     layer's weights and the shared parameter preset, never on the
+//     session, so one prepared plaintext serves every item — a
+//     PlainCache carries it across items and across batches;
+//   - the rotation schedules fuse into one flat worker-pool dispatch
+//     (bfv.RotateRowsHoistedBatch), so key switches from different
+//     requests overlap instead of serializing per request.
+//
+// Each item still pays its own hoisted decomposition — the decompose
+// transforms c1, which differs per request — and its own MulPlain/Add
+// chain, evaluated in exactly Apply's term order so per-item outputs
+// are byte-identical to the serial path.
+
+// BatchInput is one session's work item in a cross-request batch: its
+// packed input ciphertext and the evaluator holding that session's
+// evaluation keys. All items of a batch must share one parameter
+// preset (one bfv.Context).
+type BatchInput struct {
+	Ev *bfv.Evaluator
+	Ct *bfv.Ciphertext
+}
+
+// PlainCache retains prepared weight plaintexts (the PrepareMul'd form
+// MulPlain consumes) keyed by operator identity and term index, shared
+// across sessions and requests. Entries are immutable once built —
+// weights are fixed at model compile time — so the cache never
+// invalidates; it only stops inserting when the byte budget is
+// reached (the working set is the model's diagonal count, so for a
+// given model it either fits or the overflow terms are rebuilt per
+// batch). Safe for concurrent use.
+type PlainCache struct {
+	budget int64
+
+	mu    sync.Mutex
+	bytes int64
+	m     map[plainKey]*bfv.PlaintextMul
+
+	hits, misses, rejected int64
+}
+
+type plainKey struct {
+	op  any
+	idx int
+}
+
+// DefaultPlainCacheBytes bounds a PlainCache built with budget <= 0.
+const DefaultPlainCacheBytes = 256 << 20
+
+// NewPlainCache builds a prepared-plaintext cache with the given byte
+// budget (<= 0 selects DefaultPlainCacheBytes).
+func NewPlainCache(budgetBytes int64) *PlainCache {
+	if budgetBytes <= 0 {
+		budgetBytes = DefaultPlainCacheBytes
+	}
+	return &PlainCache{budget: budgetBytes, m: map[plainKey]*bfv.PlaintextMul{}}
+}
+
+// PlainCacheStats is a point-in-time snapshot of cache effectiveness:
+// hits are terms whose encode+NTT pipeline was skipped entirely.
+type PlainCacheStats struct {
+	Entries  int
+	Bytes    int64
+	Hits     int64
+	Misses   int64
+	Rejected int64 // inserts skipped because the byte budget was reached
+}
+
+// Stats returns a snapshot of the cache counters.
+func (pc *PlainCache) Stats() PlainCacheStats {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return PlainCacheStats{
+		Entries:  len(pc.m),
+		Bytes:    pc.bytes,
+		Hits:     pc.hits,
+		Misses:   pc.misses,
+		Rejected: pc.rejected,
+	}
+}
+
+func pmBytes(pm *bfv.PlaintextMul) int64 {
+	var n int64
+	for _, row := range pm.NTT.Coeffs {
+		n += int64(len(row)) * 8
+	}
+	return n
+}
+
+// getOrBuild returns the prepared plaintext for (op, idx), building it
+// outside the lock on a miss. A nil value is cached too: it records an
+// all-zero diagonal whose term Apply skips, so the zero check is not
+// repaid every batch. Concurrent builders of the same key may duplicate
+// work; the values are deterministic, so whichever insert lands is
+// correct.
+func (pc *PlainCache) getOrBuild(op any, idx int, build func() (*bfv.PlaintextMul, error)) (*bfv.PlaintextMul, error) {
+	if pc == nil {
+		return build()
+	}
+	k := plainKey{op: op, idx: idx}
+	pc.mu.Lock()
+	if pm, ok := pc.m[k]; ok {
+		pc.hits++
+		pc.mu.Unlock()
+		return pm, nil
+	}
+	pc.misses++
+	pc.mu.Unlock()
+
+	pm, err := build()
+	if err != nil {
+		return nil, err
+	}
+	var size int64
+	if pm != nil {
+		size = pmBytes(pm)
+	}
+	pc.mu.Lock()
+	if _, ok := pc.m[k]; !ok {
+		if pc.bytes+size <= pc.budget {
+			pc.m[k] = pm
+			pc.bytes += size
+		} else {
+			pc.rejected++
+		}
+	}
+	pc.mu.Unlock()
+	return pm, nil
+}
+
+// ApplyBatch evaluates the convolution over several sessions' packed
+// inputs at once, returning per-item output groups and op counts in
+// item order. Results are byte-identical to calling Apply per item;
+// cache may be nil (no plaintext sharing across batches).
+func (c *Conv2D) ApplyBatch(ecd *bfv.Encoder, items []BatchInput, slots int, cache *PlainCache) ([][]*bfv.Ciphertext, []OpCounts, error) {
+	if c.Weights == nil {
+		return nil, nil, fmt.Errorf("core: ApplyBatch on a spec-only convolution (no weights)")
+	}
+	if len(items) == 0 {
+		return nil, nil, nil
+	}
+	offsets := c.kernelOffsets()
+	l := c.Layout
+
+	// One rotation plan serves every item: the steps depend only on the
+	// layer geometry.
+	type rotKey struct{ d, k int }
+	stepOf := make(map[rotKey]int)
+	seen := make(map[int]bool)
+	var uniq []int
+	for d := 0; d < c.Cb; d++ {
+		for ki, delta := range offsets {
+			steps := d*l.Stride + delta
+			steps = ((steps % c.rowSize) + c.rowSize) % c.rowSize
+			stepOf[rotKey{d, ki}] = steps
+			if steps != 0 && !seen[steps] {
+				seen[steps] = true
+				uniq = append(uniq, steps)
+			}
+		}
+	}
+	sets := make([]bfv.HoistedRotationSet, len(items))
+	for i, it := range items {
+		sets[i] = bfv.HoistedRotationSet{Ev: it.Ev, Ct: it.Ct, Steps: uniq}
+	}
+	rotOuts, err := bfv.RotateRowsHoistedBatch(sets)
+	if err != nil {
+		return nil, nil, err
+	}
+	rotByStep := make([]map[int]*bfv.Ciphertext, len(items))
+	opsOut := make([]OpCounts, len(items))
+	for i, it := range items {
+		m := make(map[int]*bfv.Ciphertext, len(uniq)+1)
+		m[0] = it.Ct
+		for j, s := range uniq {
+			m[s] = rotOuts[i][j]
+		}
+		rotByStep[i] = m
+		opsOut[i].Rotations = len(uniq)
+	}
+
+	// Accumulation fans out over (item, group) pairs; within a pair the
+	// terms run in Apply's (d, ki) order, so each item's group output is
+	// byte-identical to the serial path. The prepared weight plaintext
+	// of each term is fetched (or built once) from the shared cache —
+	// the cross-request saving: one encode+NTT pipeline per term per
+	// model, not per request.
+	groups := c.Groups()
+	outs := make([][]*bfv.Ciphertext, len(items))
+	for i := range outs {
+		outs[i] = make([]*bfv.Ciphertext, groups)
+	}
+	pairOps := make([]OpCounts, len(items)*groups)
+	pairErrs := make([]error, len(items)*groups)
+	par.For(len(items)*groups, func(p int) {
+		item, g := p/groups, p%groups
+		ev := items[item].Ev
+		var acc *bfv.Ciphertext
+		for d := 0; d < c.Cb; d++ {
+			for ki := range offsets {
+				pm, err := cache.getOrBuild(c, (g*c.Cb+d)*len(offsets)+ki, func() (*bfv.PlaintextMul, error) {
+					diag := c.weightDiag(g, d, ki, slots)
+					if diag == nil {
+						return nil, nil
+					}
+					pt, err := ecd.EncodeInts(diag)
+					if err != nil {
+						return nil, err
+					}
+					return ev.PrepareMul(pt), nil
+				})
+				if err != nil {
+					pairErrs[p] = err
+					return
+				}
+				if pm == nil {
+					continue
+				}
+				term := ev.MulPlain(rotByStep[item][stepOf[rotKey{d, ki}]], pm)
+				pairOps[p].PlainMults++
+				if acc == nil {
+					acc = term
+				} else {
+					acc = ev.Add(acc, term)
+					pairOps[p].Adds++
+				}
+			}
+		}
+		if acc == nil {
+			pairErrs[p] = fmt.Errorf("core: group %d has no contributing weights", g)
+			return
+		}
+		outs[item][g] = acc
+	})
+	for p, err := range pairErrs {
+		if err != nil {
+			return nil, nil, err
+		}
+		opsOut[p/groups].Add(pairOps[p])
+	}
+	return outs, opsOut, nil
+}
+
+// ApplyBatch evaluates y = W·x for several sessions' inputs at once
+// (BSGS schedule), returning per-item outputs and op counts in item
+// order. Results are byte-identical to calling Apply per item; cache
+// may be nil.
+func (f *FC) ApplyBatch(ecd *bfv.Encoder, items []BatchInput, slots int, cache *PlainCache) ([]*bfv.Ciphertext, []OpCounts, error) {
+	if f.Weights == nil {
+		return nil, nil, fmt.Errorf("core: ApplyBatch on a spec-only FC layer (no weights)")
+	}
+	if len(items) == 0 {
+		return nil, nil, nil
+	}
+
+	// Baby rotations of every item fuse into one hoisted dispatch.
+	babies := make([][]*bfv.Ciphertext, len(items))
+	opsOut := make([]OpCounts, len(items))
+	for i, it := range items {
+		babies[i] = make([]*bfv.Ciphertext, f.B)
+		babies[i][0] = it.Ct
+	}
+	if f.B > 1 {
+		steps := make([]int, f.B-1)
+		for j := 1; j < f.B; j++ {
+			steps[j-1] = j
+		}
+		sets := make([]bfv.HoistedRotationSet, len(items))
+		for i, it := range items {
+			sets[i] = bfv.HoistedRotationSet{Ev: it.Ev, Ct: it.Ct, Steps: steps}
+		}
+		rotOuts, err := bfv.RotateRowsHoistedBatch(sets)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i := range items {
+			copy(babies[i][1:], rotOuts[i])
+			opsOut[i].Rotations += f.B - 1
+		}
+	}
+
+	// Giant steps fan out over (item, i) pairs; the inner j order and
+	// the final fold order match Apply exactly.
+	inners := make([][]*bfv.Ciphertext, len(items))
+	for i := range inners {
+		inners[i] = make([]*bfv.Ciphertext, f.G)
+	}
+	pairOps := make([]OpCounts, len(items)*f.G)
+	pairErrs := make([]error, len(items)*f.G)
+	par.For(len(items)*f.G, func(p int) {
+		item, i := p/f.G, p%f.G
+		ev := items[item].Ev
+		var inner *bfv.Ciphertext
+		for j := 0; j < f.B; j++ {
+			d := i*f.B + j
+			pm, err := cache.getOrBuild(f, d, func() (*bfv.PlaintextMul, error) {
+				diag := f.diag(d, slots)
+				if diag == nil {
+					return nil, nil
+				}
+				// Pre-rotate the diagonal right by i·B so the outer
+				// giant rotation restores alignment (as in Apply).
+				pt, err := ecd.EncodeInts(f.rotatePlain(diag, -i*f.B))
+				if err != nil {
+					return nil, err
+				}
+				return ev.PrepareMul(pt), nil
+			})
+			if err != nil {
+				pairErrs[p] = err
+				return
+			}
+			if pm == nil {
+				continue
+			}
+			term := ev.MulPlain(babies[item][j], pm)
+			pairOps[p].PlainMults++
+			if inner == nil {
+				inner = term
+			} else {
+				inner = ev.Add(inner, term)
+				pairOps[p].Adds++
+			}
+		}
+		if inner == nil {
+			return
+		}
+		if i > 0 {
+			r, err := ev.RotateRows(inner, i*f.B)
+			if err != nil {
+				pairErrs[p] = err
+				return
+			}
+			pairOps[p].Rotations++
+			inner = r
+		}
+		inners[item][i] = inner
+	})
+	outs := make([]*bfv.Ciphertext, len(items))
+	for item := range items {
+		var total *bfv.Ciphertext
+		for i := 0; i < f.G; i++ {
+			p := item*f.G + i
+			if pairErrs[p] != nil {
+				return nil, nil, pairErrs[p]
+			}
+			opsOut[item].Add(pairOps[p])
+			if inners[item][i] == nil {
+				continue
+			}
+			if total == nil {
+				total = inners[item][i]
+			} else {
+				total = items[item].Ev.Add(total, inners[item][i])
+				opsOut[item].Adds++
+			}
+		}
+		if total == nil {
+			return nil, nil, fmt.Errorf("core: FC weight matrix is all zero")
+		}
+		outs[item] = total
+	}
+	return outs, opsOut, nil
+}

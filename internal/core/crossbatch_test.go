@@ -1,0 +1,227 @@
+package core
+
+import (
+	"testing"
+
+	"choco/internal/bfv"
+	"choco/internal/ring"
+	"choco/internal/sampling"
+)
+
+// newSessionKit builds an independent session (own secret key, own
+// encryptor randomness) over the shared test preset, mirroring how
+// distinct clients land on one shard.
+func newSessionKit(t testing.TB, seed byte, rotSteps []int) *kit {
+	t.Helper()
+	ctx, err := bfv.NewContext(bfv.PresetTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg := bfv.NewKeyGenerator(ctx, [32]byte{40 + seed})
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	relin := kg.GenRelinearizationKey(sk)
+	galois := kg.GenRotationKeys(sk, rotSteps...)
+	return &kit{
+		ctx: ctx,
+		sk:  sk,
+		enc: bfv.NewEncryptor(ctx, pk, [32]byte{60 + seed}),
+		dec: bfv.NewDecryptor(ctx, sk),
+		ecd: bfv.NewEncoder(ctx),
+		ev:  bfv.NewEvaluator(ctx, relin, galois),
+	}
+}
+
+func ctEqual(r *ring.Ring, a, b *bfv.Ciphertext) bool {
+	if len(a.Value) != len(b.Value) || a.Drop != b.Drop {
+		return false
+	}
+	for i := range a.Value {
+		if !r.Equal(a.Value[i], b.Value[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestConvApplyBatchMatchesSerial pins the batching executor's oracle
+// guarantee at the conv kernel: coalescing three sessions' inputs into
+// one ApplyBatch call yields, per session, ciphertexts byte-identical
+// to the serial Apply path — with and without a shared plaintext cache,
+// and on a second (fully warm) batch.
+func TestConvApplyBatchMatchesSerial(t *testing.T) {
+	spec := ConvSpec{InH: 8, InW: 8, InC: 2, KH: 3, KW: 3, OutC: 3}
+	src := sampling.NewSource([32]byte{7}, "crossbatch-conv")
+	weights := synthConvWeights(src, spec.OutC, spec.InC, 9, 3)
+
+	ctxProbe, err := bfv.NewContext(bfv.PresetTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv, err := NewConv2D(spec, weights, ctxProbe.Params.N()/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const sessions = 3
+	kits := make([]*kit, sessions)
+	items := make([]BatchInput, sessions)
+	slots := ctxProbe.Params.Slots()
+	for i := 0; i < sessions; i++ {
+		kits[i] = newSessionKit(t, byte(i), conv.RotationSteps())
+		img := synthImage(src, spec.InC, spec.InH*spec.InW, 7)
+		packed, err := conv.PackInput(img, slots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, err := kits[i].enc.EncryptInts(packed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items[i] = BatchInput{Ev: kits[i].ev, Ct: ct}
+	}
+
+	serialOuts := make([][]*bfv.Ciphertext, sessions)
+	serialOps := make([]OpCounts, sessions)
+	for i := 0; i < sessions; i++ {
+		outs, ops, err := conv.Apply(kits[i].ev, kits[i].ecd, items[i].Ct, slots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serialOuts[i], serialOps[i] = outs, ops
+	}
+
+	check := func(label string, cache *PlainCache) {
+		outs, ops, err := conv.ApplyBatch(kits[0].ecd, items, slots, cache)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		for i := 0; i < sessions; i++ {
+			if ops[i] != serialOps[i] {
+				t.Errorf("%s: session %d op counts %+v, serial %+v", label, i, ops[i], serialOps[i])
+			}
+			if len(outs[i]) != len(serialOuts[i]) {
+				t.Fatalf("%s: session %d got %d groups, want %d", label, i, len(outs[i]), len(serialOuts[i]))
+			}
+			for g := range outs[i] {
+				if !ctEqual(kits[i].ctx.RingQ, outs[i][g], serialOuts[i][g]) {
+					t.Errorf("%s: session %d group %d differs from serial Apply", label, i, g)
+				}
+			}
+		}
+	}
+
+	check("no-cache", nil)
+	cache := NewPlainCache(0)
+	check("cold-cache", cache)
+	st := cache.Stats()
+	if st.Entries == 0 || st.Misses == 0 {
+		t.Fatalf("cold batch populated nothing: %+v", st)
+	}
+	check("warm-cache", cache)
+	warm := cache.Stats()
+	if warm.Hits <= st.Hits {
+		t.Errorf("warm batch recorded no cache hits: cold %+v warm %+v", st, warm)
+	}
+	if warm.Entries != st.Entries {
+		t.Errorf("warm batch grew the cache: %d -> %d entries", st.Entries, warm.Entries)
+	}
+}
+
+// TestFCApplyBatchMatchesSerial is the same oracle check for the BSGS
+// fully-connected kernel.
+func TestFCApplyBatchMatchesSerial(t *testing.T) {
+	const in, out = 16, 8
+	src := sampling.NewSource([32]byte{8}, "crossbatch-fc")
+	w := make([][]int64, out)
+	for r := range w {
+		w[r] = make([]int64, in)
+		for c := range w[r] {
+			w[r][c] = int64(src.Intn(11)) - 5
+		}
+	}
+	ctxProbe, err := bfv.NewContext(bfv.PresetTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := NewFC(in, out, w, ctxProbe.Params.N()/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const sessions = 3
+	kits := make([]*kit, sessions)
+	items := make([]BatchInput, sessions)
+	var slots int
+	for i := 0; i < sessions; i++ {
+		kits[i] = newSessionKit(t, byte(10+i), fc.RotationSteps())
+		slots = kits[i].ctx.Params.Slots()
+		vec := make([]int64, slots)
+		for j := 0; j < in; j++ {
+			vec[j] = int64(src.Intn(15)) - 7
+		}
+		ct, err := kits[i].enc.EncryptInts(vec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items[i] = BatchInput{Ev: kits[i].ev, Ct: ct}
+	}
+
+	serialOuts := make([]*bfv.Ciphertext, sessions)
+	serialOps := make([]OpCounts, sessions)
+	for i := 0; i < sessions; i++ {
+		outCt, ops, err := fc.Apply(kits[i].ev, kits[i].ecd, items[i].Ct, slots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serialOuts[i], serialOps[i] = outCt, ops
+	}
+
+	cache := NewPlainCache(0)
+	for pass, label := range []string{"cold", "warm"} {
+		outs, ops, err := fc.ApplyBatch(kits[0].ecd, items, slots, cache)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		for i := 0; i < sessions; i++ {
+			if ops[i] != serialOps[i] {
+				t.Errorf("%s: session %d op counts %+v, serial %+v", label, i, ops[i], serialOps[i])
+			}
+			if !ctEqual(kits[i].ctx.RingQ, outs[i], serialOuts[i]) {
+				t.Errorf("%s: session %d FC output differs from serial Apply", label, i)
+			}
+		}
+		if pass == 1 && cache.Stats().Hits == 0 {
+			t.Error("warm FC batch recorded no cache hits")
+		}
+	}
+}
+
+// TestPlainCacheBudget checks that a cache whose budget cannot hold a
+// single prepared plaintext rejects inserts (and keeps serving builds)
+// rather than growing unboundedly.
+func TestPlainCacheBudget(t *testing.T) {
+	k := newKit(t, nil)
+	pt, err := k.ecd.EncodeInts([]int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewPlainCache(8) // far below one poly's footprint
+	builds := 0
+	for i := 0; i < 3; i++ {
+		pm, err := cache.getOrBuild("op", 0, func() (*bfv.PlaintextMul, error) {
+			builds++
+			return k.ev.PrepareMul(pt), nil
+		})
+		if err != nil || pm == nil {
+			t.Fatalf("getOrBuild: pm=%v err=%v", pm, err)
+		}
+	}
+	if builds != 3 {
+		t.Errorf("over-budget cache should rebuild every call, built %d/3", builds)
+	}
+	st := cache.Stats()
+	if st.Entries != 0 || st.Bytes != 0 || st.Rejected != 3 {
+		t.Errorf("over-budget cache stats %+v, want 0 entries, 0 bytes, 3 rejections", st)
+	}
+}

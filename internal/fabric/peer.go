@@ -36,6 +36,14 @@ import (
 // tight enough that a wedged peer cannot park a handshake forever.
 const peerIOTimeout = 30 * time.Second
 
+// peerDialTimeout bounds only the TCP dial of a peer request,
+// independently of the frame budget. A replication hint can point at a
+// dead or unreachable shard; with the dial capped, the key fetch fails
+// within a second and the handshake falls back to the client upload,
+// instead of parking the client behind the full frame timeout (the
+// fallback can only ever cost bytes, never the session).
+const peerDialTimeout = time.Second
+
 // peerServer answers peer-protocol requests against one shard's Server.
 type peerServer struct {
 	srv  *serve.Server
@@ -121,7 +129,11 @@ func (p *peerServer) serveConn(c *protocol.Conn) {
 // peerRequest dials addr, sends one request frame, and returns the
 // single response frame.
 func peerRequest(addr string, req []byte, timeout time.Duration) ([]byte, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	dialTimeout := timeout
+	if peerDialTimeout < dialTimeout {
+		dialTimeout = peerDialTimeout
+	}
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("fabric: dial peer %s: %w", addr, err)
 	}

@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"container/list"
 	"context"
 	"errors"
 	"math"
@@ -82,9 +83,18 @@ func (c RouterConfig) withDefaults() RouterConfig {
 }
 
 // ownersCap bounds the session→owner map the replication hints come
-// from. Beyond it, arbitrary entries are dropped: a lost hint only
-// costs a key re-upload, never correctness.
+// from. Beyond it, the least-recently-adopted entries are dropped: a
+// lost hint only costs a key re-upload, never correctness — but LRU
+// order matters, because the hint most likely to be consulted next
+// belongs to a recently-routed session, not to one idle since the map
+// started filling.
 const ownersCap = 1 << 16
+
+// ownerEntry is one session's routing record in the owners LRU.
+type ownerEntry struct {
+	sessionID string
+	owner     string
+}
 
 type memberState struct {
 	m        Member
@@ -104,11 +114,13 @@ type memberState struct {
 type Router struct {
 	cfg RouterConfig
 
-	mu      sync.Mutex
-	ring    *Ring
-	members map[string]*memberState
-	owners  map[string]string
-	conns   map[*serve.TimedTransport]struct{}
+	mu       sync.Mutex
+	ring     *Ring
+	members  map[string]*memberState
+	owners   map[string]*list.Element // sessionID → *ownerEntry element
+	ownerLRU *list.List               // front = most recently adopted
+	tenants  map[string]int64         // tenant → routed sessions
+	conns    map[*serve.TimedTransport]struct{}
 
 	acct routerAcct
 }
@@ -129,11 +141,13 @@ type routerAcct struct {
 func NewRouter(cfg RouterConfig) *Router {
 	cfg = cfg.withDefaults()
 	r := &Router{
-		cfg:     cfg,
-		ring:    NewRing(cfg.VirtualNodes),
-		members: map[string]*memberState{},
-		owners:  map[string]string{},
-		conns:   map[*serve.TimedTransport]struct{}{},
+		cfg:      cfg,
+		ring:     NewRing(cfg.VirtualNodes),
+		members:  map[string]*memberState{},
+		owners:   map[string]*list.Element{},
+		ownerLRU: list.New(),
+		tenants:  map[string]int64{},
+		conns:    map[*serve.TimedTransport]struct{}{},
 	}
 	for _, m := range cfg.Members {
 		r.AddMember(m)
@@ -258,14 +272,14 @@ func (r *Router) handleConn(ctx context.Context, conn net.Conn) {
 	if err != nil {
 		return // never sent a frame; nothing to route
 	}
-	var sessionID string
+	var sessionID, tenant string
 	if protocol.IsHello(first) {
-		id, err := protocol.UnmarshalHello(first)
+		h, err := protocol.ParseHello(first)
 		if err != nil {
 			r.cfg.Logf("fabric: router: %s: bad hello: %v", conn.RemoteAddr(), err)
 			return
 		}
-		sessionID = id
+		sessionID, tenant = h.SessionID, h.Tenant
 	}
 
 	target, sconn := r.connectShard(sessionID)
@@ -284,7 +298,7 @@ func (r *Router) handleConn(ctx context.Context, conn net.Conn) {
 	opening := first
 	if sessionID != "" {
 		hint := r.adoptSession(sessionID, target)
-		opening, err = protocol.MarshalShardHello(sessionID, hint)
+		opening, err = protocol.MarshalShardHelloTenant(sessionID, hint, tenant)
 		if err != nil {
 			r.cfg.Logf("fabric: router: session %q: %v", sessionID, err)
 			return
@@ -294,6 +308,11 @@ func (r *Router) handleConn(ctx context.Context, conn net.Conn) {
 			r.cfg.Logf("fabric: router: session %q moved to %s (keys replicate from %s)", sessionID, target.m.ID, hint)
 		}
 		r.acct.routedSessions.Add(1)
+		if tenant != "" {
+			r.mu.Lock()
+			r.tenants[tenant]++
+			r.mu.Unlock()
+		}
 	} else {
 		r.acct.legacyRouted.Add(1)
 	}
@@ -421,24 +440,32 @@ func (r *Router) candidates(sessionID string) []*memberState {
 
 // adoptSession records target as the session's owner and returns the
 // replication hint: the previous owner's peer address when the session
-// moved between live members.
+// moved between live members. The owners table is LRU-bounded: every
+// adoption refreshes the session's recency, and cap pressure evicts the
+// session that has gone longest without routing — never a hot one.
 func (r *Router) adoptSession(sessionID string, target *memberState) (hint string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if prev, ok := r.owners[sessionID]; ok && prev != target.m.ID {
-		if pms, live := r.members[prev]; live && pms.alive && pms.m.PeerAddr != "" {
-			hint = pms.m.PeerAddr
-		}
-	}
-	if len(r.owners) >= ownersCap {
-		for k := range r.owners {
-			delete(r.owners, k)
-			if len(r.owners) < ownersCap {
-				break
+	if el, ok := r.owners[sessionID]; ok {
+		e := el.Value.(*ownerEntry)
+		if e.owner != target.m.ID {
+			if pms, live := r.members[e.owner]; live && pms.alive && pms.m.PeerAddr != "" {
+				hint = pms.m.PeerAddr
 			}
 		}
+		e.owner = target.m.ID
+		r.ownerLRU.MoveToFront(el)
+		return hint
 	}
-	r.owners[sessionID] = target.m.ID
+	for len(r.owners) >= ownersCap {
+		back := r.ownerLRU.Back()
+		if back == nil {
+			break
+		}
+		delete(r.owners, back.Value.(*ownerEntry).sessionID)
+		r.ownerLRU.Remove(back)
+	}
+	r.owners[sessionID] = r.ownerLRU.PushFront(&ownerEntry{sessionID: sessionID, owner: target.m.ID})
 	return hint
 }
 

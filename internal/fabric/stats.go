@@ -23,6 +23,11 @@ type RouterStats struct {
 	BytesUp          int64 `json:"bytes_up"`
 	BytesDown        int64 `json:"bytes_down"`
 
+	// TenantSessions counts routed sessions per declared tenant (the
+	// router's view; shard-side admission and rejection counters live in
+	// each shard's serve.Stats and the fleet aggregation).
+	TenantSessions map[string]int64 `json:"tenant_sessions,omitempty"`
+
 	Members []MemberStatus `json:"members"`
 }
 
@@ -64,6 +69,16 @@ type FleetTotals struct {
 	BytesUp           int64         `json:"bytes_up"`
 	BytesDown         int64         `json:"bytes_down"`
 	InferenceP99Max   time.Duration `json:"inference_p99_max_ns"`
+
+	// BatchedItems / BatchCoalesced sum the shards' cross-request
+	// batching executors: items that flowed through them, and those
+	// that shared a gather round with another request.
+	BatchedItems   int64 `json:"batched_items"`
+	BatchCoalesced int64 `json:"batch_coalesced"`
+
+	// Tenants aggregates per-tenant counters across every reachable
+	// shard, sorted by tenant ID.
+	Tenants []serve.TenantStats `json:"tenants,omitempty"`
 }
 
 // FleetStats is the full aggregated view the router serves over HTTP:
@@ -88,6 +103,12 @@ func (r *Router) Stats() RouterStats {
 		BytesDown:        r.acct.bytesDown.Load(),
 	}
 	r.mu.Lock()
+	if len(r.tenants) > 0 {
+		st.TenantSessions = make(map[string]int64, len(r.tenants))
+		for tenant, n := range r.tenants {
+			st.TenantSessions[tenant] = n
+		}
+	}
 	for _, ms := range r.members {
 		st.Members = append(st.Members, MemberStatus{
 			ID:            ms.m.ID,
@@ -139,6 +160,7 @@ func (r *Router) FleetStats() FleetStats {
 	f.ShardsTotal = len(rs.Members)
 	f.BytesUp = rs.BytesUp
 	f.BytesDown = rs.BytesDown
+	tenantAgg := map[string]*serve.TenantStats{}
 	for res := range results {
 		out.Shards[res.id] = res.snap
 		if !res.snap.Reachable {
@@ -159,7 +181,26 @@ func (r *Router) FleetStats() FleetStats {
 		if p99 := st.InferenceLatency.P99; p99 > f.InferenceP99Max {
 			f.InferenceP99Max = p99
 		}
+		f.BatchedItems += st.Batching.Items
+		f.BatchCoalesced += st.Batching.CoalescedItems
+		for _, ts := range st.Tenants {
+			agg := tenantAgg[ts.Tenant]
+			if agg == nil {
+				agg = &serve.TenantStats{Tenant: ts.Tenant}
+				tenantAgg[ts.Tenant] = agg
+			}
+			agg.ActiveSessions += ts.ActiveSessions
+			agg.SessionsTotal += ts.SessionsTotal
+			agg.SessionsRejected += ts.SessionsRejected
+			agg.Inferences += ts.Inferences
+			agg.BytesUp += ts.BytesUp
+			agg.BytesDown += ts.BytesDown
+		}
 	}
+	for _, agg := range tenantAgg {
+		f.Tenants = append(f.Tenants, *agg)
+	}
+	sort.Slice(f.Tenants, func(i, j int) bool { return f.Tenants[i].Tenant < f.Tenants[j].Tenant })
 	return out
 }
 

@@ -3,6 +3,7 @@ package nn
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"choco/internal/bfv"
 	"choco/internal/core"
@@ -180,8 +181,26 @@ func (c *InferenceClient) Setup(t protocol.Transport) error {
 }
 
 // ErrServerBusy is returned by SetupSession when the server rejects
-// the session at admission control (worker pool saturated).
+// the session at admission control (worker pool saturated, or the
+// session's tenant is over quota).
 var ErrServerBusy = errors.New("nn: server busy, session rejected")
+
+// BusyError is the concrete rejection SetupSession returns when the
+// server's busy ack carried a retry-after hint (per-tenant quota
+// admission rather than permanent saturation). It matches ErrServerBusy
+// under errors.Is, so existing callers keep working; retry-aware
+// clients unwrap it with errors.As and back off for RetryAfter.
+type BusyError struct{ RetryAfter time.Duration }
+
+func (e *BusyError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("nn: server busy, session rejected (retry after %v)", e.RetryAfter)
+	}
+	return ErrServerBusy.Error()
+}
+
+// Is makes errors.Is(err, ErrServerBusy) hold for BusyError values.
+func (e *BusyError) Is(target error) bool { return target == ErrServerBusy }
 
 // SetupSession opens a session under a client-chosen ID. If the server
 // still caches this ID's evaluation keys from an earlier connection,
@@ -189,7 +208,15 @@ var ErrServerBusy = errors.New("nn: server busy, session rejected")
 // setup cost); otherwise the bundle is sent as in Setup. Returns
 // whether the cached path was taken.
 func (c *InferenceClient) SetupSession(t protocol.Transport, sessionID string) (cached bool, err error) {
-	hello, err := protocol.MarshalHello(sessionID)
+	return c.SetupSessionTenant(t, sessionID, "")
+}
+
+// SetupSessionTenant opens a session declaring a tenant identity for
+// the server's per-tenant quota admission. An empty tenant sends the
+// legacy tenantless hello. A quota rejection surfaces as a *BusyError
+// carrying the server's retry-after hint.
+func (c *InferenceClient) SetupSessionTenant(t protocol.Transport, sessionID, tenant string) (cached bool, err error) {
+	hello, err := protocol.MarshalHelloTenant(sessionID, tenant)
 	if err != nil {
 		return false, err
 	}
@@ -200,12 +227,15 @@ func (c *InferenceClient) SetupSession(t protocol.Transport, sessionID string) (
 	if err != nil {
 		return false, fmt.Errorf("nn: receive hello ack: %w", err)
 	}
-	st, err := protocol.UnmarshalHelloAck(raw)
+	st, retryAfter, err := protocol.ParseHelloAck(raw)
 	if err != nil {
 		return false, err
 	}
 	switch st {
 	case protocol.AckBusy:
+		if retryAfter > 0 {
+			return false, &BusyError{RetryAfter: retryAfter}
+		}
 		return false, ErrServerBusy
 	case protocol.AckKeysCached:
 		return true, nil
@@ -337,9 +367,33 @@ type InferenceServer struct {
 // connections over its lifetime — the eval-key registry in
 // internal/serve relies on exactly that for reconnects.
 type ServerSession struct {
-	s  *InferenceServer
-	ev *bfv.Evaluator
+	s    *InferenceServer
+	ev   *bfv.Evaluator
+	exec KernelExecutor
 }
+
+// KernelExecutor intercepts a session's linear-layer evaluations. The
+// serving tier installs one (via WithExecutor) to coalesce same-layer
+// work from concurrent sessions into cross-request batches
+// (core.ApplyBatch); a nil executor means the direct serial Apply
+// path. Implementations must return results byte-identical to the
+// serial path — ServeOne treats the two as interchangeable.
+type KernelExecutor interface {
+	ExecConv(layer int, conv *core.Conv2D, ev *bfv.Evaluator, ct *bfv.Ciphertext, slots int) ([]*bfv.Ciphertext, core.OpCounts, error)
+	ExecFC(layer int, fc *core.FC, ev *bfv.Evaluator, ct *bfv.Ciphertext, slots int) (*bfv.Ciphertext, core.OpCounts, error)
+}
+
+// WithExecutor returns a view of the session whose linear layers are
+// evaluated through x instead of the direct serial path. The receiver
+// is not modified, so one registry-cached session can serve batched
+// and unbatched connections simultaneously.
+func (sess *ServerSession) WithExecutor(x KernelExecutor) *ServerSession {
+	return &ServerSession{s: sess.s, ev: sess.ev, exec: x}
+}
+
+// Encoder exposes the server's shared plaintext encoder — executors
+// need it to prepare weight plaintexts on the session's behalf.
+func (s *InferenceServer) Encoder() *bfv.Encoder { return s.ecd }
 
 // NewSession installs a client's evaluation keys as a new session.
 func (s *InferenceServer) NewSession(kb *protocol.KeyBundle) *ServerSession {
@@ -444,7 +498,13 @@ func (sess *ServerSession) ServeOne(t protocol.Transport) (core.OpCounts, error)
 			if err != nil {
 				return ops, fmt.Errorf("nn: layer %d (conv) decode input (%d B): %w", i, len(raw), err)
 			}
-			outs, layerOps, err := s.convs[i].Apply(sess.ev, s.ecd, ct, slots)
+			var outs []*bfv.Ciphertext
+			var layerOps core.OpCounts
+			if sess.exec != nil {
+				outs, layerOps, err = sess.exec.ExecConv(i, s.convs[i], sess.ev, ct, slots)
+			} else {
+				outs, layerOps, err = s.convs[i].Apply(sess.ev, s.ecd, ct, slots)
+			}
 			if err != nil {
 				return ops, fmt.Errorf("nn: layer %d (conv) evaluate: %w", i, err)
 			}
@@ -463,7 +523,13 @@ func (sess *ServerSession) ServeOne(t protocol.Transport) (core.OpCounts, error)
 			if err != nil {
 				return ops, fmt.Errorf("nn: layer %d (fc) decode input (%d B): %w", i, len(raw), err)
 			}
-			out, layerOps, err := s.fcs[i].Apply(sess.ev, s.ecd, ct, slots)
+			var out *bfv.Ciphertext
+			var layerOps core.OpCounts
+			if sess.exec != nil {
+				out, layerOps, err = sess.exec.ExecFC(i, s.fcs[i], sess.ev, ct, slots)
+			} else {
+				out, layerOps, err = s.fcs[i].Apply(sess.ev, s.ecd, ct, slots)
+			}
 			if err != nil {
 				return ops, fmt.Errorf("nn: layer %d (fc) evaluate: %w", i, err)
 			}

@@ -83,11 +83,19 @@ func FuzzHelloFrame(f *testing.F) {
 		f.Add(b)
 		f.Add(b[:12])
 	}
+	if b, err := MarshalHelloTenant("seed-session", "tenant-a"); err == nil {
+		f.Add(b)
+		f.Add(b[:len(b)-3]) // truncated tenant section
+	}
 	f.Add(MarshalHelloAck(AckKeysCached))
+	f.Add(MarshalHelloAckRetry(AckBusy, 250*time.Millisecond))
 	if b, err := MarshalShardHello("seed-session", "127.0.0.1:7501"); err == nil {
 		f.Add(b)
 	}
 	if b, err := MarshalShardHello("seed-session", ""); err == nil {
+		f.Add(b)
+	}
+	if b, err := MarshalShardHelloTenant("seed-session", "127.0.0.1:7501", "tenant-a"); err == nil {
 		f.Add(b)
 	}
 	if b, err := MarshalKeyFetch("seed-session"); err == nil {
@@ -102,26 +110,32 @@ func FuzzHelloFrame(f *testing.F) {
 	f.Add([]byte("CHOKnotreallyakeybundle"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		if id, err := UnmarshalHello(data); err == nil {
-			if id == "" || len(id) > MaxSessionIDLen {
-				t.Fatalf("hello decoded out-of-bounds session ID %q", id)
+		if h, err := ParseHello(data); err == nil {
+			if h.SessionID == "" || len(h.SessionID) > MaxSessionIDLen || len(h.Tenant) > MaxTenantLen {
+				t.Fatalf("hello decoded out-of-bounds fields (%q, %q)", h.SessionID, h.Tenant)
 			}
-			re, err := MarshalHello(id)
+			re, err := MarshalHelloTenant(h.SessionID, h.Tenant)
 			if err != nil {
-				t.Fatalf("decoded hello ID %q does not re-marshal: %v", id, err)
+				t.Fatalf("decoded hello %+v does not re-marshal: %v", h, err)
 			}
-			if len(re) != len(data) {
-				t.Fatalf("hello round trip length %d, want %d", len(re), len(data))
+			if !bytes.Equal(re, data) {
+				t.Fatalf("hello round trip mismatch")
 			}
 		}
-		if st, err := UnmarshalHelloAck(data); err == nil && st > AckBusy {
-			t.Fatalf("hello ack decoded unknown status %d", st)
-		}
-		if id, hint, err := UnmarshalShardHello(data); err == nil {
-			if id == "" || len(id) > MaxSessionIDLen || len(hint) > MaxPeerAddrLen {
-				t.Fatalf("shard hello decoded out-of-bounds fields (%q, %q)", id, hint)
+		if st, retry, err := ParseHelloAck(data); err == nil {
+			if st > AckBusy {
+				t.Fatalf("hello ack decoded unknown status %d", st)
 			}
-			re, err := MarshalShardHello(id, hint)
+			if retry < 0 {
+				t.Fatalf("hello ack decoded negative retry-after %v", retry)
+			}
+		}
+		if h, err := ParseShardHello(data); err == nil {
+			if h.SessionID == "" || len(h.SessionID) > MaxSessionIDLen ||
+				len(h.PrevOwnerPeer) > MaxPeerAddrLen || len(h.Tenant) > MaxTenantLen {
+				t.Fatalf("shard hello decoded out-of-bounds fields %+v", h)
+			}
+			re, err := MarshalShardHelloTenant(h.SessionID, h.PrevOwnerPeer, h.Tenant)
 			if err != nil {
 				t.Fatalf("decoded shard hello does not re-marshal: %v", err)
 			}

@@ -3,6 +3,7 @@ package protocol
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 )
 
 // Session handshake frames. A client opens a session by sending a
@@ -25,6 +26,15 @@ const HelloVersion = 1
 // MaxSessionIDLen bounds client-chosen session identifiers.
 const MaxSessionIDLen = 128
 
+// MaxTenantLen bounds the optional tenant identifier a Hello may carry.
+const MaxTenantLen = 64
+
+// helloFlagTenant marks a Hello frame that carries a trailing tenant
+// section ([1-byte length][tenant]) after the session ID. A frame
+// without the flag is byte-identical to a version-1 frame, so tenantless
+// clients interoperate with servers on either side of the change.
+const helloFlagTenant = uint32(1)
+
 // HelloAckStatus is the server's admission decision for a session.
 type HelloAckStatus uint32
 
@@ -41,18 +51,38 @@ const (
 
 // MarshalHello builds a session-open frame for the given session ID.
 func MarshalHello(sessionID string) ([]byte, error) {
+	return MarshalHelloTenant(sessionID, "")
+}
+
+// MarshalHelloTenant builds a session-open frame carrying an optional
+// tenant identifier for per-tenant quota admission. An empty tenant
+// yields a frame byte-identical to MarshalHello's.
+func MarshalHelloTenant(sessionID, tenant string) ([]byte, error) {
 	if sessionID == "" {
 		return nil, fmt.Errorf("protocol: empty session ID")
 	}
 	if len(sessionID) > MaxSessionIDLen {
 		return nil, fmt.Errorf("protocol: session ID length %d exceeds %d", len(sessionID), MaxSessionIDLen)
 	}
-	buf := make([]byte, 16+len(sessionID))
+	if len(tenant) > MaxTenantLen {
+		return nil, fmt.Errorf("protocol: tenant length %d exceeds %d", len(tenant), MaxTenantLen)
+	}
+	size := 16 + len(sessionID)
+	var flags uint32
+	if tenant != "" {
+		flags |= helloFlagTenant
+		size += 1 + len(tenant)
+	}
+	buf := make([]byte, size)
 	binary.LittleEndian.PutUint32(buf[0:], helloMagic)
 	binary.LittleEndian.PutUint32(buf[4:], HelloVersion)
-	binary.LittleEndian.PutUint32(buf[8:], 0) // flags, reserved
+	binary.LittleEndian.PutUint32(buf[8:], flags)
 	binary.LittleEndian.PutUint32(buf[12:], uint32(len(sessionID)))
 	copy(buf[16:], sessionID)
+	if tenant != "" {
+		buf[16+len(sessionID)] = byte(len(tenant))
+		copy(buf[17+len(sessionID):], tenant)
+	}
 	return buf, nil
 }
 
@@ -67,28 +97,65 @@ func IsKeyBundle(data []byte) bool {
 	return len(data) >= 4 && binary.LittleEndian.Uint32(data) == keyBundleMagic
 }
 
-// UnmarshalHello decodes a Hello frame and returns the session ID.
+// UnmarshalHello decodes a Hello frame and returns the session ID,
+// accepting both tenantless and tenant-tagged frames.
 func UnmarshalHello(data []byte) (string, error) {
+	h, err := ParseHello(data)
+	return h.SessionID, err
+}
+
+// HelloInfo is the decoded content of a session-open Hello frame.
+type HelloInfo struct {
+	SessionID string
+	// Tenant is the client's self-declared tenant identifier for quota
+	// admission; empty on version-1 frames.
+	Tenant string
+}
+
+// ParseHello decodes a Hello frame including its optional tenant
+// section.
+func ParseHello(data []byte) (HelloInfo, error) {
 	if len(data) < 16 {
-		return "", fmt.Errorf("protocol: truncated hello frame (%d B)", len(data))
+		return HelloInfo{}, fmt.Errorf("protocol: truncated hello frame (%d B)", len(data))
 	}
 	if !IsHello(data) {
-		return "", fmt.Errorf("protocol: not a hello frame")
+		return HelloInfo{}, fmt.Errorf("protocol: not a hello frame")
 	}
 	if v := binary.LittleEndian.Uint32(data[4:]); v != HelloVersion {
-		return "", fmt.Errorf("protocol: unsupported hello version %d", v)
+		return HelloInfo{}, fmt.Errorf("protocol: unsupported hello version %d", v)
+	}
+	flags := binary.LittleEndian.Uint32(data[8:])
+	if flags&^helloFlagTenant != 0 {
+		return HelloInfo{}, fmt.Errorf("protocol: unknown hello flags %#x", flags)
 	}
 	n := int(binary.LittleEndian.Uint32(data[12:]))
 	if n == 0 || n > MaxSessionIDLen {
-		return "", fmt.Errorf("protocol: implausible session ID length %d", n)
+		return HelloInfo{}, fmt.Errorf("protocol: implausible session ID length %d", n)
 	}
-	if len(data) != 16+n {
-		return "", fmt.Errorf("protocol: hello frame length %d, want %d", len(data), 16+n)
+	if flags&helloFlagTenant == 0 {
+		if len(data) != 16+n {
+			return HelloInfo{}, fmt.Errorf("protocol: hello frame length %d, want %d", len(data), 16+n)
+		}
+		return HelloInfo{SessionID: string(data[16 : 16+n])}, nil
 	}
-	return string(data[16 : 16+n]), nil
+	if len(data) < 16+n+1 {
+		return HelloInfo{}, fmt.Errorf("protocol: hello frame length %d too short for tenant section", len(data))
+	}
+	tn := int(data[16+n])
+	if tn == 0 || tn > MaxTenantLen {
+		return HelloInfo{}, fmt.Errorf("protocol: implausible tenant length %d", tn)
+	}
+	if len(data) != 17+n+tn {
+		return HelloInfo{}, fmt.Errorf("protocol: hello frame length %d, want %d", len(data), 17+n+tn)
+	}
+	return HelloInfo{
+		SessionID: string(data[16 : 16+n]),
+		Tenant:    string(data[17+n : 17+n+tn]),
+	}, nil
 }
 
-// MarshalHelloAck builds the server's handshake response.
+// MarshalHelloAck builds the server's handshake response (the compact
+// 8-byte form with no retry-after hint).
 func MarshalHelloAck(st HelloAckStatus) []byte {
 	buf := make([]byte, 8)
 	binary.LittleEndian.PutUint32(buf[0:], helloAckMagic)
@@ -96,17 +163,53 @@ func MarshalHelloAck(st HelloAckStatus) []byte {
 	return buf
 }
 
-// UnmarshalHelloAck decodes the server's handshake response.
+// MarshalHelloAckRetry builds the extended 12-byte handshake response
+// carrying a retry-after hint (rounded to milliseconds, capped at
+// ~49 days). Servers send it with AckBusy when quota admission — not
+// permanent saturation — rejected the session, so a well-behaved client
+// backs off for the hinted duration instead of hammering. A zero hint
+// marshals the compact 8-byte form, which legacy decoders also accept.
+func MarshalHelloAckRetry(st HelloAckStatus, retryAfter time.Duration) []byte {
+	if retryAfter <= 0 {
+		return MarshalHelloAck(st)
+	}
+	ms := retryAfter.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	if ms > int64(^uint32(0)) {
+		ms = int64(^uint32(0))
+	}
+	buf := make([]byte, 12)
+	binary.LittleEndian.PutUint32(buf[0:], helloAckMagic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(st))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(ms))
+	return buf
+}
+
+// UnmarshalHelloAck decodes the server's handshake response, accepting
+// both the compact and the retry-after forms.
 func UnmarshalHelloAck(data []byte) (HelloAckStatus, error) {
-	if len(data) != 8 {
-		return 0, fmt.Errorf("protocol: hello ack frame length %d, want 8", len(data))
+	st, _, err := ParseHelloAck(data)
+	return st, err
+}
+
+// ParseHelloAck decodes the server's handshake response including the
+// optional retry-after hint (zero on compact frames).
+func ParseHelloAck(data []byte) (HelloAckStatus, time.Duration, error) {
+	if len(data) != 8 && len(data) != 12 {
+		return 0, 0, fmt.Errorf("protocol: hello ack frame length %d, want 8 or 12", len(data))
 	}
 	if binary.LittleEndian.Uint32(data) != helloAckMagic {
-		return 0, fmt.Errorf("protocol: not a hello ack frame")
+		return 0, 0, fmt.Errorf("protocol: not a hello ack frame")
 	}
 	st := HelloAckStatus(binary.LittleEndian.Uint32(data[4:]))
 	if st > AckBusy {
-		return 0, fmt.Errorf("protocol: unknown hello ack status %d", st)
+		return 0, 0, fmt.Errorf("protocol: unknown hello ack status %d", st)
 	}
-	return st, nil
+	var retryAfter time.Duration
+	if len(data) == 12 {
+		retryAfter = time.Duration(binary.LittleEndian.Uint32(data[8:])) * time.Millisecond
+	}
+	return st, retryAfter, nil
 }

@@ -3,6 +3,7 @@ package protocol
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestHelloRoundTrip(t *testing.T) {
@@ -80,5 +81,100 @@ func TestFirstFrameSniffing(t *testing.T) {
 	ack := MarshalHelloAck(AckBusy)
 	if IsHello(ack) || IsKeyBundle(ack) {
 		t.Error("ack frame misclassified")
+	}
+}
+
+func TestHelloTenantRoundTrip(t *testing.T) {
+	frame, err := MarshalHelloTenant("client-42", "tenant-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ParseHello(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.SessionID != "client-42" || h.Tenant != "tenant-a" {
+		t.Fatalf("parsed %+v", h)
+	}
+	// The legacy decoder still accepts the tagged frame (it only wants
+	// the session ID).
+	id, err := UnmarshalHello(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "client-42" {
+		t.Fatalf("legacy decode of tagged hello: %q", id)
+	}
+}
+
+func TestHelloTenantlessBytesUnchanged(t *testing.T) {
+	// Backward compatibility hinges on tenantless frames staying
+	// byte-identical to version-1 encodings.
+	a, err := MarshalHello("client-42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MarshalHelloTenant("client-42", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("tenantless MarshalHelloTenant differs from MarshalHello")
+	}
+	h, err := ParseHello(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Tenant != "" {
+		t.Fatalf("v1 frame parsed with tenant %q", h.Tenant)
+	}
+}
+
+func TestHelloTenantValidation(t *testing.T) {
+	if _, err := MarshalHelloTenant("ok", strings.Repeat("t", MaxTenantLen+1)); err == nil {
+		t.Error("oversized tenant accepted")
+	}
+	frame, _ := MarshalHelloTenant("ok", "tenant-a")
+	if _, err := ParseHello(frame[:len(frame)-1]); err == nil {
+		t.Error("truncated tenant section accepted")
+	}
+	if _, err := ParseHello(append(frame, 'x')); err == nil {
+		t.Error("trailing bytes after tenant accepted")
+	}
+	// A tenant flag with a zero-length tenant is implausible.
+	bad := make([]byte, len(frame))
+	copy(bad, frame)
+	bad[16+2] = 0
+	if _, err := ParseHello(bad[:16+2+1]); err == nil {
+		t.Error("zero-length tenant accepted")
+	}
+}
+
+func TestHelloAckRetryAfter(t *testing.T) {
+	frame := MarshalHelloAckRetry(AckBusy, 250*time.Millisecond)
+	if len(frame) != 12 {
+		t.Fatalf("retry ack frame length %d, want 12", len(frame))
+	}
+	st, retry, err := ParseHelloAck(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != AckBusy || retry != 250*time.Millisecond {
+		t.Fatalf("parsed (%d, %v)", st, retry)
+	}
+	// The status-only decoder accepts the extended frame too.
+	if st, err := UnmarshalHelloAck(frame); err != nil || st != AckBusy {
+		t.Fatalf("legacy decode of retry ack: (%d, %v)", st, err)
+	}
+	// A zero hint falls back to the compact 8-byte form.
+	if got := MarshalHelloAckRetry(AckBusy, 0); len(got) != 8 {
+		t.Fatalf("zero-hint retry ack length %d, want 8", len(got))
+	}
+	// Sub-millisecond hints round up rather than vanishing.
+	if _, retry, _ := ParseHelloAck(MarshalHelloAckRetry(AckBusy, time.Microsecond)); retry != time.Millisecond {
+		t.Fatalf("sub-ms hint decoded as %v", retry)
+	}
+	if _, _, err := ParseHelloAck(frame[:10]); err == nil {
+		t.Error("10-byte ack accepted")
 	}
 }

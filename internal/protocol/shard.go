@@ -40,6 +40,15 @@ const MaxPeerAddrLen = 256
 // client's session ID plus an optional peer address of the shard that
 // last held this session's evaluation keys (empty = no hint).
 func MarshalShardHello(sessionID, prevOwnerPeer string) ([]byte, error) {
+	return MarshalShardHelloTenant(sessionID, prevOwnerPeer, "")
+}
+
+// MarshalShardHelloTenant additionally forwards the client's tenant
+// identifier (from a tenant-tagged Hello) as a trailing section
+// ([1-byte length][tenant]); an empty tenant yields a frame
+// byte-identical to MarshalShardHello's, so tenantless traffic is
+// unchanged on the wire.
+func MarshalShardHelloTenant(sessionID, prevOwnerPeer, tenant string) ([]byte, error) {
 	if sessionID == "" {
 		return nil, fmt.Errorf("protocol: empty session ID")
 	}
@@ -49,13 +58,25 @@ func MarshalShardHello(sessionID, prevOwnerPeer string) ([]byte, error) {
 	if len(prevOwnerPeer) > MaxPeerAddrLen {
 		return nil, fmt.Errorf("protocol: peer address length %d exceeds %d", len(prevOwnerPeer), MaxPeerAddrLen)
 	}
-	buf := make([]byte, 16+len(sessionID)+len(prevOwnerPeer))
+	if len(tenant) > MaxTenantLen {
+		return nil, fmt.Errorf("protocol: tenant length %d exceeds %d", len(tenant), MaxTenantLen)
+	}
+	size := 16 + len(sessionID) + len(prevOwnerPeer)
+	if tenant != "" {
+		size += 1 + len(tenant)
+	}
+	buf := make([]byte, size)
 	binary.LittleEndian.PutUint32(buf[0:], shardHelloMagic)
 	binary.LittleEndian.PutUint32(buf[4:], HelloVersion)
 	binary.LittleEndian.PutUint32(buf[8:], uint32(len(sessionID)))
 	binary.LittleEndian.PutUint32(buf[12:], uint32(len(prevOwnerPeer)))
 	copy(buf[16:], sessionID)
 	copy(buf[16+len(sessionID):], prevOwnerPeer)
+	if tenant != "" {
+		off := 16 + len(sessionID) + len(prevOwnerPeer)
+		buf[off] = byte(len(tenant))
+		copy(buf[off+1:], tenant)
+	}
 	return buf, nil
 }
 
@@ -65,29 +86,61 @@ func IsShardHello(data []byte) bool {
 }
 
 // UnmarshalShardHello decodes a ShardHello into the session ID and the
-// (possibly empty) previous-owner peer address.
+// (possibly empty) previous-owner peer address, accepting frames with
+// or without a tenant trailer.
 func UnmarshalShardHello(data []byte) (sessionID, prevOwnerPeer string, err error) {
+	h, err := ParseShardHello(data)
+	return h.SessionID, h.PrevOwnerPeer, err
+}
+
+// ShardHelloInfo is the decoded content of a router-authored
+// session-open frame.
+type ShardHelloInfo struct {
+	SessionID     string
+	PrevOwnerPeer string
+	Tenant        string
+}
+
+// ParseShardHello decodes a ShardHello including its optional tenant
+// trailer.
+func ParseShardHello(data []byte) (ShardHelloInfo, error) {
 	if len(data) < 16 {
-		return "", "", fmt.Errorf("protocol: truncated shard hello frame (%d B)", len(data))
+		return ShardHelloInfo{}, fmt.Errorf("protocol: truncated shard hello frame (%d B)", len(data))
 	}
 	if !IsShardHello(data) {
-		return "", "", fmt.Errorf("protocol: not a shard hello frame")
+		return ShardHelloInfo{}, fmt.Errorf("protocol: not a shard hello frame")
 	}
 	if v := binary.LittleEndian.Uint32(data[4:]); v != HelloVersion {
-		return "", "", fmt.Errorf("protocol: unsupported shard hello version %d", v)
+		return ShardHelloInfo{}, fmt.Errorf("protocol: unsupported shard hello version %d", v)
 	}
 	idLen := int(binary.LittleEndian.Uint32(data[8:]))
 	hintLen := int(binary.LittleEndian.Uint32(data[12:]))
 	if idLen == 0 || idLen > MaxSessionIDLen {
-		return "", "", fmt.Errorf("protocol: implausible session ID length %d", idLen)
+		return ShardHelloInfo{}, fmt.Errorf("protocol: implausible session ID length %d", idLen)
 	}
 	if hintLen > MaxPeerAddrLen {
-		return "", "", fmt.Errorf("protocol: implausible peer address length %d", hintLen)
+		return ShardHelloInfo{}, fmt.Errorf("protocol: implausible peer address length %d", hintLen)
 	}
-	if len(data) != 16+idLen+hintLen {
-		return "", "", fmt.Errorf("protocol: shard hello frame length %d, want %d", len(data), 16+idLen+hintLen)
+	base := 16 + idLen + hintLen
+	if len(data) < base {
+		return ShardHelloInfo{}, fmt.Errorf("protocol: shard hello frame length %d, want at least %d", len(data), base)
 	}
-	return string(data[16 : 16+idLen]), string(data[16+idLen:]), nil
+	h := ShardHelloInfo{
+		SessionID:     string(data[16 : 16+idLen]),
+		PrevOwnerPeer: string(data[16+idLen : base]),
+	}
+	if len(data) == base {
+		return h, nil
+	}
+	tn := int(data[base])
+	if tn == 0 || tn > MaxTenantLen {
+		return ShardHelloInfo{}, fmt.Errorf("protocol: implausible tenant length %d", tn)
+	}
+	if len(data) != base+1+tn {
+		return ShardHelloInfo{}, fmt.Errorf("protocol: shard hello frame length %d, want %d", len(data), base+1+tn)
+	}
+	h.Tenant = string(data[base+1 : base+1+tn])
+	return h, nil
 }
 
 // MarshalKeyFetch builds a shard→shard request for a cached evaluation

@@ -90,3 +90,34 @@ func TestStatsFetchRoundTrip(t *testing.T) {
 		t.Fatalf("stats resp round trip: %q, %v", got, err)
 	}
 }
+
+func TestShardHelloTenantRoundTrip(t *testing.T) {
+	frame, err := MarshalShardHelloTenant("sess-1", "127.0.0.1:7501", "tenant-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ParseShardHello(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.SessionID != "sess-1" || h.PrevOwnerPeer != "127.0.0.1:7501" || h.Tenant != "tenant-b" {
+		t.Fatalf("parsed %+v", h)
+	}
+	// Legacy decoder tolerates the trailer.
+	id, hint, err := UnmarshalShardHello(frame)
+	if err != nil || id != "sess-1" || hint != "127.0.0.1:7501" {
+		t.Fatalf("legacy decode: (%q, %q, %v)", id, hint, err)
+	}
+	// Tenantless encodings are byte-identical to the original layout.
+	a, _ := MarshalShardHello("sess-1", "peer")
+	b, _ := MarshalShardHelloTenant("sess-1", "peer", "")
+	if string(a) != string(b) {
+		t.Fatal("tenantless MarshalShardHelloTenant differs from MarshalShardHello")
+	}
+	if _, err := ParseShardHello(frame[:len(frame)-1]); err == nil {
+		t.Error("truncated tenant trailer accepted")
+	}
+	if _, err := ParseShardHello(append(frame, 'x')); err == nil {
+		t.Error("trailing bytes after tenant accepted")
+	}
+}

@@ -59,6 +59,26 @@ type Config struct {
 	// alone is not a memory bound). LRU entries are evicted beyond it;
 	// the newest entry is always kept. Default 1 GiB.
 	KeyCacheBytes int64
+	// BatchDepth caps how many work items one cross-request gather
+	// round coalesces (the batching executor; see batch.go). Default 8;
+	// 1 disables batching entirely (every layer runs the serial Apply
+	// path, the byte-identical oracle).
+	BatchDepth int
+	// BatchWindow is how long the first work item of a round waits for
+	// batch-mates before executing. Default 2ms; negative means execute
+	// immediately (coalescing only simultaneous arrivals).
+	BatchWindow time.Duration
+	// BatchCacheBytes bounds the shared prepared-weight-plaintext cache
+	// the executor amortizes encode+NTT work with. Default 256 MiB.
+	BatchCacheBytes int64
+	// TenantMaxSessions caps concurrently running sessions per declared
+	// tenant; a tenant at its cap gets a busy ack with a retry-after
+	// hint instead of consuming worker slots. Default 0: no per-tenant
+	// quota. Tenantless sessions are never quota-checked.
+	TenantMaxSessions int
+	// RetryAfter is the back-off hint attached to quota busy acks.
+	// Default 250ms.
+	RetryAfter time.Duration
 	// FetchKeys, when set, is consulted on a key-cache miss for a
 	// session opened with a replication hint (a fabric ShardHello
 	// naming the peer that last owned the session): it returns the raw
@@ -86,6 +106,18 @@ func (c Config) withDefaults() Config {
 	if c.KeyCacheBytes <= 0 {
 		c.KeyCacheBytes = 1 << 30
 	}
+	if c.BatchDepth <= 0 {
+		c.BatchDepth = 8
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.BatchCacheBytes <= 0 {
+		c.BatchCacheBytes = 256 << 20
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 250 * time.Millisecond
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -104,6 +136,8 @@ type Server struct {
 	reg     *registry
 	acct    accounting
 	slots   chan struct{}
+	exec    *batchExecutor
+	tenants tenantTable
 
 	draining atomic.Bool
 
@@ -114,13 +148,17 @@ type Server struct {
 // New builds a server around a compiled inference backend.
 func New(backend *nn.InferenceServer, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		backend: backend,
 		cfg:     cfg,
 		reg:     newRegistry(cfg.KeyCacheCap, cfg.KeyCacheBytes),
 		slots:   make(chan struct{}, cfg.MaxSessions),
 		conns:   map[*TimedTransport]struct{}{},
 	}
+	if cfg.BatchDepth > 1 {
+		s.exec = newBatchExecutor(backend.Encoder(), cfg.BatchDepth, cfg.BatchWindow, cfg.BatchCacheBytes)
+	}
+	return s
 }
 
 // MaxSessions reports the effective worker-pool size, after Config
@@ -204,7 +242,7 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 	}()
 
 	remote := conn.RemoteAddr()
-	if err := s.ServeTransport(ctx, st); err != nil && !errors.Is(err, ErrSaturated) {
+	if err := s.ServeTransport(ctx, st); err != nil && !errors.Is(err, ErrSaturated) && !errors.Is(err, ErrTenantOverQuota) {
 		s.cfg.Logf("serve: client %s: %v", remote, err)
 	}
 }
@@ -251,9 +289,15 @@ func (s *Server) ServeTransport(ctx context.Context, t protocol.Transport) error
 			time.Since(start).Round(time.Millisecond), inferences, t.ReceivedBytes(), t.SentBytes())
 	}()
 
-	sess, err := s.handshake(t)
+	sess, tenant, err := s.handshake(t)
 	if err != nil {
 		return err
+	}
+	if tenant != "" {
+		defer func() { s.tenants.release(tenant, t.ReceivedBytes(), t.SentBytes()) }()
+	}
+	if s.exec != nil {
+		sess = sess.WithExecutor(s.exec)
 	}
 	s.acct.setupLat.observe(time.Since(start))
 
@@ -274,6 +318,9 @@ func (s *Server) ServeTransport(ctx context.Context, t protocol.Transport) error
 		}
 		inferences++
 		s.acct.inferences.Add(1)
+		if tenant != "" {
+			s.tenants.addInference(tenant)
+		}
 		s.acct.addOps(ops)
 		s.acct.inferLat.observe(time.Since(reqStart))
 	}
@@ -283,33 +330,53 @@ func (s *Server) ServeTransport(ctx context.Context, t protocol.Transport) error
 // registry short-circuiting re-uploads), a router-authored shard hello
 // (same exchange, plus a replication hint consulted before asking the
 // client for keys), or a legacy raw key bundle as the first frame.
-func (s *Server) handshake(t protocol.Transport) (*nn.ServerSession, error) {
+// Sessions declaring a tenant pass quota admission before any key
+// exchange: an over-quota tenant gets a busy ack with a retry-after
+// hint, so its sessions back off instead of consuming worker slots
+// other tenants could use. On success with a non-empty tenant, the
+// caller owns releasing the tenant's session slot.
+func (s *Server) handshake(t protocol.Transport) (*nn.ServerSession, string, error) {
 	raw, err := t.Recv()
 	if err != nil {
-		return nil, fmt.Errorf("session open: recv first frame: %w", err)
+		return nil, "", fmt.Errorf("session open: recv first frame: %w", err)
 	}
+	var id, hint, tenant string
 	switch {
 	case protocol.IsHello(raw):
-		id, err := protocol.UnmarshalHello(raw)
+		h, err := protocol.ParseHello(raw)
 		if err != nil {
-			return nil, fmt.Errorf("session open: %w", err)
+			return nil, "", fmt.Errorf("session open: %w", err)
 		}
-		return s.admit(t, id, "")
+		id, tenant = h.SessionID, h.Tenant
 	case protocol.IsShardHello(raw):
-		id, hint, err := protocol.UnmarshalShardHello(raw)
+		h, err := protocol.ParseShardHello(raw)
 		if err != nil {
-			return nil, fmt.Errorf("session open: %w", err)
+			return nil, "", fmt.Errorf("session open: %w", err)
 		}
-		return s.admit(t, id, hint)
+		id, hint, tenant = h.SessionID, h.PrevOwnerPeer, h.Tenant
 	case protocol.IsKeyBundle(raw):
 		sess, err := s.backend.NewSessionFromFrame(raw)
 		if err != nil {
-			return nil, fmt.Errorf("legacy session open: %w", err)
+			return nil, "", fmt.Errorf("legacy session open: %w", err)
 		}
 		s.cfg.Logf("serve: legacy session: evaluation keys installed (%d B, uncached)", len(raw))
-		return sess, nil
+		return sess, "", nil
+	default:
+		return nil, "", fmt.Errorf("session open: unrecognized first frame (%d B)", len(raw))
 	}
-	return nil, fmt.Errorf("session open: unrecognized first frame (%d B)", len(raw))
+	if tenant != "" && !s.tenants.admit(tenant, s.cfg.TenantMaxSessions) {
+		s.acct.sessionsRejected.Add(1)
+		_ = t.Send(protocol.MarshalHelloAckRetry(protocol.AckBusy, s.cfg.RetryAfter))
+		return nil, "", fmt.Errorf("session %q: tenant %q: %w", id, tenant, ErrTenantOverQuota)
+	}
+	sess, err := s.admit(t, id, hint)
+	if err != nil {
+		if tenant != "" {
+			s.tenants.release(tenant, 0, 0)
+		}
+		return nil, "", err
+	}
+	return sess, tenant, nil
 }
 
 // admit completes the hello exchange for session id. Key resolution

@@ -168,6 +168,16 @@ type Stats struct {
 
 	SetupLatency     LatencySummary // hello + key install (or cache hit)
 	InferenceLatency LatencySummary // one full ServeOne exchange
+
+	// Batching reports the cross-request batching executor (gather
+	// rounds, coalesced items, and the shared weight-plaintext cache);
+	// zero-valued with Enabled=false when BatchDepth is 1.
+	Batching BatchStats
+	// Tenants lists per-tenant counters for sessions that declared a
+	// tenant identity, sorted by tenant ID; nil when no tagged session
+	// was ever seen. Quota rejections count here and in
+	// SessionsRejected.
+	Tenants []TenantStats `json:",omitempty"`
 }
 
 // Stats returns a snapshot of the server-wide accounting.
@@ -197,6 +207,8 @@ func (s *Server) Stats() Stats {
 		},
 		SetupLatency:     a.setupLat.summary(),
 		InferenceLatency: a.inferLat.summary(),
+		Batching:         s.exec.stats(),
+		Tenants:          s.tenants.snapshot(),
 	}
 }
 
