@@ -26,8 +26,10 @@ import (
 // waits until the round is depth-full or the window elapses, executes
 // the whole round on its own goroutine, and hands each follower its
 // result. While a leader computes, new arrivals form the next round —
-// batching is self-clocking under load and costs one window of latency
-// (default 2ms, noise against multi-hundred-ms HE kernels) when idle.
+// batching is self-clocking under load. An idle shard pays no gather
+// latency at all: with at most one session active (the solo hook) an
+// item executes immediately as a one-item round, so the window (default
+// 2ms) is only ever waited out when there are peers worth waiting for.
 //
 // Correctness: core.ApplyBatch is byte-identical per item to Apply
 // (the serial oracle), so batched and serial connections may be mixed
@@ -64,6 +66,13 @@ type batchExecutor struct {
 	cache  *core.PlainCache
 	depth  int
 	window time.Duration
+
+	// solo, when set, reports that at most this one session is being
+	// served right now, so a gather window could never fill: submit
+	// runs such items as an immediate one-item round (still through
+	// ApplyBatch, so the warm plaintext cache applies) instead of
+	// taxing a lone session one window of latency per layer.
+	solo func() bool
 
 	mu    sync.Mutex // guards round
 	round *gatherRound
@@ -110,6 +119,14 @@ func (x *batchExecutor) submit(it *batchItem) batchResult {
 	x.items.Add(1)
 	x.mu.Lock()
 	r := x.round
+	if r == nil && x.solo != nil && x.solo() {
+		// Nobody to coalesce with and no round forming: skip the
+		// gather entirely. (If a round is forming, another session's
+		// leader is already waiting — joining it is always correct.)
+		x.mu.Unlock()
+		x.run([]*batchItem{it})
+		return <-it.done
+	}
 	if r == nil {
 		r = &gatherRound{full: make(chan struct{})}
 		x.round = r

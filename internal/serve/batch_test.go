@@ -127,6 +127,73 @@ func TestBatchExecutorCoalesces(t *testing.T) {
 	}
 }
 
+// TestBatchExecutorSoloBypass pins the idle-shard latency guarantee:
+// with the solo hook reporting at most one active session, a submitted
+// item must execute immediately as a one-item round — not wait out the
+// gather window (10s here, so a regression hangs visibly) — and still
+// run through ApplyBatch with the shared cache, byte-identical to
+// serial Apply.
+func TestBatchExecutorSoloBypass(t *testing.T) {
+	ctx, err := bfv.NewContext(bfv.PresetTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const in, out = 16, 8
+	src := sampling.NewSource([32]byte{33}, "serve-batch-solo")
+	w := make([][]int64, out)
+	for r := range w {
+		w[r] = make([]int64, in)
+		for c := range w[r] {
+			w[r][c] = int64(src.Intn(9)) - 4
+		}
+	}
+	fc, err := core.NewFC(in, out, w, ctx.Params.N()/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecd := bfv.NewEncoder(ctx)
+	slots := ctx.Params.Slots()
+	kg := bfv.NewKeyGenerator(ctx, [32]byte{75})
+	sk := kg.GenSecretKey()
+	ev := bfv.NewEvaluator(ctx, kg.GenRelinearizationKey(sk), kg.GenRotationKeys(sk, fc.RotationSteps()...))
+	enc := bfv.NewEncryptor(ctx, kg.GenPublicKey(sk), [32]byte{85})
+	vec := make([]int64, slots)
+	for j := 0; j < in; j++ {
+		vec[j] = int64(src.Intn(15)) - 7
+	}
+	ct, err := enc.EncryptInts(vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, _, err := fc.Apply(ev, ecd, ct, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	x := newBatchExecutor(ecd, 3, 10*time.Second, 0)
+	x.solo = func() bool { return true }
+	start := time.Now()
+	got, _, err := x.ExecFC(0, fc, ev, ct, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("solo submit took %v: waited out the gather window", elapsed)
+	}
+	for p := range got.Value {
+		if !ctx.RingQ.Equal(got.Value[p], serial.Value[p]) {
+			t.Fatalf("solo bypass output poly %d differs from serial Apply", p)
+		}
+	}
+	st := x.stats()
+	if st.Rounds != 1 || st.Items != 1 || st.CoalescedItems != 0 {
+		t.Errorf("executor stats %+v: want one uncoalesced one-item round", st)
+	}
+	if st.PlainCache.Entries == 0 {
+		t.Error("solo bypass skipped the shared plaintext cache")
+	}
+}
+
 // TestBatchedConcurrentSessionsExactLogits runs three concurrent
 // end-to-end sessions through a batching server and verifies every
 // logit against the plaintext reference — the serial path's oracle —

@@ -157,6 +157,7 @@ func New(backend *nn.InferenceServer, cfg Config) *Server {
 	}
 	if cfg.BatchDepth > 1 {
 		s.exec = newBatchExecutor(backend.Encoder(), cfg.BatchDepth, cfg.BatchWindow, cfg.BatchCacheBytes)
+		s.exec.solo = func() bool { return s.acct.sessionsActive.Load() <= 1 }
 	}
 	return s
 }
