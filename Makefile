@@ -16,7 +16,10 @@
 #   make bench   — paper-table benchmark generators; also regenerates
 #                  the machine-readable perf trajectories: rotations in
 #                  BENCH_rotations.json (serial = before hoisting,
-#                  hoisted = after), the client encrypt/decrypt
+#                  hoisted = after), the FC matrix-vector engine in
+#                  BENCH_matmul.json (level 1 = Halevi–Shoup, levels
+#                  2/3 = QP-lazy giants / lazy babies, plus the CKKS
+#                  lazy rotation-sum), the client encrypt/decrypt
 #                  kernels in BENCH_client.json (decrypt-bigint = the
 #                  seed's big.Int scaling, decrypt-rns = the RNS-native
 #                  rewrite), and the cross-request batching kernel in
@@ -26,7 +29,9 @@
 #                  hoisted rotation batch, serve p99) to
 #                  BENCH_trajectory.jsonl, warning when a series
 #                  regressed >10% against the rolling median of its
-#                  last five entries
+#                  last five entries and failing hard when a series
+#                  with 8+ history points regresses beyond its
+#                  noise gate (3·MAD over the cached history)
 
 #   make fuzz    — 30-second smoke run of each internal/protocol fuzz
 #                  target (frame parser and hello-frame round-trip)
@@ -62,6 +67,7 @@ fuzz:
 
 bench:
 	$(GO) run ./cmd/chocobench -json BENCH_rotations.json rotations
+	$(GO) run ./cmd/chocobench -json BENCH_matmul.json matmul
 	$(GO) run ./cmd/chocobench -json BENCH_client.json client
 	$(GO) run ./cmd/chocobench -json BENCH_batching.json batching
 	$(GO) run ./cmd/chocobench -trajectory BENCH_trajectory.jsonl -commit "$$(git rev-parse --short HEAD)" trajectory

@@ -11,7 +11,10 @@
 // encrypt, hoisted rotation batch, serve p99) and, with -trajectory,
 // appends commit-stamped JSONL entries to the named file, warning when
 // a series regressed more than 10% against the rolling median of its
-// last five entries:
+// last five entries. Once a series has at least eight history points,
+// a regression beyond its noise gate — max(10%, 3·MAD/median over the
+// cached history) — is a hard failure (exit 1), so CI blocks the
+// slowdown instead of just annotating it:
 //
 //	chocobench -trajectory BENCH_trajectory.jsonl -commit "$(git rev-parse --short HEAD)" trajectory
 package main
@@ -20,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"choco/internal/bench"
@@ -45,6 +49,17 @@ func experiments() []experiment {
 					return "", jerr
 				}
 				jsonBodies["rotations"] = body
+			}
+			return out, err
+		}},
+		{"matmul", "FC matmul across hoisting levels L1/L2/L3 (perf trajectory)", func() (string, error) {
+			out, recs, err := bench.Matmul()
+			if err == nil {
+				body, jerr := bench.MatmulJSON(recs)
+				if jerr != nil {
+					return "", jerr
+				}
+				jsonBodies["matmul"] = body
 			}
 			return out, err
 		}},
@@ -116,7 +131,7 @@ func experiments() []experiment {
 func main() {
 	list := flag.Bool("list", false, "list experiment names and exit")
 	jsonPath := flag.String("json", "", "write the selected record-producing experiment's records to this path as JSON")
-	trajectoryPath := flag.String("trajectory", "", "append the trajectory experiment's points to this JSONL file (warns on >10% regression vs each series' rolling median)")
+	trajectoryPath := flag.String("trajectory", "", "append the trajectory experiment's points to this JSONL file (warns on >10% regression vs each series' rolling median; fails hard past a series' noise gate once it has 8+ history points)")
 	commit := flag.String("commit", "local", "commit hash to stamp trajectory points with")
 	flag.Parse()
 
@@ -127,15 +142,25 @@ func main() {
 			if err != nil || *trajectoryPath == "" {
 				return out, err
 			}
-			warnings, err := bench.AppendTrajectory(*trajectoryPath, pts)
+			warnings, failures, err := bench.AppendTrajectory(*trajectoryPath, pts)
 			if err != nil {
 				return "", fmt.Errorf("appending %s: %w", *trajectoryPath, err)
 			}
 			for _, w := range warnings {
 				fmt.Fprintf(os.Stderr, "trajectory warning: %s\n", w)
 			}
-			return out + fmt.Sprintf("appended %d point(s) to %s (%d regression warning(s))\n",
-				len(pts), *trajectoryPath, len(warnings)), nil
+			for _, f := range failures {
+				fmt.Fprintf(os.Stderr, "trajectory FAILURE: %s\n", f)
+			}
+			out += fmt.Sprintf("appended %d point(s) to %s (%d regression warning(s), %d failure(s))\n",
+				len(pts), *trajectoryPath, len(warnings), len(failures))
+			if len(failures) > 0 {
+				// The points are already appended — the history records
+				// the regression — but the run itself is a hard failure.
+				return out, fmt.Errorf("%d pinned series regressed beyond their noise gates: %s",
+					len(failures), strings.Join(failures, "; "))
+			}
+			return out, nil
 		},
 	})
 	if *list {
@@ -169,7 +194,7 @@ func main() {
 	}
 	if *jsonPath != "" {
 		if len(jsonBodies) == 0 {
-			fmt.Fprintf(os.Stderr, "-json set but no record-producing experiment ran (rotations, client, batching)\n")
+			fmt.Fprintf(os.Stderr, "-json set but no record-producing experiment ran (rotations, matmul, client, batching)\n")
 			os.Exit(1)
 		}
 		if len(jsonBodies) > 1 {

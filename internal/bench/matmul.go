@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"choco/internal/bfv"
+	"choco/internal/ckks"
+	"choco/internal/core"
+	"choco/internal/par"
+)
+
+// MatmulBench is one machine-readable benchmark record for the
+// matrix-vector trajectory (BENCH_matmul.json). The level-1 entries
+// are the Halevi–Shoup "before", levels 2 and 3 the QP-lazy "after",
+// so one file carries the comparison the triple-hoisting work is
+// judged by. Plan carries the key-switch accounting the level buys
+// (core.RotationPlan), making the why of the speedup part of the
+// artifact.
+type MatmulBench struct {
+	Op          string `json:"op"`
+	Preset      string `json:"preset"`
+	Level       int    `json:"level"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	Plan        string `json:"plan,omitempty"`
+}
+
+// matmulDim is the square FC the acceptance numbers are measured on:
+// 64×64 at BFV set B packs to P=64 slots, so BSGS picks B=G=8 — eight
+// baby and eight giant steps, enough for the giant-step amortization
+// to dominate.
+const matmulDim = 64
+
+// Matmul measures the FC matrix-vector engine at every hoisting level
+// on one worker — level 1 (Halevi–Shoup, per-giant mod-down), level 2
+// (QP-lazy giants, one shared mod-down), level 3 (lazy NTT-domain baby
+// steps too) — plus the CKKS lazy rotation-sum against its serial
+// fold, and returns a text report with the per-level rotation plans
+// alongside the records for BENCH_matmul.json.
+func Matmul() (string, []MatmulBench, error) {
+	old := par.Parallelism()
+	par.SetParallelism(1) // the acceptance numbers are single-CPU
+	defer par.SetParallelism(old)
+
+	var recs []MatmulBench
+	measure := func(op, preset string, level int, plan string, fn func(b *testing.B)) MatmulBench {
+		r := testing.Benchmark(fn)
+		rec := MatmulBench{
+			Op:          op,
+			Preset:      preset,
+			Level:       level,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Plan:        plan,
+		}
+		recs = append(recs, rec)
+		return rec
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "FC matmul: Halevi–Shoup (L1) vs QP-lazy giants (L2) vs lazy babies too (L3), 1 worker\n")
+
+	// BFV at PresetB: the 64×64 FC layer the acceptance criterion names.
+	{
+		params := bfv.PresetB()
+		ctx, err := bfv.NewContext(params)
+		if err != nil {
+			return "", nil, err
+		}
+		rowSize := ctx.Params.N() / 2
+		w := make([][]int64, matmulDim)
+		for r := range w {
+			w[r] = make([]int64, matmulDim)
+			for c := range w[r] {
+				w[r][c] = int64((r*31+c*7)%11) - 5
+			}
+		}
+		fc, err := core.NewFC(matmulDim, matmulDim, w, rowSize)
+		if err != nil {
+			return "", nil, err
+		}
+
+		kg := bfv.NewKeyGenerator(ctx, [32]byte{51})
+		sk := kg.GenSecretKey()
+		pk := kg.GenPublicKey(sk)
+		galois := kg.GenRotationKeys(sk, fc.RotationSteps()...)
+		enc := bfv.NewEncryptor(ctx, pk, [32]byte{52})
+		ecd := bfv.NewEncoder(ctx)
+		ev := bfv.NewEvaluator(ctx, nil, galois)
+
+		x := make([]int64, fc.In)
+		for i := range x {
+			x[i] = int64((i*13)%15) - 7
+		}
+		slots := ctx.Params.Slots()
+		packed, err := fc.PackInput(x, slots)
+		if err != nil {
+			return "", nil, err
+		}
+		ct, err := enc.EncryptInts(packed)
+		if err != nil {
+			return "", nil, err
+		}
+
+		fmt.Fprintf(&b, "bfv-B FC %dx%d: B=%d baby, G=%d giant steps\n", fc.In, fc.Out, fc.B, fc.G)
+		byLevel := map[int]MatmulBench{}
+		for _, level := range []int{1, 2, 3} {
+			plan := fc.Plan(level)
+			// Warm the per-key Shoup companions, plaintext-diagonal cache
+			// and ring scratch pools so every measured op is steady-state.
+			warm, _, err := fc.ApplyAtLevel(ev, ecd, ct, slots, level)
+			if err != nil {
+				return "", nil, err
+			}
+			ctx.RecycleCt(warm)
+			rec := measure("fc-apply-64x64", "bfv-B", level, plan.String(), func(bb *testing.B) {
+				bb.ReportAllocs()
+				for i := 0; i < bb.N; i++ {
+					out, _, err := fc.ApplyAtLevel(ev, ecd, ct, slots, level)
+					if err != nil {
+						bb.Fatal(err)
+					}
+					ctx.RecycleCt(out)
+				}
+			})
+			byLevel[level] = rec
+			fmt.Fprintf(&b, "  L%d %14d ns/op %10d allocs/op   plan: %s\n",
+				level, rec.NsPerOp, rec.AllocsPerOp, plan)
+		}
+		for _, level := range []int{2, 3} {
+			if base, rec := byLevel[1], byLevel[level]; base.NsPerOp > 0 && rec.NsPerOp > 0 {
+				fmt.Fprintf(&b, "bfv-B fc-apply speedup L1/L%d: %.2fx\n",
+					level, float64(base.NsPerOp)/float64(rec.NsPerOp))
+			}
+		}
+	}
+
+	// CKKS at PresetC: the lazy rotation-sum primitive the approximate
+	// scheme's linear layers fold with, against the rotate-and-add
+	// serial fold it is byte-identical to.
+	{
+		params := ckks.PresetC()
+		ctx, err := ckks.NewContext(params)
+		if err != nil {
+			return "", nil, err
+		}
+		steps := rotationBatch()
+		kg := ckks.NewKeyGenerator(ctx, [32]byte{53})
+		sk := kg.GenSecretKey()
+		pk := kg.GenPublicKey(sk)
+		galois := kg.GenRotationKeys(sk, steps...)
+		enc := ckks.NewEncryptor(ctx, pk, [32]byte{54})
+		ev := ckks.NewEvaluator(ctx, nil, galois)
+
+		vals := make([]float64, ctx.Params.Slots())
+		for i := range vals {
+			vals[i] = float64(i%100)/25 - 2
+		}
+		ct, err := enc.EncryptFloats(vals)
+		if err != nil {
+			return "", nil, err
+		}
+
+		serialFold := func() error {
+			var acc *ckks.Ciphertext
+			for _, s := range steps {
+				term, err := ev.RotateLeft(ct, s)
+				if err != nil {
+					return err
+				}
+				if acc == nil {
+					acc = term
+					continue
+				}
+				if acc, err = ev.Add(acc, term); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := serialFold(); err != nil {
+			return "", nil, err
+		}
+		if _, err := ev.RotateSumLazy(ct, steps); err != nil {
+			return "", nil, err
+		}
+
+		serial := measure("rotsum8-serial", "ckks-C", 1, "", func(bb *testing.B) {
+			bb.ReportAllocs()
+			for i := 0; i < bb.N; i++ {
+				if err := serialFold(); err != nil {
+					bb.Fatal(err)
+				}
+			}
+		})
+		lazy := measure("rotsum8-lazy", "ckks-C", 3, "", func(bb *testing.B) {
+			bb.ReportAllocs()
+			for i := 0; i < bb.N; i++ {
+				if _, err := ev.RotateSumLazy(ct, steps); err != nil {
+					bb.Fatal(err)
+				}
+			}
+		})
+		fmt.Fprintf(&b, "ckks-C rotsum8: serial %d ns/op, lazy %d ns/op\n", serial.NsPerOp, lazy.NsPerOp)
+		if serial.NsPerOp > 0 && lazy.NsPerOp > 0 {
+			fmt.Fprintf(&b, "ckks-C rotsum8 speedup (serial/lazy): %.2fx\n",
+				float64(serial.NsPerOp)/float64(lazy.NsPerOp))
+		}
+	}
+
+	return b.String(), recs, nil
+}
+
+// MatmulJSON renders the records as the BENCH_matmul.json body.
+func MatmulJSON(recs []MatmulBench) ([]byte, error) {
+	out, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -235,24 +235,85 @@ func ReadTrajectory(path string) ([]TrajectoryPoint, error) {
 	return pts, sc.Err()
 }
 
+// The failure gate: once a series has accumulated enough history for
+// its noise level to be measurable, a regression beyond that noise is
+// a hard CI failure, not just a warning. The threshold is per-series
+// and self-calibrating — three median-absolute-deviations of the
+// cached history relative to its median, floored at 10% so a
+// perfectly quiet series doesn't start failing on scheduler jitter.
+const (
+	trajectoryFailureMinHistory = 8
+	trajectoryFailureFloor      = 0.10
+	trajectoryFailureMADs       = 3
+)
+
+// medianInt64 returns the median of xs without reordering the caller's
+// slice. xs must be non-empty.
+func medianInt64(xs []int64) int64 {
+	s := append([]int64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// noiseGateFor derives a series' hard-failure gate from its full
+// cached history: the history median plus a tolerance of
+// max(trajectoryFailureFloor, 3·MAD/median). ok is false until the
+// series has trajectoryFailureMinHistory usable points — before that,
+// the noise estimate is too flimsy to fail a build on.
+func noiseGateFor(prior []TrajectoryPoint, series string) (base int64, tol float64, n int, ok bool) {
+	var hist []int64
+	for _, p := range prior {
+		if p.Series == series && p.NsPerOp > 0 {
+			hist = append(hist, p.NsPerOp)
+		}
+	}
+	if len(hist) < trajectoryFailureMinHistory {
+		return 0, 0, len(hist), false
+	}
+	base = medianInt64(hist)
+	devs := make([]int64, len(hist))
+	for i, v := range hist {
+		d := v - base
+		if d < 0 {
+			d = -d
+		}
+		devs[i] = d
+	}
+	mad := medianInt64(devs)
+	tol = trajectoryFailureFloor
+	if base > 0 {
+		if t := trajectoryFailureMADs * float64(mad) / float64(base); t > tol {
+			tol = t
+		}
+	}
+	return base, tol, len(hist), true
+}
+
 // AppendTrajectory appends the points to the JSONL file and compares
-// each against its series' rolling baseline — the median of the last
-// trajectoryBaselineWindow entries — returning a warning per series
-// that slowed down more than the tolerance (10%). Warnings do not
-// block the append: the trajectory records what happened; CI decides
-// what to do about it. A sustained slowdown re-baselines itself once
-// it dominates the window, so the history keeps warning only while
-// the level shift is news.
-func AppendTrajectory(path string, pts []TrajectoryPoint) ([]string, error) {
+// each against its series' history twice over. Warnings compare
+// against the rolling baseline — the median of the last
+// trajectoryBaselineWindow entries — and fire past the fixed 10%
+// tolerance; a sustained slowdown re-baselines itself once it
+// dominates the window, so warnings only last while the level shift
+// is news. Failures compare against the median of the series' whole
+// cached history with a noise-aware tolerance (noiseGateFor) and only
+// arm once the series has trajectoryFailureMinHistory points; CI
+// treats any failure as a hard stop. Neither blocks the append: the
+// trajectory records what happened; the caller decides what to do
+// about it.
+func AppendTrajectory(path string, pts []TrajectoryPoint) (warnings, failures []string, err error) {
 	prior, err := ReadTrajectory(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
-	var warnings []string
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for _, p := range pts {
 		if base, commit, ok := baselineFor(prior, p.Series); ok &&
@@ -262,18 +323,24 @@ func AppendTrajectory(path string, pts []TrajectoryPoint) ([]string, error) {
 				p.Series, 100*(float64(p.NsPerOp)/float64(base)-1),
 				base, p.NsPerOp, trajectoryBaselineWindow, commit))
 		}
+		if base, tol, n, ok := noiseGateFor(prior, p.Series); ok &&
+			float64(p.NsPerOp) > float64(base)*(1+tol) {
+			failures = append(failures, fmt.Sprintf(
+				"%s regressed %.1f%% vs history median %d ns/op, beyond its noise gate of %.1f%% (3·MAD over %d point(s))",
+				p.Series, 100*(float64(p.NsPerOp)/float64(base)-1), base, 100*tol, n))
+		}
 		line, err := json.Marshal(p)
 		if err != nil {
 			_ = f.Close() // the marshal error is the one that matters
-			return nil, err
+			return nil, nil, err
 		}
 		if _, err := f.Write(append(line, '\n')); err != nil {
 			_ = f.Close() // the write error is the one that matters
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	if err := f.Close(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return warnings, nil
+	return warnings, failures, nil
 }

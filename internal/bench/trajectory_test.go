@@ -12,7 +12,7 @@ import (
 func TestTrajectoryAppendAndRegress(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_trajectory.jsonl")
 
-	warn, err := AppendTrajectory(path, []TrajectoryPoint{
+	warn, fail, err := AppendTrajectory(path, []TrajectoryPoint{
 		{Commit: "aaaa", Series: SeriesClientEncrypt, NsPerOp: 1000, UnixSec: 1},
 		{Commit: "aaaa", Series: SeriesServeP99, NsPerOp: 5000, UnixSec: 1},
 	})
@@ -22,9 +22,12 @@ func TestTrajectoryAppendAndRegress(t *testing.T) {
 	if len(warn) != 0 {
 		t.Fatalf("first append warned: %v", warn)
 	}
+	if len(fail) != 0 {
+		t.Fatalf("first append failed the noise gate: %v", fail)
+	}
 
 	// Within tolerance (+5%) and an improvement: no warnings.
-	warn, err = AppendTrajectory(path, []TrajectoryPoint{
+	warn, fail, err = AppendTrajectory(path, []TrajectoryPoint{
 		{Commit: "bbbb", Series: SeriesClientEncrypt, NsPerOp: 1050, UnixSec: 2},
 		{Commit: "bbbb", Series: SeriesServeP99, NsPerOp: 4000, UnixSec: 2},
 	})
@@ -38,7 +41,7 @@ func TestTrajectoryAppendAndRegress(t *testing.T) {
 	// A clear regression on one series: exactly one warning, against the
 	// rolling median (1025 across [1000, 1050], latest commit bbbb), and
 	// the append still lands.
-	warn, err = AppendTrajectory(path, []TrajectoryPoint{
+	warn, fail, err = AppendTrajectory(path, []TrajectoryPoint{
 		{Commit: "cccc", Series: SeriesClientEncrypt, NsPerOp: 1260, UnixSec: 3},
 		{Commit: "cccc", Series: SeriesServeP99, NsPerOp: 4100, UnixSec: 3},
 	})
@@ -50,6 +53,10 @@ func TestTrajectoryAppendAndRegress(t *testing.T) {
 	}
 	if !strings.Contains(warn[0], SeriesClientEncrypt) || !strings.Contains(warn[0], "bbbb") {
 		t.Errorf("warning %q does not name the series and prior commit", warn[0])
+	}
+	// No series has the 8-point history the hard failure gate needs.
+	if len(fail) != 0 {
+		t.Fatalf("short-history regression tripped the noise gate: %v", fail)
 	}
 
 	pts, err := ReadTrajectory(path)
@@ -64,7 +71,7 @@ func TestTrajectoryAppendAndRegress(t *testing.T) {
 	}
 
 	// A series' first-ever point never warns, whatever its value.
-	warn, err = AppendTrajectory(path, []TrajectoryPoint{
+	warn, fail, err = AppendTrajectory(path, []TrajectoryPoint{
 		{Commit: "cccc", Series: SeriesHoistedBatch, NsPerOp: 1 << 40, UnixSec: 3},
 	})
 	if err != nil {
@@ -79,7 +86,7 @@ func TestTrajectoryAppendAndRegress(t *testing.T) {
 	// 1400 that follows — an "improvement" versus the spike alone, which
 	// the old previous-entry comparison would have waved through — still
 	// warns against the rolling median (1155 across the last 4 points).
-	warn, err = AppendTrajectory(path, []TrajectoryPoint{
+	warn, fail, err = AppendTrajectory(path, []TrajectoryPoint{
 		{Commit: "dddd", Series: SeriesClientEncrypt, NsPerOp: 2000, UnixSec: 4},
 	})
 	if err != nil {
@@ -88,7 +95,7 @@ func TestTrajectoryAppendAndRegress(t *testing.T) {
 	if len(warn) != 1 {
 		t.Fatalf("spike warnings = %v, want exactly one", warn)
 	}
-	warn, err = AppendTrajectory(path, []TrajectoryPoint{
+	warn, fail, err = AppendTrajectory(path, []TrajectoryPoint{
 		{Commit: "eeee", Series: SeriesClientEncrypt, NsPerOp: 1400, UnixSec: 5},
 	})
 	if err != nil {
@@ -99,39 +106,133 @@ func TestTrajectoryAppendAndRegress(t *testing.T) {
 	}
 }
 
-// TestTrajectoryRollingMedianWindow pins the window mechanics: the
-// baseline is the median of the last five points only, so a sustained
-// level shift keeps warning until it dominates the window, then
-// becomes the new baseline.
+// TestTrajectoryRollingMedianWindow pins the two baselines' different
+// memories under a sustained 2× level shift. The warning baseline is
+// the median of the last five points only, so the shift warns until it
+// dominates the window, then becomes the new normal. The failure gate
+// is the median of the whole cached history, so once armed (8 points)
+// it keeps failing the shifted level until the history itself is half
+// new-level — a sustained regression stays red in CI well after the
+// warnings have re-baselined, instead of quietly becoming the new
+// baseline after three runs.
 func TestTrajectoryRollingMedianWindow(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_trajectory.jsonl")
-	app := func(ns int64) []string {
-		warn, err := AppendTrajectory(path, []TrajectoryPoint{
+	app := func(ns int64) (warn, fail []string) {
+		warn, fail, err := AppendTrajectory(path, []TrajectoryPoint{
 			{Commit: "wwww", Series: "window-series", NsPerOp: ns, UnixSec: 1},
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		return warn
+		return warn, fail
 	}
 
 	for i := 0; i < 5; i++ {
-		if w := app(1000); len(w) != 0 {
-			t.Fatalf("steady point %d warned: %v", i, w)
+		if w, f := app(1000); len(w) != 0 || len(f) != 0 {
+			t.Fatalf("steady point %d: warn=%v fail=%v", i, w, f)
 		}
 	}
 	// A 2× level shift: warns while the old level still holds the median
 	// of the five-point window (three appends: the window is [1000×5],
-	// then [1000×4, 2000], then [1000×3, 2000×2] — median 1000 each time).
+	// then [1000×4, 2000], then [1000×3, 2000×2] — median 1000 each
+	// time). The failure gate stays silent: the history is still under
+	// 8 points.
 	for i := 0; i < 3; i++ {
-		if w := app(2000); len(w) != 1 {
+		w, f := app(2000)
+		if len(w) != 1 {
 			t.Fatalf("shifted point %d warnings = %v, want exactly one", i, w)
 		}
+		if len(f) != 0 {
+			t.Fatalf("shifted point %d failed before the gate armed: %v", i, f)
+		}
 	}
-	// Now the window is [1000×2, 2000×3]: median 2000, the shift has
-	// re-baselined, and the same level no longer warns.
-	if w := app(2000); len(w) != 0 {
-		t.Fatalf("re-baselined level still warns: %v", w)
+	// Now the warning window is [1000×2, 2000×3]: median 2000, the shift
+	// has re-baselined and no longer warns. But the gate just armed —
+	// history [1000×5, 2000×3] has median 1000 and MAD 0 — so the same
+	// level is now a hard failure, and stays one while the old level
+	// holds the history median ([1000×5, 2000×4] still has median 1000).
+	for i := 0; i < 2; i++ {
+		w, f := app(2000)
+		if len(w) != 0 {
+			t.Fatalf("re-baselined level still warns: %v", w)
+		}
+		if len(f) != 1 {
+			t.Fatalf("sustained shift point %d failures = %v, want exactly one", i, f)
+		}
+	}
+	// With [1000×5, 2000×5] the history median moves to 1500 and the MAD
+	// to 500, so the gate widens to 3000 and the shifted level clears:
+	// the regression has been absorbed as the series' new normal.
+	if w, f := app(2000); len(w) != 0 || len(f) != 0 {
+		t.Fatalf("absorbed shift: warn=%v fail=%v, want none", w, f)
+	}
+}
+
+// TestTrajectoryNoiseGate pins the hard-failure gate: it arms only
+// once a series has eight history points, and its tolerance adapts to
+// the series' own noise — 10% for a quiet series, 3·MAD/median for a
+// jittery one — so quiet series fail tight and noisy series don't
+// flap.
+func TestTrajectoryNoiseGate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_trajectory.jsonl")
+	app := func(series string, ns int64) (warn, fail []string) {
+		warn, fail, err := AppendTrajectory(path, []TrajectoryPoint{
+			{Commit: "gggg", Series: series, NsPerOp: ns, UnixSec: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return warn, fail
+	}
+
+	// Quiet series: eight identical points → MAD 0, tolerance floors at
+	// 10%, gate at 1100 ns/op.
+	for i := 0; i < 8; i++ {
+		if _, fail := app("quiet", 1000); len(fail) != 0 {
+			t.Fatalf("quiet history point %d failed: %v", i, fail)
+		}
+	}
+	if _, fail := app("quiet", 1050); len(fail) != 0 {
+		t.Fatalf("quiet +5%% point failed: %v", fail)
+	}
+	if warn, fail := app("quiet", 1150); len(fail) != 1 {
+		t.Fatalf("quiet +15%% point: failures = %v, want exactly one", fail)
+	} else if !strings.Contains(fail[0], "quiet") || !strings.Contains(fail[0], "noise gate") {
+		t.Errorf("failure %q does not name the series and gate", fail[0])
+	} else if len(warn) != 1 {
+		t.Fatalf("quiet +15%% point: warnings = %v, want the rolling-median warning too", warn)
+	}
+
+	// Seven points of history: even a 10× regression only warns — the
+	// gate is not armed yet.
+	for i := 0; i < 7; i++ {
+		app("young", 1000)
+	}
+	if warn, fail := app("young", 10000); len(fail) != 0 {
+		t.Fatalf("7-point history tripped the gate: %v", fail)
+	} else if len(warn) != 1 {
+		t.Fatalf("7-point 10x regression warnings = %v, want exactly one", warn)
+	}
+
+	// Noisy series alternating 1000/2000: history median 1500, MAD 500,
+	// tolerance 3·500/1500 = 100%, gate at 3000 ns/op. A 2900 point
+	// warns against the rolling median but does NOT fail. Once appended
+	// it widens its own gate (median 2000, MAD 900 → gate 4700), so the
+	// next probe must clear that to fail.
+	for i := 0; i < 8; i++ {
+		ns := int64(1000)
+		if i%2 == 1 {
+			ns = 2000
+		}
+		app("noisy", ns)
+	}
+	if warn, fail := app("noisy", 2900); len(fail) != 0 {
+		t.Fatalf("in-noise point tripped the gate: %v", fail)
+	} else if len(warn) != 1 {
+		t.Fatalf("in-noise point warnings = %v, want the rolling-median warning", warn)
+	}
+	if _, fail := app("noisy", 5000); len(fail) != 1 {
+		t.Fatalf("beyond-noise point failures = %v, want exactly one", fail)
 	}
 }
 

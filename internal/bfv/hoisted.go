@@ -122,11 +122,13 @@ func (ev *Evaluator) RotateRowsHoisted(ct *Ciphertext, steps []int) ([]*Cipherte
 }
 
 // applyGaloisDecomposed runs one Galois element over the hoisted
-// digits: NTT-domain automorphism of each digit, inner product against
-// that element's switching key, shared INTT, divide by P, and the
-// (cheap, table-driven) coefficient-domain automorphism of c0. Safe for
+// digits: fused NTT-domain automorphism + inner product against that
+// element's switching key, shared INTT, divide by P, and the (cheap,
+// table-driven) coefficient-domain automorphism of c0. Safe for
 // concurrent calls on the same DecomposedCiphertext — the digits are
-// read-only and all scratch is call-local.
+// read-only and all scratch is call-local. The output polynomials are
+// drawn from the ring scratch pool; callers that own the result
+// outright can return them with Context.RecycleCt.
 func (ev *Evaluator) applyGaloisDecomposed(dc *DecomposedCiphertext, g uint64) (*Ciphertext, error) {
 	gk, ok := ev.galois[g]
 	if !ok {
@@ -140,14 +142,10 @@ func (ev *Evaluator) applyGaloisDecomposed(dc *DecomposedCiphertext, g uint64) (
 	acc1 := rQP.GetPoly()
 	acc0.DeclareNTT()
 	acc1.DeclareNTT()
-	dig := rQP.GetPoly()
-	dig.DeclareNTT()
 	bShoup, aShoup := gk.Key.shoup(rQP)
 	for i, d := range dc.digits {
-		rQP.AutomorphismNTT(d, g, dig)
-		rQP.MulCoeffsShoupAdd2(dig, gk.Key.B[i], bShoup[i], acc0, gk.Key.A[i], aShoup[i], acc1)
+		rQP.AutomorphismNTTMulShoupAdd2(d, g, gk.Key.B[i], bShoup[i], acc0, gk.Key.A[i], aShoup[i], acc1)
 	}
-	rQP.PutPoly(dig)
 	rQP.INTT(acc0)
 	rQP.INTT(acc1)
 	d0, d1 := ev.modDownByP(acc0), ev.modDownByP(acc1)
@@ -156,11 +154,9 @@ func (ev *Evaluator) applyGaloisDecomposed(dc *DecomposedCiphertext, g uint64) (
 
 	c0 := rQ.GetPoly()
 	rQ.Automorphism(dc.ct.Value[0], g, c0)
-	out := &Ciphertext{Value: []*ring.Poly{rQ.NewPoly(), d1}}
-	rQ.Add(c0, d0, out.Value[0])
-	rQ.PutPoly(c0)
+	rQ.Add(c0, d0, c0)
 	rQ.PutPoly(d0)
-	return out, nil
+	return &Ciphertext{Value: []*ring.Poly{c0, d1}}, nil
 }
 
 // HoistedRotationSet is one item of a cross-request rotation batch: a

@@ -143,10 +143,11 @@ func (ev *Evaluator) RotateLeftHoisted(ct *Ciphertext, steps []int) ([]*Cipherte
 }
 
 // applyGaloisDecomposed runs one Galois element over the hoisted
-// digits: NTT-domain automorphism of each digit, inner product against
-// the level-projected switching key, shared INTT, divide by P, and the
+// digits: fused NTT-domain automorphism + inner product against the
+// level-projected switching key, shared INTT, divide by P, and the
 // table-driven coefficient-domain automorphism of c0. Safe for
-// concurrent calls on the same DecomposedCiphertext.
+// concurrent calls on the same DecomposedCiphertext. The output
+// polynomials are drawn from the level ring's scratch pool.
 func (ev *Evaluator) applyGaloisDecomposed(dc *DecomposedCiphertext, g uint64) (*Ciphertext, error) {
 	gk, ok := ev.galois[g]
 	if !ok {
@@ -177,14 +178,12 @@ func (ev *Evaluator) applyGaloisDecomposed(dc *DecomposedCiphertext, g uint64) (
 	acc1 := rQlP.GetPoly()
 	acc0.DeclareNTT()
 	acc1.DeclareNTT()
-	dig := rQlP.GetPoly()
-	dig.DeclareNTT()
 	bShoup, aShoup := gk.Key.shoup(ctx.RingQP)
 	for i, d := range dc.digits {
-		rQlP.AutomorphismNTT(d, g, dig)
-		rQlP.MulCoeffsShoupAdd2(dig, project(gk.Key.B[i]), projectShoup(bShoup[i]), acc0, project(gk.Key.A[i]), projectShoup(aShoup[i]), acc1)
+		rQlP.AutomorphismNTTMulShoupAdd2(d, g,
+			project(gk.Key.B[i]), projectShoup(bShoup[i]), acc0,
+			project(gk.Key.A[i]), projectShoup(aShoup[i]), acc1)
 	}
-	rQlP.PutPoly(dig)
 	rQlP.INTT(acc0)
 	rQlP.INTT(acc1)
 	d0, d1 := ev.modDownByP(acc0, level), ev.modDownByP(acc1, level)
@@ -193,13 +192,11 @@ func (ev *Evaluator) applyGaloisDecomposed(dc *DecomposedCiphertext, g uint64) (
 
 	c0 := rQl.GetPoly()
 	rQl.Automorphism(dc.ct.Value[0], g, c0)
-	out := &Ciphertext{
-		Value: []*ring.Poly{rQl.NewPoly(), d1},
+	rQl.Add(c0, d0, c0)
+	rQl.PutPoly(d0)
+	return &Ciphertext{
+		Value: []*ring.Poly{c0, d1},
 		Level: level,
 		Scale: dc.ct.Scale,
-	}
-	rQl.Add(c0, d0, out.Value[0])
-	rQl.PutPoly(c0)
-	rQl.PutPoly(d0)
-	return out, nil
+	}, nil
 }

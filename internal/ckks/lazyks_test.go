@@ -1,0 +1,165 @@
+package ckks
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRotateSumLazyMatchesSerialFold pins the CKKS lazy accumulator:
+// one shared decomposition + QP accumulation + one FinalizeModDown must
+// reproduce, byte for byte, the serial rotate-and-fold at full level and
+// at every lower level reachable by rescaling.
+func TestRotateSumLazyMatchesSerialFold(t *testing.T) {
+	steps := []int{0, 1, 2, 5, -1}
+	keySteps := []int{1, 2, 5, -1}
+	for _, tc := range []struct {
+		name   string
+		params Parameters
+	}{
+		{"PresetTest", PresetTest()},
+		{"PresetC", PresetC()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			kit := newTestKit(t, tc.params, keySteps...)
+			ct, err := kit.enc.EncryptFloats(rampFloats(kit.ctx.Params.Slots()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cts := []*Ciphertext{ct}
+			for {
+				cur := cts[len(cts)-1]
+				if cur.Level == 0 {
+					break
+				}
+				sq, err := kit.ev.MulRelin(cur, cur)
+				if err != nil {
+					t.Fatal(err)
+				}
+				low, err := kit.ev.Rescale(sq)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cts = append(cts, low)
+			}
+			for _, c := range cts {
+				var serial *Ciphertext
+				for _, s := range steps {
+					term, err := kit.ev.RotateLeft(c, s)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if serial == nil {
+						serial = term
+					} else {
+						serial, err = kit.ev.Add(serial, term)
+						if err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				lazy, err := kit.ev.RotateSumLazy(c, steps)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ctsIdentical(kit.ctx.RingAtLevel(c.Level), serial, lazy) {
+					t.Errorf("level %d: lazy rotation sum differs from serial fold", c.Level)
+				}
+			}
+		})
+	}
+}
+
+// TestQPAccumulatorMergeCKKS pins that worker-partitioned accumulators
+// merged out of order finalize to the serial bytes.
+func TestQPAccumulatorMergeCKKS(t *testing.T) {
+	steps := []int{0, 1, 2, 5}
+	kit := newTestKit(t, PresetTest(), 1, 2, 5)
+	ct, err := kit.enc.EncryptFloats(rampFloats(kit.ctx.Params.Slots()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := kit.ev.RotateSumLazy(ct, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dc, err := kit.ev.Decompose(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dc.Release()
+	qaA, err := kit.ev.NewQPAccumulator(ct.Level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qaB, err := kit.ev.NewQPAccumulator(ct.Level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range steps {
+		dst := qaA
+		if i%2 == 1 {
+			dst = qaB
+		}
+		if err := kit.ev.AccumulateQP(dst, dc, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := qaB.Merge(qaA); err != nil {
+		t.Fatal(err)
+	}
+	merged := kit.ev.FinalizeModDown(qaB)
+	if !ctsIdentical(kit.ctx.RingAtLevel(ct.Level), serial, merged) {
+		t.Error("merged worker accumulators differ from serial lazy sum")
+	}
+}
+
+// TestLazyErrorPathsCKKS pins the missing-key, level-mismatch, and
+// scale-mismatch error paths of the lazy APIs.
+func TestLazyErrorPathsCKKS(t *testing.T) {
+	kit := newTestKit(t, PresetTest(), 1)
+	ct, err := kit.enc.EncryptFloats(rampFloats(kit.ctx.Params.Slots()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kit.ev.RotateSumLazy(ct, []int{0, 3}); err == nil {
+		t.Fatal("expected missing-key error from RotateSumLazy")
+	} else if !strings.Contains(err.Error(), "missing Galois key") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if _, err := kit.ev.RotateSumLazy(ct, nil); err == nil {
+		t.Fatal("expected error for empty step list")
+	}
+
+	qa, err := kit.ev.NewQPAccumulator(ct.Level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qa.Release()
+	sq, err := kit.ev.MulRelin(ct, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := kit.ev.Rescale(sq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kit.ev.AddLazy(qa, low); err == nil {
+		t.Fatal("expected level-mismatch error from AddLazy")
+	} else if !strings.Contains(err.Error(), "level mismatch") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if err := kit.ev.AddLazy(qa, ct); err != nil {
+		t.Fatal(err)
+	}
+	scaled := &Ciphertext{Value: ct.Value, Level: ct.Level, Scale: ct.Scale * 2}
+	if err := kit.ev.AddLazy(qa, scaled); err == nil {
+		t.Fatal("expected scale-mismatch error from AddLazy")
+	} else if !strings.Contains(err.Error(), "scale mismatch") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+
+	if _, err := kit.ev.NewQPAccumulator(-1); err == nil {
+		t.Fatal("expected out-of-range error for negative level")
+	}
+}

@@ -257,16 +257,37 @@ func (c *Conv2D) ApplyBatch(ecd *bfv.Encoder, items []BatchInput, slots int, cac
 }
 
 // ApplyBatch evaluates y = W·x for several sessions' inputs at once
-// (BSGS schedule), returning per-item outputs and op counts in item
-// order. Results are byte-identical to calling Apply per item; cache
-// may be nil.
+// (BSGS schedule) at the layer's default hoisting level, returning
+// per-item outputs and op counts in item order. Results are
+// byte-identical to calling Apply per item; cache may be nil.
 func (f *FC) ApplyBatch(ecd *bfv.Encoder, items []BatchInput, slots int, cache *PlainCache) ([]*bfv.Ciphertext, []OpCounts, error) {
+	return f.ApplyBatchAtLevel(ecd, items, slots, cache, f.HoistLevel())
+}
+
+// ApplyBatchAtLevel is ApplyBatch at an explicit hoisting level (the
+// ladder of FC.ApplyAtLevel). Per-item outputs are byte-identical
+// across levels and to the serial ApplyAtLevel; the batch fuses the
+// per-item rotation schedules into flat worker-pool dispatches and
+// shares the prepared weight plaintexts through cache.
+func (f *FC) ApplyBatchAtLevel(ecd *bfv.Encoder, items []BatchInput, slots int, cache *PlainCache, level int) ([]*bfv.Ciphertext, []OpCounts, error) {
 	if f.Weights == nil {
 		return nil, nil, fmt.Errorf("core: ApplyBatch on a spec-only FC layer (no weights)")
 	}
 	if len(items) == 0 {
 		return nil, nil, nil
 	}
+	switch level {
+	case 1:
+		return f.applyBatchHoisted(ecd, items, slots, cache)
+	case 2, 3:
+		return f.applyBatchLazy(ecd, items, slots, cache, level)
+	default:
+		return nil, nil, fmt.Errorf("core: unknown hoisting level %d", level)
+	}
+}
+
+// applyBatchHoisted is the level-1 batch engine.
+func (f *FC) applyBatchHoisted(ecd *bfv.Encoder, items []BatchInput, slots int, cache *PlainCache) ([]*bfv.Ciphertext, []OpCounts, error) {
 
 	// Baby rotations of every item fuse into one hoisted dispatch.
 	babies := make([][]*bfv.Ciphertext, len(items))
@@ -374,6 +395,223 @@ func (f *FC) ApplyBatch(ecd *bfv.Encoder, items []BatchInput, slots int, cache *
 			return nil, nil, fmt.Errorf("core: FC weight matrix is all zero")
 		}
 		outs[item] = total
+	}
+	return outs, opsOut, nil
+}
+
+// applyBatchLazy is the level-2/3 batch engine: the lazy schedule of
+// FC.applyLazy with the batch's (item, baby) and (item, giant) work
+// flattened into single worker-pool dispatches, and per-item QP
+// accumulators partitioned per worker so rotations from different
+// requests overlap. The per-item term order matches applyLazy exactly,
+// and every intermediate is exact modular arithmetic, so per-item
+// outputs are byte-identical to the serial path at any level.
+func (f *FC) applyBatchLazy(ecd *bfv.Encoder, items []BatchInput, slots int, cache *PlainCache, level int) ([]*bfv.Ciphertext, []OpCounts, error) {
+	opsOut := make([]OpCounts, len(items))
+
+	// Per-item decomposition of the input (inherently per-request — it
+	// transforms c1), run serially: each already fans its digit NTTs.
+	dcs := make([]*bfv.DecomposedCiphertext, len(items))
+	defer func() {
+		for _, dc := range dcs {
+			if dc != nil {
+				dc.Release()
+			}
+		}
+	}()
+	babies := make([][]*bfv.NTTCiphertext, len(items))
+	defer func() {
+		for i, bs := range babies {
+			for _, b := range bs {
+				if b != nil && b.Value != nil {
+					items[i].Ev.RecycleNTT(b)
+				}
+			}
+		}
+	}()
+	for i, it := range items {
+		babies[i] = make([]*bfv.NTTCiphertext, f.B)
+		babies[i][0] = it.Ev.ToNTT(it.Ct)
+		if f.B > 1 {
+			dc, err := it.Ev.Decompose(it.Ct)
+			if err != nil {
+				return nil, nil, err
+			}
+			dcs[i] = dc
+			opsOut[i].Rotations += f.B - 1
+		}
+	}
+
+	// All (item, baby) rotations across the batch in one flat dispatch.
+	if f.B > 1 {
+		nJobs := len(items) * (f.B - 1)
+		babyErrs := make([]error, nJobs)
+		par.For(nJobs, func(k int) {
+			item, j := k/(f.B-1), k%(f.B-1)+1
+			ev := items[item].Ev
+			if level >= 3 {
+				babies[item][j], babyErrs[k] = ev.RotateRowsLazyNTT(dcs[item], j)
+				return
+			}
+			r, err := ev.RotateRowsDecomposed(dcs[item], j)
+			if err != nil {
+				babyErrs[k] = err
+				return
+			}
+			babies[item][j] = ev.ToNTT(r)
+			ev.RecycleCt(r)
+		})
+		for _, e := range babyErrs {
+			if e != nil {
+				return nil, nil, e
+			}
+		}
+	}
+
+	// Per-(item, giant) inner sums, NTT-accumulated, weight plaintexts
+	// shared through the cache (same keys as every other level).
+	inners := make([][]*bfv.Ciphertext, len(items))
+	for i := range inners {
+		inners[i] = make([]*bfv.Ciphertext, f.G)
+	}
+	defer func() {
+		for i, ins := range inners {
+			for _, in := range ins {
+				if in != nil && in.Value != nil {
+					items[i].Ev.RecycleCt(in)
+				}
+			}
+		}
+	}()
+	nPairs := len(items) * f.G
+	pairOps := make([]OpCounts, nPairs)
+	pairErrs := make([]error, nPairs)
+	par.For(nPairs, func(p int) {
+		item, i := p/f.G, p%f.G
+		ev := items[item].Ev
+		var acc *bfv.NTTCiphertext
+		for j := 0; j < f.B; j++ {
+			d := i*f.B + j
+			pm, err := cache.getOrBuild(f, d, func() (*bfv.PlaintextMul, error) {
+				diag := f.diag(d, slots)
+				if diag == nil {
+					return nil, nil
+				}
+				// Pre-rotate the diagonal right by i·B so the outer
+				// giant rotation restores alignment (as in Apply).
+				pt, err := ecd.EncodeInts(f.rotatePlain(diag, -i*f.B))
+				if err != nil {
+					return nil, err
+				}
+				return ev.PrepareMul(pt), nil
+			})
+			if err != nil {
+				pairErrs[p] = err
+				return
+			}
+			if pm == nil {
+				continue
+			}
+			if acc == nil {
+				acc = ev.NewNTTAccumulator()
+			} else {
+				pairOps[p].Adds++
+			}
+			ev.MulPlainAcc(acc, babies[item][j], pm)
+			pairOps[p].PlainMults++
+		}
+		if acc != nil {
+			inners[item][i] = ev.FromNTT(acc)
+		}
+	})
+
+	// Giant fold: per-(item, worker) QP accumulators, merged per item in
+	// worker order — bit-identical to a serial accumulator, any split.
+	nw := par.MaxWorkers(nPairs)
+	qas := make([][]*bfv.QPAccumulator, len(items))
+	for i := range qas {
+		qas[i] = make([]*bfv.QPAccumulator, nw)
+	}
+	wErrs := make([]error, nw)
+	par.ForWorker(nPairs, func(w, p int) {
+		item, i := p/f.G, p%f.G
+		if wErrs[w] != nil || pairErrs[p] != nil || inners[item][i] == nil {
+			return
+		}
+		ev := items[item].Ev
+		if qas[item][w] == nil {
+			qas[item][w] = ev.NewQPAccumulator()
+		}
+		if i == 0 {
+			wErrs[w] = ev.AddLazy(qas[item][w], inners[item][i])
+			return
+		}
+		dci, err := ev.Decompose(inners[item][i])
+		if err != nil {
+			wErrs[w] = err
+			return
+		}
+		wErrs[w] = ev.AccumulateQP(qas[item][w], dci, i*f.B)
+		dci.Release()
+	})
+
+	var firstErr error
+	for _, e := range pairErrs {
+		if e != nil {
+			firstErr = e
+			break
+		}
+	}
+	if firstErr == nil {
+		for _, e := range wErrs {
+			if e != nil {
+				firstErr = e
+				break
+			}
+		}
+	}
+	outs := make([]*bfv.Ciphertext, len(items))
+	for item := range items {
+		var qa *bfv.QPAccumulator
+		for w := 0; w < nw; w++ {
+			if qas[item][w] == nil {
+				continue
+			}
+			if firstErr != nil {
+				qas[item][w].Release()
+				continue
+			}
+			if qa == nil {
+				qa = qas[item][w]
+			} else {
+				qa.Merge(qas[item][w])
+			}
+		}
+		if firstErr != nil {
+			continue
+		}
+		contributed := 0
+		for i := 0; i < f.G; i++ {
+			opsOut[item].Add(pairOps[item*f.G+i])
+			if inners[item][i] == nil {
+				continue
+			}
+			contributed++
+			if i > 0 {
+				opsOut[item].Rotations++
+			}
+			if contributed > 1 {
+				opsOut[item].Adds++
+			}
+		}
+		if qa == nil {
+			firstErr = fmt.Errorf("core: FC weight matrix is all zero")
+			continue
+		}
+		outs[item] = items[item].Ev.FinalizeModDown(qa)
+	}
+	if firstErr != nil {
+		return nil, nil, firstErr
 	}
 	return outs, opsOut, nil
 }

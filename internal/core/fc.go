@@ -134,14 +134,58 @@ func (f *FC) rotatePlain(v []int64, s int) []int64 {
 	return out
 }
 
-// Apply evaluates y = W·x over the encrypted replicated packing using
-// BSGS: B-1 baby rotations of the ciphertext, G-1 giant rotations of
-// partial sums, P plaintext multiplies.
-func (f *FC) Apply(ev *bfv.Evaluator, ecd *bfv.Encoder, ct *bfv.Ciphertext, slots int) (*bfv.Ciphertext, OpCounts, error) {
-	var ops OpCounts
-	if f.Weights == nil {
-		return nil, ops, fmt.Errorf("core: Apply on a spec-only FC layer (no weights)")
+// HoistLevel selects the default hoisting level for this layer's
+// geometry: level 3 (lazy NTT-domain babies + QP-lazy giants) whenever
+// the layer rotates at all, level 1 otherwise — a 1×1 padded layer has
+// no rotations to hoist, so the extra machinery would only add
+// transform passes.
+func (f *FC) HoistLevel() int {
+	if f.P == 1 {
+		return 1
 	}
+	return 3
+}
+
+// Apply evaluates y = W·x over the encrypted replicated packing using
+// BSGS at the layer's default hoisting level (HoistLevel). All levels
+// produce byte-identical ciphertexts; they differ only in how much of
+// the key-switching work is shared (see Plan).
+func (f *FC) Apply(ev *bfv.Evaluator, ecd *bfv.Encoder, ct *bfv.Ciphertext, slots int) (*bfv.Ciphertext, OpCounts, error) {
+	return f.ApplyAtLevel(ev, ecd, ct, slots, f.HoistLevel())
+}
+
+// ApplyAtLevel evaluates y = W·x at an explicit hoisting level:
+//
+//	1 — Halevi–Shoup: baby rotations share one decomposition, each
+//	    giant step pays a full key switch of its partial sum.
+//	2 — QP-lazy giants: giant-step key-switch products accumulate in
+//	    the extended basis QP, so the whole giant sum pays one shared
+//	    INTT + mod-down instead of G−1.
+//	3 — lazy babies too: baby rotations are emitted directly in the
+//	    NTT domain (row-wise mod-down), skipping the materialize →
+//	    re-NTT round trip before the plaintext-multiply accumulation.
+//
+// Every level returns byte-identical ciphertexts and OpCounts; the
+// levels differ only in physical transform and mod-down counts (Plan).
+func (f *FC) ApplyAtLevel(ev *bfv.Evaluator, ecd *bfv.Encoder, ct *bfv.Ciphertext, slots, level int) (*bfv.Ciphertext, OpCounts, error) {
+	if f.Weights == nil {
+		return nil, OpCounts{}, fmt.Errorf("core: Apply on a spec-only FC layer (no weights)")
+	}
+	switch level {
+	case 1:
+		return f.applyHoisted(ev, ecd, ct, slots)
+	case 2, 3:
+		return f.applyLazy(ev, ecd, ct, slots, level)
+	default:
+		return nil, OpCounts{}, fmt.Errorf("core: unknown hoisting level %d", level)
+	}
+}
+
+// applyHoisted is the level-1 engine: B-1 baby rotations of the
+// ciphertext sharing one hoisted decomposition, G-1 full giant
+// rotations of partial sums, P plaintext multiplies.
+func (f *FC) applyHoisted(ev *bfv.Evaluator, ecd *bfv.Encoder, ct *bfv.Ciphertext, slots int) (*bfv.Ciphertext, OpCounts, error) {
+	var ops OpCounts
 
 	// Baby rotations all act on the same input ciphertext, so they
 	// share one hoisted decomposition: B-1 rotations for the price of
@@ -199,8 +243,10 @@ func (f *FC) Apply(ev *bfv.Evaluator, ecd *bfv.Encoder, ct *bfv.Ciphertext, slot
 		if i > 0 {
 			// Each giant step rotates its own partial sum — distinct
 			// operands, one Galois element apiece — so there is no
-			// shared decomposition to hoist here (RotateRows itself is
-			// the k=1 case of the hoisted path).
+			// decomposition to share at this level. What CAN be shared
+			// is the tail of each key switch: levels 2/3 (applyLazy)
+			// keep the products in the extended basis QP and pay one
+			// mod-down for the whole giant sum.
 			r, err := ev.RotateRows(inner, i*f.B)
 			if err != nil {
 				innerErrs[i] = err
@@ -232,6 +278,175 @@ func (f *FC) Apply(ev *bfv.Evaluator, ecd *bfv.Encoder, ct *bfv.Ciphertext, slot
 		return nil, ops, fmt.Errorf("core: FC weight matrix is all zero")
 	}
 	return total, ops, nil
+}
+
+// applyLazy is the level-2/3 engine. Babies share one decomposition of
+// the input (level 3 additionally skips their materialization: each
+// baby lands directly in the NTT domain the inner products consume).
+// Per giant step the inner sum accumulates in the NTT domain — one
+// inverse NTT per giant instead of one per term — and the giant-step
+// key-switch products accumulate in the extended basis QP, so the
+// whole matrix-vector product pays a single full mod-down at the end.
+// Every intermediate is exact modular arithmetic, so the output is
+// byte-identical to applyHoisted's, term order and all.
+func (f *FC) applyLazy(ev *bfv.Evaluator, ecd *bfv.Encoder, ct *bfv.Ciphertext, slots, level int) (*bfv.Ciphertext, OpCounts, error) {
+	var ops OpCounts
+
+	babies := make([]*bfv.NTTCiphertext, f.B)
+	babies[0] = ev.ToNTT(ct)
+	defer func() {
+		for _, b := range babies {
+			if b != nil && b.Value != nil {
+				ev.RecycleNTT(b)
+			}
+		}
+	}()
+	if f.B > 1 {
+		dc, err := ev.Decompose(ct)
+		if err != nil {
+			return nil, ops, err
+		}
+		babyErrs := make([]error, f.B)
+		par.For(f.B-1, func(k int) {
+			j := k + 1
+			if level >= 3 {
+				babies[j], babyErrs[j] = ev.RotateRowsLazyNTT(dc, j)
+				return
+			}
+			r, err := ev.RotateRowsDecomposed(dc, j)
+			if err != nil {
+				babyErrs[j] = err
+				return
+			}
+			babies[j] = ev.ToNTT(r)
+			ev.RecycleCt(r)
+		})
+		dc.Release()
+		for _, e := range babyErrs {
+			if e != nil {
+				return nil, ops, e
+			}
+		}
+		ops.Rotations += f.B - 1
+	}
+
+	// Per-giant inner sums, NTT-accumulated: the j order matches
+	// applyHoisted, and the single inverse NTT of the sum equals the
+	// per-term inverse NTTs folded with Add (the transform is linear).
+	inners := make([]*bfv.Ciphertext, f.G)
+	innerOps := make([]OpCounts, f.G)
+	innerErrs := make([]error, f.G)
+	par.For(f.G, func(i int) {
+		var acc *bfv.NTTCiphertext
+		for j := 0; j < f.B; j++ {
+			d := i*f.B + j
+			diag := f.diag(d, slots)
+			if diag == nil {
+				continue
+			}
+			pt, err := ecd.EncodeInts(f.rotatePlain(diag, -i*f.B))
+			if err != nil {
+				innerErrs[i] = err
+				return
+			}
+			if acc == nil {
+				acc = ev.NewNTTAccumulator()
+			} else {
+				innerOps[i].Adds++
+			}
+			ev.MulPlainAcc(acc, babies[j], ev.PrepareMul(pt))
+			innerOps[i].PlainMults++
+		}
+		if acc != nil {
+			inners[i] = ev.FromNTT(acc)
+		}
+	})
+	defer func() {
+		for _, in := range inners {
+			if in != nil && in.Value != nil {
+				ev.RecycleCt(in)
+			}
+		}
+	}()
+
+	// Giant fold: each worker feeds its own QP accumulator; the partials
+	// merge to the same bytes as a serial accumulator because every
+	// field is a plain modular sum.
+	nw := par.MaxWorkers(f.G)
+	qas := make([]*bfv.QPAccumulator, nw)
+	wErrs := make([]error, nw)
+	par.ForWorker(f.G, func(w, i int) {
+		if wErrs[w] != nil || innerErrs[i] != nil || inners[i] == nil {
+			return
+		}
+		if qas[w] == nil {
+			qas[w] = ev.NewQPAccumulator()
+		}
+		if i == 0 {
+			wErrs[w] = ev.AddLazy(qas[w], inners[i])
+			return
+		}
+		dci, err := ev.Decompose(inners[i])
+		if err != nil {
+			wErrs[w] = err
+			return
+		}
+		wErrs[w] = ev.AccumulateQP(qas[w], dci, i*f.B)
+		dci.Release()
+	})
+
+	var firstErr error
+	for i := range innerErrs {
+		if innerErrs[i] != nil {
+			firstErr = innerErrs[i]
+			break
+		}
+	}
+	if firstErr == nil {
+		for w := range wErrs {
+			if wErrs[w] != nil {
+				firstErr = wErrs[w]
+				break
+			}
+		}
+	}
+	var qa *bfv.QPAccumulator
+	for w := 0; w < nw; w++ {
+		if qas[w] == nil {
+			continue
+		}
+		if firstErr != nil {
+			qas[w].Release()
+			continue
+		}
+		if qa == nil {
+			qa = qas[w]
+		} else {
+			qa.Merge(qas[w])
+		}
+	}
+	if firstErr != nil {
+		return nil, ops, firstErr
+	}
+
+	contributed := 0
+	for i := 0; i < f.G; i++ {
+		ops.Add(innerOps[i])
+		if inners[i] == nil {
+			continue
+		}
+		contributed++
+		if i > 0 {
+			ops.Rotations++
+		}
+		if contributed > 1 {
+			ops.Adds++
+		}
+	}
+	if qa == nil {
+		return nil, ops, fmt.Errorf("core: FC weight matrix is all zero")
+	}
+	return ev.FinalizeModDown(qa), ops, nil
 }
 
 // ApplyNaive evaluates the same product with the textbook diagonal
@@ -344,8 +559,15 @@ func PlainFC(weights [][]int64, x []int64) []int64 {
 	return out
 }
 
-// BSGSRotations returns the rotation count of the BSGS method for a
-// padded dimension p (used by the cost model).
+// BSGSRotations returns the number of Galois applications (rotation
+// key-switch products) one BSGS apply performs for padded dimension p:
+// (B−1) baby steps plus (G−1) giant steps. What each application
+// *costs* depends on the hoisting level — under level 1 every one is a
+// full key switch (its own inverse NTT + mod-down) after a shared baby
+// decomposition; under level 3 all B−1+G−1 of them are QP-domain lazy
+// products and the whole apply pays a single full mod-down. See
+// (*FC).Plan for the itemized physical work. The cost model prices
+// rotations uniformly, so this count is what it consumes.
 func BSGSRotations(p int) int {
 	b := 1
 	for b*b < p {
@@ -354,6 +576,75 @@ func BSGSRotations(p int) int {
 	return (b - 1) + (p/b - 1)
 }
 
-// DiagonalRotations returns the rotation count of the naive diagonal
-// method, for the ablation comparison.
+// DiagonalRotations returns the Galois-application count of the naive
+// diagonal method: p−1 rotations of one ciphertext, all sharing a
+// single hoisted decomposition in ApplyNaive but each still paying a
+// full key switch (inverse NTT + mod-down). Kept for the ablation
+// comparison against BSGSRotations.
 func DiagonalRotations(p int) int { return p - 1 }
+
+// RotationPlan itemizes the physical key-switching work of one FC
+// apply at a given hoisting level, for the bench output and for
+// reasoning about where the transform passes go. Counts assume every
+// diagonal is non-zero (the worst case; zero diagonals only shrink
+// them).
+type RotationPlan struct {
+	Level int
+	// BabySteps and GiantSteps are the Galois applications
+	// (BSGSRotations split into its two phases).
+	BabySteps, GiantSteps int
+	// Decompositions counts digit decompositions (per-residue embed +
+	// forward NTTs over QP): one shared by all babies, plus one per
+	// rotated giant partial sum — giant inputs differ, so their
+	// decompositions cannot be shared at any level without breaking
+	// byte-exactness.
+	Decompositions int
+	// FullKeySwitches counts Galois applications that pay their own
+	// full-poly inverse NTT + mod-down.
+	FullKeySwitches int
+	// LazyProducts counts Galois applications kept in the extended
+	// basis QP, sharing the batched mod-down.
+	LazyProducts int
+	// ModDowns counts full-poly divide-by-P passes; NTTModDowns counts
+	// the row-wise NTT-domain variant lazy babies use (one single-row
+	// inverse NTT + one forward NTT of the rounding correction per data
+	// row, instead of a full-poly round trip).
+	ModDowns, NTTModDowns int
+}
+
+// Plan reports the physical work of ApplyAtLevel at the given level.
+func (f *FC) Plan(level int) RotationPlan {
+	pl := RotationPlan{
+		Level:      level,
+		BabySteps:  f.B - 1,
+		GiantSteps: f.G - 1,
+	}
+	pl.Decompositions = 1 + (f.G - 1)
+	switch level {
+	case 1:
+		pl.FullKeySwitches = (f.B - 1) + (f.G - 1)
+		pl.ModDowns = pl.FullKeySwitches
+	case 2:
+		pl.FullKeySwitches = f.B - 1
+		pl.LazyProducts = f.G - 1
+		pl.ModDowns = (f.B - 1) + 1
+	default: // level 3
+		pl.LazyProducts = (f.B - 1) + (f.G - 1)
+		pl.ModDowns = 1
+		pl.NTTModDowns = f.B - 1
+	}
+	if f.B == 1 {
+		pl.Decompositions = f.G - 1 // no baby decomposition to share
+		if f.G == 1 {
+			pl.Decompositions = 0
+			pl.ModDowns = 0
+		}
+	}
+	return pl
+}
+
+// String renders the plan the way the matmul bench prints it.
+func (pl RotationPlan) String() string {
+	return fmt.Sprintf("L%d: %d baby + %d giant steps, %d decompositions, %d full key-switches, %d lazy products, %d mod-downs (+%d NTT-domain)",
+		pl.Level, pl.BabySteps, pl.GiantSteps, pl.Decompositions, pl.FullKeySwitches, pl.LazyProducts, pl.ModDowns, pl.NTTModDowns)
+}

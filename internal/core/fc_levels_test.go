@@ -1,0 +1,331 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"choco/internal/bfv"
+	"choco/internal/par"
+	"choco/internal/ring"
+	"choco/internal/sampling"
+)
+
+// newFCLevelKit builds an independent session over an explicit preset
+// (the cross-level tests sweep presets; the shared newKit is pinned to
+// PresetTest).
+func newFCLevelKit(t testing.TB, params bfv.Parameters, seed byte, rotSteps []int) *kit {
+	t.Helper()
+	ctx, err := bfv.NewContext(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kg := bfv.NewKeyGenerator(ctx, [32]byte{80 + seed})
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	galois := kg.GenRotationKeys(sk, rotSteps...)
+	return &kit{
+		ctx: ctx,
+		sk:  sk,
+		enc: bfv.NewEncryptor(ctx, pk, [32]byte{90 + seed}),
+		dec: bfv.NewDecryptor(ctx, sk),
+		ecd: bfv.NewEncoder(ctx),
+		ev:  bfv.NewEvaluator(ctx, nil, galois),
+	}
+}
+
+func synthFC(t testing.TB, src *sampling.Source, in, out, rowSize int) *FC {
+	t.Helper()
+	w := make([][]int64, out)
+	for r := range w {
+		w[r] = make([]int64, in)
+		for c := range w[r] {
+			w[r][c] = int64(src.Intn(11)) - 5
+		}
+	}
+	fc, err := NewFC(in, out, w, rowSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fc
+}
+
+// TestFCApplyLevelsByteIdentical is the tentpole property test: on
+// every BFV preset, the level-2 (QP-lazy giants) and level-3 (lazy
+// babies too) engines produce ciphertexts byte-identical to the
+// level-1 Halevi–Shoup path, with identical logical op counts — and
+// the result decodes to the plaintext matrix-vector product.
+func TestFCApplyLevelsByteIdentical(t *testing.T) {
+	src := sampling.NewSource([32]byte{23}, "fc-levels")
+	for _, tc := range []struct {
+		name   string
+		params bfv.Parameters
+	}{
+		{"PresetTest", bfv.PresetTest()},
+		{"PresetA", bfv.PresetA()},
+		{"PresetB", bfv.PresetB()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ctxProbe, err := bfv.NewContext(tc.params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rowSize := ctxProbe.Params.N() / 2
+			slots := ctxProbe.Params.Slots()
+			// Out < In leaves whole diagonals zero, exercising the
+			// skipped-term paths at every level.
+			fc := synthFC(t, src, 20, 13, rowSize)
+			k := newFCLevelKit(t, tc.params, 1, fc.RotationSteps())
+
+			x := make([]int64, fc.In)
+			for i := range x {
+				x[i] = int64(src.Intn(15)) - 7
+			}
+			packed, err := fc.PackInput(x, slots)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ct, err := k.enc.EncryptInts(packed)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ref, refOps, err := fc.ApplyAtLevel(k.ev, k.ecd, ct, slots, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, level := range []int{2, 3} {
+				got, ops, err := fc.ApplyAtLevel(k.ev, k.ecd, ct, slots, level)
+				if err != nil {
+					t.Fatalf("level %d: %v", level, err)
+				}
+				if !ctEqual(k.ctx.RingQ, ref, got) {
+					t.Errorf("level %d output differs from level 1", level)
+				}
+				if ops != refOps {
+					t.Errorf("level %d op counts %+v, level 1 %+v", level, ops, refOps)
+				}
+			}
+			if def, _, err := fc.Apply(k.ev, k.ecd, ct, slots); err != nil {
+				t.Fatal(err)
+			} else if !ctEqual(k.ctx.RingQ, ref, def) {
+				t.Error("default Apply differs from level 1")
+			}
+
+			want := PlainFC(fc.Weights, x)
+			decoded := fc.ExtractOutput(k.ecd.DecodeInts(k.dec.Decrypt(ref)))
+			for i := range want {
+				if decoded[i] != want[i] {
+					t.Fatalf("output %d: decoded %d, plain reference %d", i, decoded[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestFCApplyLevelsParallelDeterminism forces the serial (1 worker) and
+// wide (8 workers, ring fan-out thresholds at 1) schedules through
+// every hoisting level and requires bit-identical outputs: the lazy
+// accumulators merge per-worker partials with plain modular sums, so
+// the partition must not leak into the bytes.
+func TestFCApplyLevelsParallelDeterminism(t *testing.T) {
+	src := sampling.NewSource([32]byte{24}, "fc-levels-par")
+	ctxProbe, err := bfv.NewContext(bfv.PresetTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := ctxProbe.Params.Slots()
+	fc := synthFC(t, src, 24, 24, ctxProbe.Params.N()/2)
+	k := newFCLevelKit(t, bfv.PresetTest(), 2, fc.RotationSteps())
+	x := make([]int64, fc.In)
+	for i := range x {
+		x[i] = int64(src.Intn(9)) - 4
+	}
+	packed, err := fc.PackInput(x, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := k.enc.EncryptInts(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	oldP := par.Parallelism()
+	t.Cleanup(func() { par.SetParallelism(oldP) })
+	t.Cleanup(func() { ring.SetParallelThresholds(8<<10, 16<<10, 32<<10) })
+
+	for _, level := range []int{1, 2, 3} {
+		par.SetParallelism(1)
+		ring.SetParallelThresholds(8<<10, 16<<10, 32<<10)
+		serial, serialOps, err := fc.ApplyAtLevel(k.ev, k.ecd, ct, slots, level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par.SetParallelism(8)
+		ring.SetParallelThresholds(1, 1, 1)
+		wide, wideOps, err := fc.ApplyAtLevel(k.ev, k.ecd, ct, slots, level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ctEqual(k.ctx.RingQ, serial, wide) {
+			t.Errorf("level %d: 8-worker output is not byte-identical to serial", level)
+		}
+		if serialOps != wideOps {
+			t.Errorf("level %d: op counts diverged: serial %+v wide %+v", level, serialOps, wideOps)
+		}
+	}
+}
+
+// TestFCApplyBatchLevelsByteIdentical pins the batch engines: at every
+// hoisting level, ApplyBatchAtLevel over multiple sessions reproduces
+// the per-session serial ApplyAtLevel bytes and op counts, sharing one
+// plaintext cache across levels (the cache keys are level-independent).
+func TestFCApplyBatchLevelsByteIdentical(t *testing.T) {
+	src := sampling.NewSource([32]byte{25}, "fc-levels-batch")
+	ctxProbe, err := bfv.NewContext(bfv.PresetTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := ctxProbe.Params.Slots()
+	fc := synthFC(t, src, 16, 12, ctxProbe.Params.N()/2)
+
+	const sessions = 3
+	kits := make([]*kit, sessions)
+	items := make([]BatchInput, sessions)
+	for i := 0; i < sessions; i++ {
+		kits[i] = newFCLevelKit(t, bfv.PresetTest(), byte(10+i), fc.RotationSteps())
+		x := make([]int64, fc.In)
+		for j := range x {
+			x[j] = int64(src.Intn(15)) - 7
+		}
+		packed, err := fc.PackInput(x, slots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, err := kits[i].enc.EncryptInts(packed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items[i] = BatchInput{Ev: kits[i].ev, Ct: ct}
+	}
+
+	cache := NewPlainCache(0)
+	for _, level := range []int{1, 2, 3} {
+		serialOuts := make([]*bfv.Ciphertext, sessions)
+		serialOps := make([]OpCounts, sessions)
+		for i := 0; i < sessions; i++ {
+			serialOuts[i], serialOps[i], err = fc.ApplyAtLevel(kits[i].ev, kits[i].ecd, items[i].Ct, slots, level)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		outs, ops, err := fc.ApplyBatchAtLevel(kits[0].ecd, items, slots, cache, level)
+		if err != nil {
+			t.Fatalf("level %d: %v", level, err)
+		}
+		for i := 0; i < sessions; i++ {
+			if !ctEqual(kits[i].ctx.RingQ, outs[i], serialOuts[i]) {
+				t.Errorf("level %d: session %d batch output differs from serial", level, i)
+			}
+			if ops[i] != serialOps[i] {
+				t.Errorf("level %d: session %d op counts %+v, serial %+v", level, i, ops[i], serialOps[i])
+			}
+		}
+	}
+	if cache.Stats().Hits == 0 {
+		t.Error("levels did not share the plaintext cache")
+	}
+}
+
+// TestFCApplyMissingRotationKey pins the error path at every level: a
+// session whose evaluator lacks a giant-step key must fail with the
+// missing-Galois-key error, serial and batched.
+func TestFCApplyMissingRotationKey(t *testing.T) {
+	src := sampling.NewSource([32]byte{26}, "fc-levels-missing")
+	ctxProbe, err := bfv.NewContext(bfv.PresetTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := ctxProbe.Params.Slots()
+	fc := synthFC(t, src, 16, 16, ctxProbe.Params.N()/2)
+	// Only baby-step keys: every giant rotation is missing.
+	babySteps := make([]int, 0, fc.B-1)
+	for j := 1; j < fc.B; j++ {
+		babySteps = append(babySteps, j)
+	}
+	k := newFCLevelKit(t, bfv.PresetTest(), 3, babySteps)
+	x := make([]int64, fc.In)
+	for i := range x {
+		x[i] = 1
+	}
+	packed, err := fc.PackInput(x, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := k.enc.EncryptInts(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, level := range []int{1, 2, 3} {
+		if _, _, err := fc.ApplyAtLevel(k.ev, k.ecd, ct, slots, level); err == nil {
+			t.Errorf("level %d: expected missing-key error", level)
+		} else if !strings.Contains(err.Error(), "missing Galois key") {
+			t.Errorf("level %d: unexpected error: %v", level, err)
+		}
+		items := []BatchInput{{Ev: k.ev, Ct: ct}}
+		if _, _, err := fc.ApplyBatchAtLevel(k.ecd, items, slots, nil, level); err == nil {
+			t.Errorf("level %d: expected missing-key error from batch", level)
+		} else if !strings.Contains(err.Error(), "missing Galois key") {
+			t.Errorf("level %d: unexpected batch error: %v", level, err)
+		}
+	}
+	if _, _, err := fc.ApplyAtLevel(k.ev, k.ecd, ct, slots, 7); err == nil {
+		t.Error("expected unknown-level error")
+	}
+}
+
+// TestFCRotationPlan pins the physical work ladder the bench prints:
+// level by level, full key switches convert into lazy products and the
+// mod-down count collapses to one.
+func TestFCRotationPlan(t *testing.T) {
+	fc, err := NewFCSpecOnly(64, 64, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.B != 8 || fc.G != 8 {
+		t.Fatalf("unexpected geometry B=%d G=%d", fc.B, fc.G)
+	}
+	if lvl := fc.HoistLevel(); lvl != 3 {
+		t.Fatalf("HoistLevel = %d, want 3", lvl)
+	}
+	one, err := NewFCSpecOnly(1, 1, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lvl := one.HoistLevel(); lvl != 1 {
+		t.Fatalf("1x1 HoistLevel = %d, want 1", lvl)
+	}
+
+	p1 := fc.Plan(1)
+	if p1.FullKeySwitches != 14 || p1.LazyProducts != 0 || p1.ModDowns != 14 || p1.Decompositions != 8 {
+		t.Errorf("level-1 plan %+v", p1)
+	}
+	p2 := fc.Plan(2)
+	if p2.FullKeySwitches != 7 || p2.LazyProducts != 7 || p2.ModDowns != 8 {
+		t.Errorf("level-2 plan %+v", p2)
+	}
+	p3 := fc.Plan(3)
+	if p3.FullKeySwitches != 0 || p3.LazyProducts != 14 || p3.ModDowns != 1 || p3.NTTModDowns != 7 {
+		t.Errorf("level-3 plan %+v", p3)
+	}
+	for _, p := range []RotationPlan{p1, p2, p3} {
+		if p.BabySteps != 7 || p.GiantSteps != 7 {
+			t.Errorf("plan step counts %+v", p)
+		}
+		if p.String() == "" {
+			t.Error("empty plan rendering")
+		}
+	}
+	if BSGSRotations(64) != 14 || DiagonalRotations(64) != 63 {
+		t.Error("rotation-count helpers changed")
+	}
+}

@@ -190,6 +190,19 @@ func trackDomains(pass *Pass, body *ast.BlockStmt) {
 						"AutomorphismNTT requires an NTT-domain input, but %s is in the coefficient domain here", exprName(arg(0)))
 				}
 				set(arg(2), domNTT)
+			case "AutomorphismNTTMulShoupAdd2":
+				// (a, g, b0, b0Shoup, out0, b1, b1Shoup, out1): the
+				// gathered input and both key halves are NTT-domain only.
+				reported := map[string]bool{}
+				for _, i := range []int{0, 2, 5} {
+					if nm := exprName(arg(i)); get(arg(i)) == domCoeff && !reported[nm] {
+						reported[nm] = true
+						pass.Reportf(n.Pos(),
+							"AutomorphismNTTMulShoupAdd2 requires NTT-domain operands, but %s is in the coefficient domain here", nm)
+					}
+				}
+				set(arg(4), domNTT)
+				set(arg(7), domNTT)
 			case "PolyToBigintCentered", "InfNormBig":
 				if get(arg(0)) == domNTT {
 					pass.Reportf(n.Pos(),

@@ -699,6 +699,41 @@ func (r *Ring) MulCoeffsShoupAdd2(a, b0 *Poly, b0Shoup [][]uint64, out0 *Poly, b
 	})
 }
 
+// AutomorphismNTTMulShoupAdd2 fuses the NTT-domain automorphism of a
+// into the dual accumulation: out0 += φ_g(a) ⊙ b0, out1 += φ_g(a) ⊙ b1,
+// reading a through the cached slot permutation instead of
+// materializing φ_g(a) first. This is the triple-hoisted key-switch
+// inner product — the per-element automorphism costs zero extra memory
+// passes and no scratch polynomial. Bit-identical to AutomorphismNTT
+// followed by MulCoeffsShoupAdd2: both compute
+// out[j] += a[perm[j]]·b[j] in the same exact modular arithmetic. g
+// must be odd; a must not alias out0 or out1.
+func (r *Ring) AutomorphismNTTMulShoupAdd2(a *Poly, g uint64, b0 *Poly, b0Shoup [][]uint64, out0 *Poly, b1 *Poly, b1Shoup [][]uint64, out1 *Poly) {
+	if !a.IsNTT || !b0.IsNTT || !b1.IsNTT || !out0.IsNTT || !out1.IsNTT {
+		panic("ring: AutomorphismNTTMulShoupAdd2 requires NTT-domain operands")
+	}
+	if debugEnabled {
+		r.debugCheck("AutomorphismNTTMulShoupAdd2", a, b0, b1, out0, out1)
+	}
+	tbl := r.automorphismTable(g)
+	perm := tbl.ntt
+	r.parRows(len(out0.Coeffs), parMinCoeffwise, func(i int) {
+		m := r.Moduli[i]
+		ro0 := out0.Coeffs[i]
+		ro1 := out1.Coeffs[i][:len(ro0)]
+		ra := a.Coeffs[i]
+		rb0 := b0.Coeffs[i][:len(ro0)]
+		rs0 := b0Shoup[i][:len(ro0)]
+		rb1 := b1.Coeffs[i][:len(ro0)]
+		rs1 := b1Shoup[i][:len(ro0)]
+		for j := range ro0 {
+			x := ra[perm[j]]
+			ro0[j] = m.Add(ro0[j], m.MulShoup(x, rb0[j], rs0[j]))
+			ro1[j] = m.Add(ro1[j], m.MulShoup(x, rb1[j], rs1[j]))
+		}
+	})
+}
+
 // MulScalar sets out = a * c for a scalar c (already reduced per
 // modulus by the caller or arbitrary; it is reduced here).
 func (r *Ring) MulScalar(a *Poly, c uint64, out *Poly) {

@@ -461,3 +461,40 @@ func TestCoeffBigintCenteredMatchesPolyComposition(t *testing.T) {
 		}
 	}
 }
+
+func TestAutomorphismNTTMulShoupAdd2MatchesTwoStep(t *testing.T) {
+	// The fused gather-and-accumulate must be byte-identical to the
+	// unfused sequence: AutomorphismNTT into scratch, then
+	// MulCoeffsShoupAdd2 — for several Galois elements and non-zero
+	// initial accumulator contents.
+	r := testRing(t, 8, []int{30, 31, 32})
+	a := randomPoly(r, 31)
+	b0 := randomPoly(r, 32)
+	b1 := randomPoly(r, 33)
+	r.NTT(a)
+	r.NTT(b0)
+	r.NTT(b1)
+	b0Shoup := r.ShoupPolyPrecomp(b0)
+	b1Shoup := r.ShoupPolyPrecomp(b1)
+
+	for _, g := range []uint64{3, r.GaloisElementForRotation(5), r.GaloisElementRowSwap()} {
+		fused0 := randomPoly(r, 34)
+		fused1 := randomPoly(r, 35)
+		seq0 := r.CopyPoly(fused0)
+		seq1 := r.CopyPoly(fused1)
+		for _, p := range []*Poly{fused0, fused1, seq0, seq1} {
+			p.DeclareNTT()
+		}
+
+		r.AutomorphismNTTMulShoupAdd2(a, g, b0, b0Shoup, fused0, b1, b1Shoup, fused1)
+
+		dig := r.NewPoly()
+		dig.DeclareNTT()
+		r.AutomorphismNTT(a, g, dig)
+		r.MulCoeffsShoupAdd2(dig, b0, b0Shoup, seq0, b1, b1Shoup, seq1)
+
+		if !r.Equal(fused0, seq0) || !r.Equal(fused1, seq1) {
+			t.Fatalf("fused gather-accumulate diverged from two-step sequence at g=%d", g)
+		}
+	}
+}
