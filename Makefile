@@ -1,7 +1,7 @@
 # Developer workflow for the CHOCO reproduction.
 #
 #   make check   — what CI runs: vet + chocolint + race/shuffled tests
-#                  (default and chocodebug-tagged builds)
+#                  (default, chocodebug-tagged, and purego-tagged builds)
 #   make test    — tier-1 verify (build + tests, as in ROADMAP.md)
 #   make lint    — chocolint static analyzers only (see internal/lint)
 #   make race    — race-enabled, shuffled tests; reruns the parallel
@@ -13,6 +13,8 @@
 #                  and the router's splice/health/membership
 #                  concurrency are exercised even on 1-core CI
 #   make debug   — tests with the chocodebug assertion layer compiled in
+#   make purego  — tests with the vector kernels compiled out (the
+#                  scalar-only build every non-amd64 target gets)
 #   make bench   — paper-table benchmark generators; also regenerates
 #                  the machine-readable perf trajectories: rotations in
 #                  BENCH_rotations.json (serial = before hoisting,
@@ -24,9 +26,13 @@
 #                  seed's big.Int scaling, decrypt-rns = the RNS-native
 #                  rewrite), and the cross-request batching kernel in
 #                  BENCH_batching.json (serial = per-session execution,
-#                  batched = the coalesced gather round), and appends
-#                  the commit-stamped pinned series (client encrypt,
-#                  hoisted rotation batch, serve p99) to
+#                  batched = the coalesced gather round), the SIMD
+#                  kernel layer in BENCH_kernels.json (scalar = the
+#                  byte-exactness oracle, vector = the AVX2 dispatch;
+#                  NTT rows, fused dyadic multiplies, BLAKE3 bulk fill
+#                  at 1 CPU), and appends the commit-stamped pinned
+#                  series (client encrypt, hoisted rotation batch,
+#                  serve p99, forward NTT row) to
 #                  BENCH_trajectory.jsonl, warning when a series
 #                  regressed >10% against the rolling median of its
 #                  last five entries and failing hard when a series
@@ -38,9 +44,9 @@
 
 GO ?= go
 
-.PHONY: check build test lint race debug vet bench fuzz
+.PHONY: check build test lint race debug purego vet bench fuzz
 
-check: vet lint race debug
+check: vet lint race debug purego
 
 build:
 	$(GO) build ./...
@@ -61,6 +67,10 @@ race:
 debug:
 	$(GO) test -race -shuffle=on -tags chocodebug ./internal/ring ./internal/bfv
 
+purego:
+	$(GO) build -tags purego ./...
+	$(GO) test -shuffle=on -tags purego ./...
+
 fuzz:
 	$(GO) test ./internal/protocol -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime 30s
 	$(GO) test ./internal/protocol -run '^$$' -fuzz '^FuzzHelloFrame$$' -fuzztime 30s
@@ -70,5 +80,6 @@ bench:
 	$(GO) run ./cmd/chocobench -json BENCH_matmul.json matmul
 	$(GO) run ./cmd/chocobench -json BENCH_client.json client
 	$(GO) run ./cmd/chocobench -json BENCH_batching.json batching
+	$(GO) run ./cmd/chocobench -json BENCH_kernels.json kernels
 	$(GO) run ./cmd/chocobench -trajectory BENCH_trajectory.jsonl -commit "$$(git rev-parse --short HEAD)" trajectory
 	$(GO) test -bench=. -benchmem ./...

@@ -74,6 +74,17 @@ func experiments() []experiment {
 			}
 			return out, err
 		}},
+		{"kernels", "SIMD kernel layer: scalar vs vector NTT/dyadic/BLAKE3 at 1 CPU", func() (string, error) {
+			out, recs, err := bench.Kernels()
+			if err == nil {
+				body, jerr := bench.KernelsJSON(recs)
+				if jerr != nil {
+					return "", jerr
+				}
+				jsonBodies["kernels"] = body
+			}
+			return out, err
+		}},
 		{"batching", "cross-request batching: coalesced vs per-session shard kernel", func() (string, error) {
 			out, recs, err := bench.Batching()
 			if err == nil {
@@ -136,7 +147,7 @@ func main() {
 	flag.Parse()
 
 	exps := append(experiments(), experiment{
-		"trajectory", "pinned perf series: client encrypt, hoisted rotation batch, serve p99",
+		"trajectory", "pinned perf series: client encrypt, hoisted rotation batch, serve p99, ntt row",
 		func() (string, error) {
 			out, pts, err := bench.Trajectory(*commit, time.Now().Unix())
 			if err != nil || *trajectoryPath == "" {
@@ -194,7 +205,7 @@ func main() {
 	}
 	if *jsonPath != "" {
 		if len(jsonBodies) == 0 {
-			fmt.Fprintf(os.Stderr, "-json set but no record-producing experiment ran (rotations, matmul, client, batching)\n")
+			fmt.Fprintf(os.Stderr, "-json set but no record-producing experiment ran (rotations, matmul, client, batching, kernels)\n")
 			os.Exit(1)
 		}
 		if len(jsonBodies) > 1 {

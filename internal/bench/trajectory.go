@@ -13,8 +13,10 @@ import (
 	"choco/internal/bfv"
 	"choco/internal/ckks"
 	"choco/internal/nn"
+	"choco/internal/nt"
 	"choco/internal/par"
 	"choco/internal/protocol"
+	"choco/internal/ring"
 	"choco/internal/serve"
 )
 
@@ -71,11 +73,15 @@ func baselineFor(prior []TrajectoryPoint, series string) (ns int64, commit strin
 
 // The pinned series. Each is one number a PR is judged by: the client
 // encrypt kernel the paper optimizes (§4), the hoisted rotation batch
-// (§4.3 / Halevi-Shoup), and the served inference tail latency.
+// (§4.3 / Halevi-Shoup), the served inference tail latency, and the
+// single-row forward NTT — the innermost kernel everything above sits
+// on, measured through whatever dispatch (vector or scalar) production
+// code would take on the host.
 const (
 	SeriesClientEncrypt = "client-encrypt-ckks-C"
 	SeriesHoistedBatch  = "rotate-batch8-hoisted-bfv-B"
 	SeriesServeP99      = "serve-infer-p99"
+	SeriesKernelNTTRow  = "kernels-ntt-row"
 )
 
 // Trajectory measures the pinned series once and returns a text report
@@ -196,6 +202,33 @@ func Trajectory(commit string, unixSec int64) (string, []TrajectoryPoint, error)
 			return "", nil, err
 		}
 		add(SeriesServeP99, srv.Stats().InferenceLatency.P99.Nanoseconds())
+	}
+
+	// Series 4: the forward NTT on a single residue row at N=8192 with a
+	// 60-bit modulus — the kernel the SIMD layer accelerates, measured
+	// through the production dispatch at one worker.
+	{
+		qs, err := nt.GenerateNTTPrimesVarBits([]int{60}, 13)
+		if err != nil {
+			return "", nil, err
+		}
+		r, err := ring.NewRing(13, qs)
+		if err != nil {
+			return "", nil, err
+		}
+		row := make([]uint64, r.N)
+		for j := range row {
+			row[j] = (uint64(j) * 2654435761) % r.Moduli[0].Value
+		}
+		old := par.Parallelism()
+		par.SetParallelism(1)
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r.NTTForwardRow(0, row)
+			}
+		})
+		par.SetParallelism(old)
+		add(SeriesKernelNTTRow, res.NsPerOp())
 	}
 
 	var b strings.Builder

@@ -296,6 +296,11 @@ type XOF struct {
 	buf     [64]byte
 	bufUsed int // bytes of buf already consumed (64 = empty)
 	counter uint64
+	// sched caches the pre-permuted 7-round message schedule for the
+	// vector squeeze kernels; built lazily on first bulk fill (the root
+	// block never changes once the XOF exists). nil on scalar-only
+	// builds and until first use.
+	sched *[112]uint32
 }
 
 // NewXOF creates an XOF from a keyed hash over seed material. Identical
@@ -332,6 +337,11 @@ func (x *XOF) Fill(p []byte) {
 		x.bufUsed += n
 		p = p[n:]
 	}
+	// Vectorized body: eight counters squeezed per kernel call. The
+	// kernel writes the identical byte stream (it is the same
+	// compression at counters c..c+7, serialized little-endian), so
+	// falling through to the scalar loop for the remainder is seamless.
+	p = p[x.fillBlocks8(p):]
 	// Whole blocks: compress directly into the caller's buffer.
 	for len(p) >= 64 {
 		words := compress(&x.out.cv, &x.out.block, x.counter, x.out.blockLen, x.out.flags|flagRoot)
@@ -375,6 +385,9 @@ func (x *XOF) FillUint64(out []uint64) {
 		out[0] = x.Uint64()
 		out = out[1:]
 	}
+	// Vectorized body: 64 words (eight blocks) per kernel call, byte
+	// stream decoded in place on little-endian hardware.
+	out = out[x.fillWords8(out):]
 	// Aligned body: decode whole blocks directly from compress output.
 	for len(out) >= 8 {
 		words := compress(&x.out.cv, &x.out.block, x.counter, x.out.blockLen, x.out.flags|flagRoot)

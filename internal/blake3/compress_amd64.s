@@ -1,0 +1,251 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// 8-wide BLAKE3 XOF squeeze: one call compresses the blocks at
+// counters c..c+7 of the same output state (the XOF root squeeze is
+// embarrassingly parallel across counters) and serializes the 512
+// little-endian output bytes exactly as eight scalar compress calls
+// would. Lane layout is transposed: each of the 16 state words lives
+// in one YMM register holding that word for all 8 blocks.
+//
+// Register map: Y0-Y13 = state words 0-13; words 14 and 15 live in
+// stack slots (they only ever occupy the d position of the g mixing
+// function, so each touch is one load + one store through Y14); Y15 is
+// the rotation/broadcast scratch. Message words are identical across
+// lanes and are broadcast straight from the pre-permuted 7x16 schedule
+// the Go side caches per XOF, so no register holds message state.
+
+// Byte-shuffle masks realizing the 16- and 8-bit right rotations.
+DATA rot16<>+0(SB)/8, $0x0504070601000302
+DATA rot16<>+8(SB)/8, $0x0D0C0F0E09080B0A
+DATA rot16<>+16(SB)/8, $0x0504070601000302
+DATA rot16<>+24(SB)/8, $0x0D0C0F0E09080B0A
+GLOBL rot16<>(SB), RODATA|NOPTR, $32
+
+DATA rot8<>+0(SB)/8, $0x0407060500030201
+DATA rot8<>+8(SB)/8, $0x0C0F0E0D080B0A09
+DATA rot8<>+16(SB)/8, $0x0407060500030201
+DATA rot8<>+24(SB)/8, $0x0C0F0E0D080B0A09
+GLOBL rot8<>(SB), RODATA|NOPTR, $32
+
+// iv[0..3], broadcast into state words 8-11 at compression start.
+DATA blakeiv<>+0(SB)/4, $0x6A09E667
+DATA blakeiv<>+4(SB)/4, $0xBB67AE85
+DATA blakeiv<>+8(SB)/4, $0x3C6EF372
+DATA blakeiv<>+12(SB)/4, $0xA54FF53A
+GLOBL blakeiv<>(SB), RODATA|NOPTR, $16
+
+// Stack frame: two 32-byte state spill slots for words 14/15, then a
+// 192-byte scratch area used to park Y8-Y13 during the output
+// transpose.
+#define s14 0
+#define s15 32
+#define spill 64
+
+// G: one quarter-round over register-resident state words a,b,c,d with
+// message broadcasts mx/my taken from the round's schedule at SI.
+#define G(a, b, c, d, mx, my) \
+	VPBROADCASTD (mx*4)(SI), Y15 \
+	VPADDD Y15, a, a             \
+	VPADDD b, a, a               \
+	VPXOR  a, d, d               \
+	VPSHUFB rot16<>(SB), d, d    \
+	VPADDD d, c, c               \
+	VPXOR  c, b, b               \
+	VPSRLD $12, b, Y15           \
+	VPSLLD $20, b, b             \
+	VPOR   Y15, b, b             \
+	VPBROADCASTD (my*4)(SI), Y15 \
+	VPADDD Y15, a, a             \
+	VPADDD b, a, a               \
+	VPXOR  a, d, d               \
+	VPSHUFB rot8<>(SB), d, d     \
+	VPADDD d, c, c               \
+	VPXOR  c, b, b               \
+	VPSRLD $7, b, Y15            \
+	VPSLLD $25, b, b             \
+	VPOR   Y15, b, b
+
+// GM: the same quarter-round when d is one of the spilled words; the
+// slot round-trips through Y14.
+#define GM(a, b, c, slot, mx, my) \
+	VMOVDQU slot(SP), Y14         \
+	G(a, b, c, Y14, mx, my)       \
+	VMOVDQU Y14, slot(SP)
+
+// ROUND: full column+diagonal sweep with the fixed d-position mapping
+// (words 12-15 are always d), then advance SI to the next round's
+// pre-permuted message words.
+#define ROUND \
+	G(Y0, Y4, Y8, Y12, 0, 1)      \
+	G(Y1, Y5, Y9, Y13, 2, 3)      \
+	GM(Y2, Y6, Y10, s14, 4, 5)    \
+	GM(Y3, Y7, Y11, s15, 6, 7)    \
+	GM(Y0, Y5, Y10, s15, 8, 9)    \
+	G(Y1, Y6, Y11, Y12, 10, 11)   \
+	G(Y2, Y7, Y8, Y13, 12, 13)    \
+	GM(Y3, Y4, Y9, s14, 14, 15)   \
+	ADDQ $64, SI
+
+// TRANSPOSE8: 8x8 32-bit transpose of r0-r7 using t0-t7 as scratch;
+// leaves column j of the input in t-register row order documented at
+// each use site below.
+#define TRANSPOSE8(r0, r1, r2, r3, r4, r5, r6, r7, t0, t1, t2, t3, t4, t5, t6, t7) \
+	VPUNPCKLDQ r1, r0, t0  \
+	VPUNPCKHDQ r1, r0, t1  \
+	VPUNPCKLDQ r3, r2, t2  \
+	VPUNPCKHDQ r3, r2, t3  \
+	VPUNPCKLDQ r5, r4, t4  \
+	VPUNPCKHDQ r5, r4, t5  \
+	VPUNPCKLDQ r7, r6, t6  \
+	VPUNPCKHDQ r7, r6, t7  \
+	VPUNPCKLQDQ t2, t0, r0 \
+	VPUNPCKHQDQ t2, t0, r1 \
+	VPUNPCKLQDQ t3, t1, r2 \
+	VPUNPCKHQDQ t3, t1, r3 \
+	VPUNPCKLQDQ t6, t4, r4 \
+	VPUNPCKHQDQ t6, t4, r5 \
+	VPUNPCKLQDQ t7, t5, r6 \
+	VPUNPCKHQDQ t7, t5, r7
+
+// func blake3Fill8AVX2(out *byte, msched *uint32, cv *uint32, ctrs *uint32, blockLen uint32, flags uint32)
+TEXT ·blake3Fill8AVX2(SB), NOSPLIT, $256-40
+	MOVQ out+0(FP), DI
+	MOVQ msched+8(FP), SI
+	MOVQ cv+16(FP), CX
+	MOVQ ctrs+24(FP), DX
+
+	// State init: words 0-7 = cv broadcast, 8-11 = iv broadcast,
+	// 12/13 = per-lane counter lo/hi, 14 = blockLen, 15 = flags.
+	VPBROADCASTD 0(CX), Y0
+	VPBROADCASTD 4(CX), Y1
+	VPBROADCASTD 8(CX), Y2
+	VPBROADCASTD 12(CX), Y3
+	VPBROADCASTD 16(CX), Y4
+	VPBROADCASTD 20(CX), Y5
+	VPBROADCASTD 24(CX), Y6
+	VPBROADCASTD 28(CX), Y7
+	VPBROADCASTD blakeiv<>+0(SB), Y8
+	VPBROADCASTD blakeiv<>+4(SB), Y9
+	VPBROADCASTD blakeiv<>+8(SB), Y10
+	VPBROADCASTD blakeiv<>+12(SB), Y11
+	VMOVDQU 0(DX), Y12
+	VMOVDQU 32(DX), Y13
+	MOVL blockLen+32(FP), AX
+	MOVQ AX, X14
+	VPBROADCASTD X14, Y14
+	VMOVDQU Y14, s14(SP)
+	MOVL flags+36(FP), AX
+	MOVQ AX, X14
+	VPBROADCASTD X14, Y14
+	VMOVDQU Y14, s15(SP)
+
+	ROUND
+	ROUND
+	ROUND
+	ROUND
+	ROUND
+	ROUND
+	ROUND
+
+	// Feed-forward: out[i] = state[i] ^ state[i+8] for the first half,
+	// out[i+8] = state[i+8] ^ cv[i] for the second (XOF mode keeps all
+	// 16 words).
+	VPXOR Y8, Y0, Y0
+	VPXOR Y9, Y1, Y1
+	VPXOR Y10, Y2, Y2
+	VPXOR Y11, Y3, Y3
+	VPXOR Y12, Y4, Y4
+	VPXOR Y13, Y5, Y5
+	VPXOR s14(SP), Y6, Y6
+	VPXOR s15(SP), Y7, Y7
+	VPBROADCASTD 0(CX), Y14
+	VPXOR Y14, Y8, Y8
+	VPBROADCASTD 4(CX), Y14
+	VPXOR Y14, Y9, Y9
+	VPBROADCASTD 8(CX), Y14
+	VPXOR Y14, Y10, Y10
+	VPBROADCASTD 12(CX), Y14
+	VPXOR Y14, Y11, Y11
+	VPBROADCASTD 16(CX), Y14
+	VPXOR Y14, Y12, Y12
+	VPBROADCASTD 20(CX), Y14
+	VPXOR Y14, Y13, Y13
+	VMOVDQU s14(SP), Y15
+	VPBROADCASTD 24(CX), Y14
+	VPXOR Y14, Y15, Y15
+	VMOVDQU Y15, s14(SP)
+	VMOVDQU s15(SP), Y15
+	VPBROADCASTD 28(CX), Y14
+	VPXOR Y14, Y15, Y15
+	VMOVDQU Y15, s15(SP)
+
+	// Transpose words 0-7 into per-block rows. Park Y8-Y13 first so
+	// the transpose has a full scratch bank.
+	VMOVDQU Y8, (spill+0)(SP)
+	VMOVDQU Y9, (spill+32)(SP)
+	VMOVDQU Y10, (spill+64)(SP)
+	VMOVDQU Y11, (spill+96)(SP)
+	VMOVDQU Y12, (spill+128)(SP)
+	VMOVDQU Y13, (spill+160)(SP)
+	TRANSPOSE8(Y0, Y1, Y2, Y3, Y4, Y5, Y6, Y7, Y8, Y9, Y10, Y11, Y12, Y13, Y14, Y15)
+	// After TRANSPOSE8, r-registers hold 128-bit column pairs:
+	// lanes (block, word) as [c0w0..3 | c4w0..3] etc. VPERM2I128 splits
+	// them into the per-block 32-byte word-0..7 rows.
+	VPERM2I128 $0x20, Y4, Y0, Y8
+	VMOVDQU Y8, 0(DI)
+	VPERM2I128 $0x20, Y5, Y1, Y8
+	VMOVDQU Y8, 64(DI)
+	VPERM2I128 $0x20, Y6, Y2, Y8
+	VMOVDQU Y8, 128(DI)
+	VPERM2I128 $0x20, Y7, Y3, Y8
+	VMOVDQU Y8, 192(DI)
+	VPERM2I128 $0x31, Y4, Y0, Y8
+	VMOVDQU Y8, 256(DI)
+	VPERM2I128 $0x31, Y5, Y1, Y8
+	VMOVDQU Y8, 320(DI)
+	VPERM2I128 $0x31, Y6, Y2, Y8
+	VMOVDQU Y8, 384(DI)
+	VPERM2I128 $0x31, Y7, Y3, Y8
+	VMOVDQU Y8, 448(DI)
+
+	// Words 8-15: reload the parked registers and the two slots, then
+	// transpose into the back half of each block.
+	VMOVDQU (spill+0)(SP), Y0
+	VMOVDQU (spill+32)(SP), Y1
+	VMOVDQU (spill+64)(SP), Y2
+	VMOVDQU (spill+96)(SP), Y3
+	VMOVDQU (spill+128)(SP), Y4
+	VMOVDQU (spill+160)(SP), Y5
+	VMOVDQU s14(SP), Y6
+	VMOVDQU s15(SP), Y7
+	TRANSPOSE8(Y0, Y1, Y2, Y3, Y4, Y5, Y6, Y7, Y8, Y9, Y10, Y11, Y12, Y13, Y14, Y15)
+	VPERM2I128 $0x20, Y4, Y0, Y8
+	VMOVDQU Y8, 32(DI)
+	VPERM2I128 $0x20, Y5, Y1, Y8
+	VMOVDQU Y8, 96(DI)
+	VPERM2I128 $0x20, Y6, Y2, Y8
+	VMOVDQU Y8, 160(DI)
+	VPERM2I128 $0x20, Y7, Y3, Y8
+	VMOVDQU Y8, 224(DI)
+	VPERM2I128 $0x31, Y4, Y0, Y8
+	VMOVDQU Y8, 288(DI)
+	VPERM2I128 $0x31, Y5, Y1, Y8
+	VMOVDQU Y8, 352(DI)
+	VPERM2I128 $0x31, Y6, Y2, Y8
+	VMOVDQU Y8, 416(DI)
+	VPERM2I128 $0x31, Y7, Y3, Y8
+	VMOVDQU Y8, 480(DI)
+
+	VZEROUPPER
+	RET
+
+// func blake3Fill8AVX2W(out *uint64, msched *uint32, cv *uint32, ctrs *uint32, blockLen uint32, flags uint32)
+//
+// Word-typed alias of blake3Fill8AVX2 for the FillUint64 path: amd64
+// is little-endian, so writing the byte stream over a []uint64 backing
+// array decodes exactly as the scalar per-word loop does. The argument
+// frames are identical, so this is a tail jump.
+TEXT ·blake3Fill8AVX2W(SB), NOSPLIT, $0-40
+	JMP ·blake3Fill8AVX2(SB)

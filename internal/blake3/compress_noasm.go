@@ -1,0 +1,13 @@
+//go:build !amd64 || purego
+
+package blake3
+
+// No vector compression kernel on this build: vectorAvailable pins the
+// dispatch to the scalar reference path and the fill helpers are
+// no-ops the portable squeeze loops fall through.
+
+func vectorAvailable() bool { return false }
+
+func (x *XOF) fillBlocks8(p []byte) int { return 0 }
+
+func (x *XOF) fillWords8(out []uint64) int { return 0 }

@@ -1,0 +1,184 @@
+package blake3
+
+import (
+	"bytes"
+	"testing"
+)
+
+// withVector runs f twice, once with vector kernels forced off and once
+// with whatever the host supports, restoring the prior state after.
+// The bool passed to f reports whether the vector path is actually
+// live, so tests can skip redundant comparisons on scalar-only hosts.
+func withVector(t *testing.T, f func(t *testing.T, vec bool)) {
+	t.Helper()
+	prev := VectorKernelsEnabled()
+	defer SetVectorKernels(prev)
+	SetVectorKernels(false)
+	f(t, false)
+	if SetVectorKernels(true) {
+		f(t, true)
+	}
+}
+
+func xofPair() (*XOF, *XOF) {
+	var key [32]byte
+	for i := range key {
+		key[i] = byte(i*7 + 3)
+	}
+	seed := []byte("vector equivalence seed material, longer than one block to cross a chunk boundary boundary boundary")
+	return NewXOF(key, seed), NewXOF(key, seed)
+}
+
+// TestFillVectorScalarIdentical squeezes the same XOF through the
+// scalar and vector Fill paths at sizes straddling every dispatch
+// boundary (under one block, under the 8-block kernel threshold, exact
+// kernel multiples, and ragged tails) and requires byte identity.
+func TestFillVectorScalarIdentical(t *testing.T) {
+	sizes := []int{1, 63, 64, 65, 511, 512, 513, 1024, 4096, 4097, 8192 + 37}
+	for _, size := range sizes {
+		ref, _ := xofPair()
+		SetVectorKernels(false)
+		want := make([]byte, size)
+		ref.Fill(want)
+		if on := SetVectorKernels(true); !on {
+			t.Skip("no vector kernels on this host/build")
+		}
+		vec, _ := xofPair()
+		got := make([]byte, size)
+		vec.Fill(got)
+		SetVectorKernels(false)
+		if !bytes.Equal(got, want) {
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("size %d: first divergence at byte %d: got %#x want %#x", size, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFillVectorUnalignedHead interposes a small read so the vector
+// body starts with a drained staging buffer mid-stream, then checks
+// the continuation still matches the scalar stream.
+func TestFillVectorUnalignedHead(t *testing.T) {
+	for _, head := range []int{1, 7, 63, 64, 100} {
+		ref, _ := xofPair()
+		SetVectorKernels(false)
+		want := make([]byte, head+2048)
+		ref.Fill(want)
+
+		if on := SetVectorKernels(true); !on {
+			t.Skip("no vector kernels on this host/build")
+		}
+		vec, _ := xofPair()
+		got := make([]byte, head+2048)
+		vec.Fill(got[:head])
+		vec.Fill(got[head:])
+		SetVectorKernels(false)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("head %d: stream diverges after unaligned prefix", head)
+		}
+	}
+}
+
+// TestFillUint64VectorScalarIdentical checks the word-typed bulk path
+// against the scalar stream, including non-multiple-of-64 word counts
+// and a staged (odd-byte) head.
+func TestFillUint64VectorScalarIdentical(t *testing.T) {
+	for _, n := range []int{1, 8, 63, 64, 65, 512, 513} {
+		ref, _ := xofPair()
+		SetVectorKernels(false)
+		want := make([]uint64, n)
+		ref.FillUint64(want)
+
+		if on := SetVectorKernels(true); !on {
+			t.Skip("no vector kernels on this host/build")
+		}
+		vec, _ := xofPair()
+		got := make([]uint64, n)
+		vec.FillUint64(got)
+		SetVectorKernels(false)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: word %d: got %#x want %#x", n, i, got[i], want[i])
+			}
+		}
+	}
+
+	// Odd byte head first, then bulk words: exercises the staged-head
+	// drain before the kernel takes over.
+	ref, _ := xofPair()
+	SetVectorKernels(false)
+	var head [5]byte
+	ref.Fill(head[:])
+	want := make([]uint64, 200)
+	ref.FillUint64(want)
+
+	if on := SetVectorKernels(true); !on {
+		t.Skip("no vector kernels on this host/build")
+	}
+	vec, _ := xofPair()
+	var head2 [5]byte
+	vec.Fill(head2[:])
+	got := make([]uint64, 200)
+	vec.FillUint64(got)
+	SetVectorKernels(false)
+	if head != head2 {
+		t.Fatalf("head bytes diverge: %x vs %x", head, head2)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("after odd head: word %d: got %#x want %#x", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSetVectorKernelsReporting pins the kill-switch contract: off is
+// always honored, on is clamped to hardware support.
+func TestSetVectorKernelsReporting(t *testing.T) {
+	prev := VectorKernelsEnabled()
+	defer SetVectorKernels(prev)
+	if SetVectorKernels(false) {
+		t.Fatal("SetVectorKernels(false) reported enabled")
+	}
+	if VectorKernelsEnabled() {
+		t.Fatal("kill-switch did not stick")
+	}
+	got := SetVectorKernels(true)
+	if got != vectorAvailable() {
+		t.Fatalf("SetVectorKernels(true)=%v, want hardware availability %v", got, vectorAvailable())
+	}
+}
+
+func FuzzXOFFillVector(f *testing.F) {
+	f.Add([]byte("seed"), uint16(700), uint8(3))
+	f.Add([]byte{}, uint16(4096), uint8(0))
+	f.Fuzz(func(t *testing.T, seed []byte, size uint16, head uint8) {
+		if !vectorAvailable() {
+			t.Skip("scalar-only build")
+		}
+		prev := VectorKernelsEnabled()
+		defer SetVectorKernels(prev)
+		var key [32]byte
+		key[0] = 0x42
+		n := int(size)
+		h := int(head) % 65
+
+		SetVectorKernels(false)
+		ref := NewXOF(key, seed)
+		want := make([]byte, h+n)
+		ref.Fill(want[:h])
+		ref.Fill(want[h:])
+
+		SetVectorKernels(true)
+		vec := NewXOF(key, seed)
+		got := make([]byte, h+n)
+		vec.Fill(got[:h])
+		vec.Fill(got[h:])
+		SetVectorKernels(false)
+
+		if !bytes.Equal(got, want) {
+			t.Fatalf("vector Fill diverges from scalar (seed=%x size=%d head=%d)", seed, n, h)
+		}
+	})
+}

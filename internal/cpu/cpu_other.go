@@ -1,0 +1,6 @@
+//go:build !amd64 || purego
+
+package cpu
+
+// No vector detection on this platform (or the purego tag is set): X86
+// stays zero and every dispatch site selects the scalar kernels.

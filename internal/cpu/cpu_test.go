@@ -1,0 +1,16 @@
+package cpu
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestDetectionRuns(t *testing.T) {
+	// On amd64 without purego the detection ran at init; on anything
+	// else X86 must be all-false. Either way this must not crash, and
+	// the result must be stable across reads.
+	if runtime.GOARCH != "amd64" && X86.HasAVX2 {
+		t.Fatalf("HasAVX2 true on %s", runtime.GOARCH)
+	}
+	t.Logf("GOARCH=%s HasAVX2=%v", runtime.GOARCH, X86.HasAVX2)
+}

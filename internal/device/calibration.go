@@ -57,6 +57,28 @@ const (
 	FPGACoveredSpeedup = 10.0
 )
 
+// Measured SIMD kernel calibration. Unlike the paper-anchored
+// constants above, these are numbers this repository measures on
+// itself: `chocobench kernels` (BENCH_kernels.json) times the hot
+// kernels scalar versus AVX2-vector at one CPU (N=8192, 60-bit
+// modulus, Xeon @ 2.1 GHz). The scalar rows are the byte-exactness
+// oracle the vector kernels are verified against, so the pair is a
+// like-for-like before/after on identical arithmetic.
+const (
+	MeasuredNTTRowFwdScalarNs       = 151_029
+	MeasuredNTTRowFwdVectorNs       = 73_841
+	MeasuredBlake3Fill64KiBScalarNs = 313_821
+	MeasuredBlake3Fill64KiBVectorNs = 59_916
+)
+
+// SIMDCoveredSpeedup is the measured AVX2 speedup on the covered
+// (NTT-dominated) fraction of client HE time — the in-repo analogue of
+// the HEAX/FPGA covered-speedup factors, except measured rather than
+// solved from the paper's claims. Feeding it through the same
+// partial-acceleration model (Amdahl over NTTFraction) puts a
+// vectorized-software bar next to the partial-hardware ones in Fig 2.
+const SIMDCoveredSpeedup = float64(MeasuredNTTRowFwdScalarNs) / float64(MeasuredNTTRowFwdVectorNs)
+
 // TFLite local inference calibration: effective multiply-accumulates
 // per cycle for int8 TFLite on the Cortex-A7. Solved from §5.7's
 // energy anchors: VGG16 (313.26M MACs, 22.2 MB communicated) sees

@@ -42,6 +42,19 @@ func TestOverlayBuildTagFiltering(t *testing.T) {
 		t.Errorf("got %d arch stubs in %v, want exactly 1", archCount, names)
 	}
 
+	// The SIMD-kernel pair (amd64+!purego asm declarations vs the
+	// pure-Go twin) must resolve to exactly one file too; both present
+	// would be a redeclaration of vecKernel/vec.
+	kernelCount := 0
+	for _, n := range []string{"kernels_amd64.go", "kernels_noasm.go"} {
+		if names[n] {
+			kernelCount++
+		}
+	}
+	if kernelCount != 1 {
+		t.Errorf("got %d kernel stubs in %v, want exactly 1", kernelCount, names)
+	}
+
 	// The analyzers must run over a tagged package without crashing.
 	if _, err := RunAnalyzers(l.Fset(), []*Package{pkg}, All()); err != nil {
 		t.Fatalf("running suite on tagged fixture: %v", err)
@@ -58,6 +71,23 @@ func TestOverlayBuildTagFiltering(t *testing.T) {
 	names = fileNames(t, ld, pkg)
 	if !names["debug_on.go"] || names["debug_off.go"] {
 		t.Errorf("chocodebug tags: got files %v, want debug_on.go without debug_off.go", names)
+	}
+
+	// Under the purego tag the scalar twin must win on every arch: the
+	// bodyless asm declaration is filtered out with its file.
+	lp := NewLoader(".")
+	lp.Overlay = "testdata/src"
+	lp.BuildTags = []string{"purego"}
+	pkg, err = lp.LoadOverlay("buildtags/pkg")
+	if err != nil {
+		t.Fatalf("purego-tag load: %v", err)
+	}
+	names = fileNames(t, lp, pkg)
+	if !names["kernels_noasm.go"] || names["kernels_amd64.go"] {
+		t.Errorf("purego tags: got files %v, want kernels_noasm.go without kernels_amd64.go", names)
+	}
+	if _, err := RunAnalyzers(lp.Fset(), []*Package{pkg}, All()); err != nil {
+		t.Fatalf("running suite under purego tags: %v", err)
 	}
 }
 
@@ -95,5 +125,22 @@ func TestGoListBuildTags(t *testing.T) {
 	}
 	if _, err := RunAnalyzers(ld.Fset(), pkgs, All()); err != nil {
 		t.Fatalf("running suite under chocodebug tags: %v", err)
+	}
+
+	// The purego tag must swap the real SIMD dispatch files: the
+	// scalar fallbacks in, the AVX2 declarations (and their .s-backed
+	// bodyless funcs) out — on any host arch.
+	lp := NewLoader("../..")
+	lp.BuildTags = []string{"purego"}
+	pkgs, err = lp.Load("./internal/ring")
+	if err != nil {
+		t.Fatalf("purego load: %v", err)
+	}
+	names = fileNames(t, lp, pkgs[0])
+	if !names["kernels_noasm.go"] || names["kernels_amd64.go"] {
+		t.Errorf("purego tags: got %v, want kernels_noasm.go without kernels_amd64.go", names)
+	}
+	if _, err := RunAnalyzers(lp.Fset(), pkgs, All()); err != nil {
+		t.Fatalf("running suite under purego tags: %v", err)
 	}
 }

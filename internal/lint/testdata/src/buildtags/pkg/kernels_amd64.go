@@ -1,0 +1,12 @@
+//go:build amd64 && !purego
+
+package pkg
+
+// Mirrors the internal/ring SIMD dispatch pattern: an arch-tagged file
+// that declares an assembly-backed function (no body — the .s file
+// carries it) plus a same-named pure-Go twin behind the inverse
+// constraint. The loader must both filter the pair correctly and
+// type-check the bodyless declaration.
+func vecKernel(p *uint64, n int)
+
+func vec() string { return "avx2" }

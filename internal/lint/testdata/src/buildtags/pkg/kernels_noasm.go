@@ -1,0 +1,7 @@
+//go:build !amd64 || purego
+
+package pkg
+
+func vecKernel(p *uint64, n int) {}
+
+func vec() string { return "scalar" }

@@ -46,38 +46,53 @@ func NewModulus(q uint64) Modulus {
 // BitLen returns the bit length of the modulus value.
 func (m Modulus) BitLen() int { return m.bitLen }
 
-// Add returns (a + b) mod q for a, b < q.
-func (m Modulus) Add(a, b uint64) uint64 {
-	s := a + b
-	if s >= m.Value {
-		s -= m.Value
-	}
-	return s
+// BarrettConstants returns floor(2^128 / q) as (hi, lo) 64-bit words.
+// Vectorized Barrett kernels replicate ReduceWide's exact quotient
+// arithmetic and need the same constants NewModulus precomputed.
+func (m Modulus) BarrettConstants() (hi, lo uint64) {
+	return m.barrettHi, m.barrettLo
 }
 
-// Sub returns (a - b) mod q for a, b < q.
+// Add returns (a + b) mod q for a, b < q. Branchless compare-mask
+// form: a+b-q underflows exactly when a+b < q (both inputs are below
+// q < 2^61, so the true sum never reaches the sign bit), and the
+// arithmetic right shift of the wrapped difference turns that borrow
+// into an all-ones mask selecting the +q correction. No data-dependent
+// branch, so residue values can't steer the branch predictor.
+func (m Modulus) Add(a, b uint64) uint64 {
+	d := a + b - m.Value
+	return d + (m.Value & uint64(int64(d)>>63))
+}
+
+// Sub returns (a - b) mod q for a, b < q, in the same branchless
+// compare-mask form as Add: the borrow of a-b becomes a sign-bit mask
+// selecting the +q correction.
 func (m Modulus) Sub(a, b uint64) uint64 {
 	d := a - b
-	if a < b {
-		d += m.Value
-	}
-	return d
+	return d + (m.Value & uint64(int64(d)>>63))
 }
 
-// Neg returns -a mod q for a < q.
+// Neg returns -a mod q for a < q. Branchless: q-a is correct for every
+// nonzero a, and the mask zeroes the result when a == 0 (where q-a
+// would escape the canonical range).
 func (m Modulus) Neg(a uint64) uint64 {
-	if a == 0 {
-		return 0
-	}
-	return m.Value - a
+	mask := uint64(0) - ((a | (0 - a)) >> 63)
+	return (m.Value - a) & mask
 }
 
-// Reduce returns a mod q for arbitrary a.
+// Reduce returns a mod q for arbitrary a. Branchless: one Barrett
+// quotient estimate from the precomputed high word of floor(2^128/q)
+// leaves a remainder below 4q (the estimate floor(a·bHi/2^64) with
+// bHi = floor(2^64/q) undershoots a/q by less than a/2^64 + 1 < 3),
+// and two compare-mask subtractions finish the canonicalization —
+// replacing the old early-exit branch plus hardware division.
 func (m Modulus) Reduce(a uint64) uint64 {
-	if a < m.Value {
-		return a
-	}
-	return a % m.Value
+	qhat, _ := bits.Mul64(a, m.barrettHi)
+	r := a - qhat*m.Value
+	d := r - m.Value<<1
+	r = d + (m.Value << 1 & uint64(int64(d)>>63))
+	d = r - m.Value
+	return d + (m.Value & uint64(int64(d)>>63))
 }
 
 // ReduceWide returns (hi·2^64 + lo) mod q using Barrett reduction.

@@ -169,3 +169,66 @@ func BenchmarkModMulShoup(b *testing.B) {
 }
 
 var sinkU64 uint64
+
+// TestBranchlessBoundaries pins the compare-mask Add/Sub/Neg/Reduce
+// forms at the extremes of their contracts: operands at q-1 (so sums
+// land just under 2q and differences straddle the borrow), and Reduce
+// inputs swept densely around every multiple of q near 2q and at the
+// top of the uint64 range. The reference is plain big-integer modular
+// arithmetic, so a mask polarity or shift mistake at any boundary
+// value cannot hide.
+func TestBranchlessBoundaries(t *testing.T) {
+	moduli := []uint64{2, 3, 17, 65537, (1 << 58) - 27, (1 << 61) - 1, 1152921504606830593}
+	for _, q := range moduli {
+		m := NewModulus(q)
+		edge := []uint64{0, 1, q / 2, q - 2, q - 1}
+		for _, a := range edge {
+			for _, b := range edge {
+				if a >= q || b >= q {
+					continue
+				}
+				if got, want := m.Add(a, b), (a%q+b%q)%q; got != want {
+					t.Fatalf("q=%d Add(%d,%d)=%d want %d", q, a, b, got, want)
+				}
+				wantSub := (a + q - b) % q
+				if got := m.Sub(a, b); got != wantSub {
+					t.Fatalf("q=%d Sub(%d,%d)=%d want %d", q, a, b, got, wantSub)
+				}
+			}
+			if a < q {
+				if got, want := m.Neg(a), (q-a)%q; got != want {
+					t.Fatalf("q=%d Neg(%d)=%d want %d", q, a, got, want)
+				}
+			}
+		}
+		// Reduce: dense windows around 0, q, 2q (the lazy-arithmetic
+		// ceiling the ring kernels accumulate to), 3q, and 2^64.
+		var probes []uint64
+		for _, center := range []uint64{0, q, 2 * q, 3 * q} {
+			for d := uint64(0); d <= 4; d++ {
+				probes = append(probes, center+d)
+				if center >= d { // below-center probe without wraparound
+					probes = append(probes, center-d)
+				}
+			}
+		}
+		probes = append(probes, ^uint64(0), ^uint64(0)-1, ^uint64(0)-q)
+		for _, a := range probes {
+			if got, want := m.Reduce(a), a%q; got != want {
+				t.Fatalf("q=%d Reduce(%d)=%d want %d", q, a, got, want)
+			}
+		}
+	}
+}
+
+// TestReduceExhaustiveSmallModulus sweeps Reduce over every residue
+// class boundary for a small modulus across the full quotient range a
+// Barrett estimate can mis-round in.
+func TestReduceExhaustiveSmallModulus(t *testing.T) {
+	m := NewModulus(12289)
+	for a := uint64(0); a < 12289*8; a++ {
+		if got := m.Reduce(a); got != a%12289 {
+			t.Fatalf("Reduce(%d)=%d want %d", a, got, a%12289)
+		}
+	}
+}

@@ -167,23 +167,33 @@ func TestForWorkerScratchPartition(t *testing.T) {
 	if mw != 4 {
 		t.Fatalf("MaxWorkers(%d) = %d, want 4", n, mw)
 	}
-	counts := make([]int64, mw)
-	ForWorker(n, func(w, i int) {
-		if w < 0 || w >= mw {
-			t.Errorf("worker index %d out of range [0,%d)", w, mw)
-			return
+	// Iterations are claimed from a shared cursor, so which worker runs
+	// how many is scheduling-dependent — on a loaded machine the helper
+	// goroutines can occasionally drain every iteration before the
+	// caller claims one. The caller-participates property is therefore
+	// checked across attempts, while the invariants (index range, total
+	// coverage) hold on every single run.
+	callerWorked := false
+	for attempt := 0; attempt < 10 && !callerWorked; attempt++ {
+		counts := make([]int64, mw)
+		ForWorker(n, func(w, i int) {
+			if w < 0 || w >= mw {
+				t.Errorf("worker index %d out of range [0,%d)", w, mw)
+				return
+			}
+			atomic.AddInt64(&counts[w], 1)
+		})
+		var total int64
+		for _, c := range counts {
+			total += c
 		}
-		atomic.AddInt64(&counts[w], 1)
-	})
-	var total int64
-	for _, c := range counts {
-		total += c
+		if total != n {
+			t.Fatalf("per-worker counts sum to %d, want %d", total, n)
+		}
+		callerWorked = counts[0] > 0
 	}
-	if total != n {
-		t.Fatalf("per-worker counts sum to %d, want %d", total, n)
-	}
-	if counts[0] == 0 {
-		t.Error("caller (worker 0) did no work")
+	if !callerWorked {
+		t.Error("caller (worker 0) did no work in any attempt")
 	}
 
 	if got := MaxWorkers(2); got != 2 {

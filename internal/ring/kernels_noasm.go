@@ -1,0 +1,19 @@
+//go:build !amd64 || purego
+
+package ring
+
+import "choco/internal/nt"
+
+// Scalar-only build: no vector kernels exist, every dispatch helper
+// reports "not handled" and the portable loops in ring.go run.
+
+func vectorAvailable() bool { return false }
+
+func nttForwardVec(tbl *nttTable, a []uint64) bool                 { return false }
+func nttInverseVec(tbl *nttTable, a []uint64) bool                 { return false }
+func mulModVector(m nt.Modulus, ra, rb, ro []uint64) bool          { return false }
+func mulModAddVector(m nt.Modulus, ra, rb, ro []uint64) bool       { return false }
+func mulShoupAddVector(m nt.Modulus, ra, rb, rs, ro []uint64) bool { return false }
+func mulShoupAdd2Vector(m nt.Modulus, ra, rb0, rs0, ro0, rb1, rs1, ro1 []uint64) bool {
+	return false
+}

@@ -463,6 +463,9 @@ func (r *Ring) NTTInverseRow(lvl int, row []uint64) {
 // psi powers (Longa-Naehrig). Output is in bit-reversed evaluation
 // order, which is self-consistent for dyadic products.
 func nttForward(tbl *nttTable, a []uint64) {
+	if nttForwardVec(tbl, a) {
+		return
+	}
 	mod := tbl.mod
 	n := len(a)
 	t := n
@@ -503,6 +506,9 @@ func nttForward(tbl *nttTable, a []uint64) {
 //     [0, q) residues, so the transform's output is bit-identical to
 //     the eager implementation.
 func nttInverse(tbl *nttTable, a []uint64) {
+	if nttInverseVec(tbl, a) {
+		return
+	}
 	mod := tbl.mod
 	twoQ := mod.Value << 1
 	n := len(a)
@@ -604,6 +610,9 @@ func (r *Ring) MulCoeffs(a, b, out *Poly) {
 	r.parRows(len(out.Coeffs), parMinCoeffwise, func(i int) {
 		m := r.Moduli[i]
 		ra, rb, ro := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		if mulModVector(m, ra, rb, ro) {
+			return
+		}
 		for j := range ro {
 			ro[j] = m.Mul(ra[j], rb[j])
 		}
@@ -622,6 +631,9 @@ func (r *Ring) MulCoeffsAdd(a, b, out *Poly) {
 	r.parRows(len(out.Coeffs), parMinCoeffwise, func(i int) {
 		m := r.Moduli[i]
 		ra, rb, ro := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		if mulModAddVector(m, ra, rb, ro) {
+			return
+		}
 		for j := range ro {
 			ro[j] = m.Add(ro[j], m.Mul(ra[j], rb[j]))
 		}
@@ -664,6 +676,9 @@ func (r *Ring) MulCoeffsShoupAdd(a, b *Poly, bShoup [][]uint64, out *Poly) {
 		ra := a.Coeffs[i][:len(ro)]
 		rb := b.Coeffs[i][:len(ro)]
 		rs := bShoup[i][:len(ro)]
+		if mulShoupAddVector(m, ra, rb, rs, ro) {
+			return
+		}
 		for j := range ro {
 			ro[j] = m.Add(ro[j], m.MulShoup(ra[j], rb[j], rs[j]))
 		}
@@ -691,6 +706,9 @@ func (r *Ring) MulCoeffsShoupAdd2(a, b0 *Poly, b0Shoup [][]uint64, out0 *Poly, b
 		rs0 := b0Shoup[i][:len(ro0)]
 		rb1 := b1.Coeffs[i][:len(ro0)]
 		rs1 := b1Shoup[i][:len(ro0)]
+		if mulShoupAdd2Vector(m, ra, rb0, rs0, ro0, rb1, rs1, ro1) {
+			return
+		}
 		for j := range ro0 {
 			x := ra[j]
 			ro0[j] = m.Add(ro0[j], m.MulShoup(x, rb0[j], rs0[j]))

@@ -1,0 +1,38 @@
+package ring
+
+import "choco/internal/blake3"
+
+// vectorKernels gates the SIMD ring kernels (NTT stage sweeps, fused
+// dyadic loops) at run time. It starts at whatever the build's
+// architecture detection found and can be forced off; the scalar loops
+// stay in-tree as the byte-exactness oracle, and every vector kernel
+// is bit-identical to its scalar twin by construction.
+var vectorKernels = vectorAvailable()
+
+// SetVectorKernels enables or disables the vectorized kernels across
+// the compute stack — this package's NTT/dyadic kernels and the BLAKE3
+// XOF squeeze the samplers draw from. Enabling is a no-op on builds or
+// hosts without vector support. It returns the resulting ring-kernel
+// state. Not safe to call concurrently with in-flight ring operations;
+// it exists for tests, scalar-vs-vector benchmarks, and as an
+// operational kill-switch.
+func SetVectorKernels(on bool) bool {
+	vectorKernels = on && vectorAvailable()
+	blake3.SetVectorKernels(on)
+	return vectorKernels
+}
+
+// VectorKernelsEnabled reports whether the vector ring kernels are
+// currently selected.
+func VectorKernelsEnabled() bool { return vectorKernels }
+
+// assertRowBound panics if any lane of a is outside [0, bound). Only
+// called under the chocodebug build tag, where the vector NTT drivers
+// verify the Harvey lazy-reduction invariants after every stage.
+func assertRowBound(op string, a []uint64, bound uint64) {
+	for _, v := range a {
+		if v >= bound {
+			panic("ring: " + op + ": lane out of bound")
+		}
+	}
+}

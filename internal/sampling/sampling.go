@@ -28,10 +28,13 @@ const DefaultSigma = 3.2
 // the analytic noise model: 6σ truncation, matching SEAL.
 const ErrorBound = 6 * DefaultSigma
 
-// sourceBufWords is the prefetch size: 64 words = 512 bytes = 8 BLAKE3
-// output blocks per refill, enough to amortize the bulk-path entry cost
-// while keeping a Source under a kilobyte of state.
-const sourceBufWords = 64
+// sourceBufWords is the prefetch size: 256 words = 2 KiB = 32 BLAKE3
+// output blocks per refill — four full passes of the 8-wide vector
+// squeeze — enough to amortize the bulk-path entry cost while keeping
+// a Source's buffer a small, cache-resident constant. The XOF stream
+// is position-addressed, so the refill granularity never changes the
+// sampled values.
+const sourceBufWords = 256
 
 // Source is a deterministic randomness source for polynomial sampling.
 // It is not safe for concurrent use; give each goroutine its own
